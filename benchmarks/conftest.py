@@ -1,0 +1,52 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures (see the
+experiment index in DESIGN.md) and prints the artifact, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the full evaluation.  Corpus sizes default to a laptop-friendly
+subset; set ``REPRO_FULL=1`` to run the paper-scale 1066-loop corpus.
+"""
+
+import os
+
+import pytest
+
+from repro.ddg.generators import suite, suite1066
+from repro.machine.presets import motivating_machine, powerpc604
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Loops used by corpus-level benches when not in FULL mode.
+SMALL_CORPUS_SIZE = 120
+#: Loops for the heavier pairwise benches (E10-E12).
+TINY_CORPUS_SIZE = 24
+
+
+@pytest.fixture(scope="session")
+def ppc604():
+    return powerpc604()
+
+
+@pytest.fixture(scope="session")
+def motivating():
+    return motivating_machine()
+
+
+@pytest.fixture(scope="session")
+def corpus(ppc604):
+    """The Table 4/5 corpus (1066 loops in FULL mode)."""
+    if FULL:
+        return suite1066(ppc604)
+    return suite(SMALL_CORPUS_SIZE, ppc604, seed=604)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(ppc604):
+    return suite(TINY_CORPUS_SIZE, ppc604, seed=1995)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,30 @@
+"""E10: ILP vs iterative modulo scheduling vs no pipelining.
+
+Shape claims (cf. [9]'s heuristic comparison and the paper's §7):
+the ILP is rate-optimal, so its T never exceeds the heuristic's II;
+and software pipelining clearly beats back-to-back iterations.
+"""
+
+from conftest import once
+
+from repro.experiments.compare import run_compare
+
+
+def test_e10_ilp_vs_heuristic(benchmark, tiny_corpus, ppc604):
+    comparison = once(
+        benchmark,
+        lambda: run_compare(tiny_corpus, ppc604, time_limit_per_t=5.0),
+    )
+
+    print()
+    print(comparison.render())
+    for row in comparison.rows:
+        print(
+            f"  {row.loop_name}: T_lb={row.t_lb} ILP={row.ilp_t} "
+            f"IMS={row.heuristic_ii} slack={row.slack_ii} "
+            f"sequential={row.sequential_ii}"
+        )
+
+    assert comparison.ilp_never_worse
+    assert len(comparison.both_completed) >= len(tiny_corpus) * 3 // 4
+    assert comparison.mean_speedup_vs_sequential > 1.2

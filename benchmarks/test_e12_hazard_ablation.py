@@ -1,0 +1,32 @@
+"""E12 ablation: structural-hazard model on vs off.
+
+Scheduling the same loops on the real (unclean) machine and on an
+idealized variant with clean pipelines of equal span isolates the
+initiation-interval cost of the hazards themselves.  On the motivating
+machine the cost is exactly one cycle per iteration (T=4 vs T=3).
+"""
+
+from conftest import once
+
+from repro.ddg.kernels import motivating_example
+from repro.experiments.ablation import hazard_ablation
+
+
+def test_e12_hazard_ablation(benchmark, tiny_corpus, motivating, ppc604):
+    def run():
+        canonical = hazard_ablation([motivating_example()], motivating)
+        corpus = hazard_ablation(tiny_corpus, ppc604, time_limit_per_t=5.0)
+        return canonical, corpus
+
+    canonical, corpus = once(benchmark, run)
+
+    print()
+    print("motivating example:")
+    row = canonical.rows[0]
+    print(f"  unclean T={row.t_unclean}  idealized T={row.t_clean}  "
+          f"hazard cost={row.hazard_cost}")
+    print(corpus.render())
+
+    assert row.hazard_cost == 1
+    assert canonical.never_negative
+    assert corpus.never_negative

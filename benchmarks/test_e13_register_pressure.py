@@ -1,0 +1,49 @@
+"""E13 extension (paper §7): buffer/register pressure under the ILP.
+
+The paper notes its framework can incorporate the buffer-minimization
+objective of Ning–Gao [18] and the MaxLive metric of Eichenberger et
+al. [5].  This bench compares, per kernel at the rate-optimal T, the
+buffer totals and MaxLive of a plain feasibility solution vs the
+``min_buffers`` objective — the latter must never be worse on the
+objective it optimizes.
+"""
+
+from conftest import once
+
+from repro.core import Formulation, FormulationOptions, schedule_loop
+from repro.ddg.kernels import KERNELS
+from repro.registers import max_live, total_buffers, unroll_factor
+
+
+def test_e13_register_pressure(benchmark, ppc604):
+    def run():
+        rows = []
+        for name in sorted(KERNELS):
+            ddg = KERNELS[name]()
+            t_opt = schedule_loop(ddg, ppc604).achieved_t
+            plain = Formulation(ddg, ppc604, t_opt)
+            plain_schedule = plain.extract(plain.solve())
+            tuned = Formulation(
+                ddg, ppc604, t_opt,
+                FormulationOptions(objective="min_buffers"),
+            )
+            tuned_schedule = tuned.extract(tuned.solve())
+            rows.append((
+                name, t_opt,
+                total_buffers(plain_schedule), total_buffers(tuned_schedule),
+                max_live(plain_schedule), max_live(tuned_schedule),
+                unroll_factor(tuned_schedule),
+            ))
+        return rows
+
+    rows = once(benchmark, run)
+
+    print()
+    print(f"{'kernel':<12} {'T':>3} {'buf(plain)':>11} {'buf(min)':>9} "
+          f"{'maxlive(plain)':>15} {'maxlive(min)':>13} {'MVE unroll':>11}")
+    for name, t, b0, b1, m0, m1, u in rows:
+        print(f"{name:<12} {t:>3} {b0:>11} {b1:>9} {m0:>15} {m1:>13} {u:>11}")
+
+    for name, _, b0, b1, _, _, u in rows:
+        assert b1 <= b0, name          # objective honoured
+        assert u >= 1

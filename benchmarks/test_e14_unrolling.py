@@ -1,0 +1,50 @@
+"""E14 extension: unroll-and-pipeline vs direct pipelining.
+
+Unrolling by ``k`` lets the scheduler approach fractional recurrence
+bounds: the per-original-iteration rate ``T(unrolled)/k`` is never worse
+than ``T(base)`` and the recurrence-bound kernels scale exactly
+linearly (the critical cycle's ratio is integral).
+"""
+
+from conftest import once
+
+from repro.core import schedule_loop, verify_schedule
+from repro.ddg.kernels import KERNELS
+from repro.ddg.transforms import unroll
+
+
+KERNEL_NAMES = ("dotprod", "ll11", "daxpy")
+
+
+def test_e14_unrolling(benchmark, ppc604):
+    def run():
+        rows = []
+        for name in KERNEL_NAMES:
+            ddg = KERNELS[name]()
+            base = schedule_loop(ddg, ppc604)
+            for factor in (2, 3):
+                unrolled_ddg = unroll(ddg, factor)
+                unrolled = schedule_loop(
+                    unrolled_ddg, ppc604, max_extra=30,
+                    time_limit_per_t=10.0,
+                )
+                if unrolled.schedule is not None:
+                    verify_schedule(unrolled.schedule)
+                rows.append((
+                    name, factor, base.achieved_t, unrolled.achieved_t,
+                ))
+        return rows
+
+    rows = once(benchmark, run)
+
+    print()
+    print(f"{'kernel':<10} {'unroll':>7} {'T(base)':>8} {'T(unrolled)':>12} "
+          f"{'per-iter rate':>14}")
+    for name, factor, t_base, t_unrolled in rows:
+        rate = t_unrolled / factor if t_unrolled else float("nan")
+        print(f"{name:<10} {factor:>7} {t_base:>8} "
+              f"{t_unrolled if t_unrolled else '-':>12} {rate:>14.2f}")
+
+    for name, factor, t_base, t_unrolled in rows:
+        if t_unrolled is not None:
+            assert t_unrolled <= factor * t_base, (name, factor)

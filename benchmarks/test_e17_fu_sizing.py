@@ -1,0 +1,68 @@
+"""E17 extension: hardware sizing via the ``min_fu`` objective (Eq. 5).
+
+The paper's objective context ``min sum_r C_r * R_r`` treats FU counts
+as decision variables.  This bench sweeps the initiation interval and
+asks, at each T, the *minimum* number of FP and MEM units that still
+realize a fixed-mapping schedule — a rate/hardware trade-off curve.
+The curve must be non-increasing in T (more time never needs more
+hardware), pinning the motivating example's known points: T=4 needs
+2 FP units, T=6 needs 1.
+"""
+
+from conftest import once
+
+from repro.core import Formulation, FormulationOptions, verify_schedule
+from repro.core.errors import ModuloInfeasibleError
+from repro.ddg.kernels import motivating_example
+from repro.machine.presets import motivating_machine
+
+
+def test_e17_fu_sizing(benchmark):
+    machine = motivating_machine(fp_units=4, mem_units=3)
+    ddg = motivating_example()
+
+    def run():
+        curve = []
+        for t_period in range(3, 13):
+            try:
+                formulation = Formulation(
+                    ddg, machine, t_period,
+                    FormulationOptions(objective="min_fu"),
+                )
+            except ModuloInfeasibleError:
+                curve.append((t_period, None, None))
+                continue
+            solution = formulation.solve()
+            if not solution.status.has_solution:
+                curve.append((t_period, None, None))
+                continue
+            schedule = formulation.extract(solution)
+            verify_schedule(schedule)
+            used = schedule.fu_counts_used or {}
+            curve.append((
+                t_period, used.get("FP"), used.get("MEM"),
+            ))
+        return curve
+
+    curve = once(benchmark, run)
+
+    print()
+    print(f"{'T':>3} {'FP units':>9} {'MEM units':>10}")
+    for t_period, fp, mem in curve:
+        print(f"{t_period:>3} {str(fp):>9} {str(mem):>10}")
+
+    by_t = {t: (fp, mem) for t, fp, mem in curve}
+    # Known points from the motivating analysis: the T=3 triangle needs
+    # one FP unit per op; the paper's two-unit machine first works at
+    # T=4; a single FP unit suffices once T reaches 6.
+    assert by_t[3][0] == 3
+    assert by_t[4][0] == 2
+    assert by_t[6][0] == 1
+    # Monotonicity: more time never needs more hardware.
+    previous_fp = None
+    for t_period, fp, _ in curve:
+        if fp is None:
+            continue
+        if previous_fp is not None:
+            assert fp <= previous_fp
+        previous_fp = fp

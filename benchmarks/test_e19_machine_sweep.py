@@ -1,0 +1,48 @@
+"""E19 extension: throughput response to hardware (unit-count sweep).
+
+Sweeps the motivating machine's FP and MEM unit counts over a corpus of
+FP-heavy loops and reports the mean rate-optimal T per configuration.
+Per loop, adding units can only relax the ILP, so with every loop
+scheduled in every configuration the mean is monotone non-increasing —
+asserted — and the curve shows where the corpus stops being
+FP-bound (diminishing returns).
+"""
+
+import random
+
+from conftest import once
+
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.experiments.sweep import fp_mem_sweep
+from repro.machine.presets import motivating_machine
+
+
+def test_e19_machine_sweep(benchmark):
+    rng = random.Random(19)
+    machine = motivating_machine()
+    config = GeneratorConfig(
+        min_ops=3, max_ops=8,
+        class_weights={"fadd": 0.35, "fmul": 0.25, "load": 0.25,
+                       "store": 0.15},
+    )
+    loops = [random_ddg(rng, machine, config, name=f"e19_{i}")
+             for i in range(16)]
+
+    result = once(
+        benchmark,
+        lambda: fp_mem_sweep(loops, fp_range=(1, 2, 3), mem_range=(1, 2),
+                             max_extra=25),
+    )
+
+    print()
+    print(result.render())
+
+    # Every loop must schedule in every configuration for comparability.
+    assert all(p.scheduled == len(loops) for p in result.points)
+    assert result.monotone_in_fp()
+    # The second FP unit must actually help an FP-heavy corpus...
+    assert (result.point(2, 1).mean_t
+            < result.point(1, 1).mean_t - 0.05)
+    # ...while the mean never drops below the dependence-driven floor.
+    for point in result.points:
+        assert point.mean_t >= point.mean_t_lb

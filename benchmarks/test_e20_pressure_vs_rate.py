@@ -1,0 +1,65 @@
+"""E20 extension: the register-pressure / initiation-interval trade-off.
+
+Classic software-pipelining figure: running a loop *slower* than its
+rate optimum lets values retire sooner relative to the period, cutting
+buffer requirements and MaxLive.  Sweeps T from the optimum upward under
+the ``min_buffers`` objective and reports the pressure curve per kernel;
+buffer totals must be non-increasing in T.
+"""
+
+from conftest import once
+
+from repro.core import Formulation, FormulationOptions, schedule_loop
+from repro.core.bounds import modulo_feasible_t
+from repro.ddg.kernels import KERNELS
+from repro.registers import allocate_registers, max_live, total_buffers
+
+KERNEL_NAMES = ("dotprod", "daxpy", "ll1", "spice")
+
+
+def test_e20_pressure_vs_rate(benchmark, ppc604):
+    def run():
+        rows = []
+        for name in KERNEL_NAMES:
+            ddg = KERNELS[name]()
+            t_opt = schedule_loop(ddg, ppc604).achieved_t
+            for delta in (0, 1, 2, 4):
+                t_period = t_opt + delta
+                if not modulo_feasible_t(ddg, ppc604, t_period):
+                    continue
+                formulation = Formulation(
+                    ddg, ppc604, t_period,
+                    FormulationOptions(objective="min_buffers"),
+                )
+                solution = formulation.solve()
+                if not solution.status.has_solution:
+                    continue
+                schedule = formulation.extract(solution)
+                rows.append((
+                    name, t_period, delta,
+                    total_buffers(schedule),
+                    max_live(schedule),
+                    allocate_registers(schedule).num_registers,
+                ))
+        return rows
+
+    rows = once(benchmark, run)
+
+    print()
+    print(f"{'kernel':<10} {'T':>3} {'dT':>3} {'buffers':>8} "
+          f"{'MaxLive':>8} {'registers':>10}")
+    for name, t_period, delta, buffers, live, regs in rows:
+        print(f"{name:<10} {t_period:>3} {delta:>3} {buffers:>8} "
+              f"{live:>8} {regs:>10}")
+
+    # Pressure is non-increasing in T per kernel (minimum buffers can
+    # only improve as the period relaxes).
+    by_kernel = {}
+    for name, t_period, _, buffers, live, regs in rows:
+        by_kernel.setdefault(name, []).append((t_period, buffers, regs))
+    for name, series in by_kernel.items():
+        series.sort()
+        for (_, b0, _), (_, b1, _) in zip(series, series[1:]):
+            assert b1 <= b0, name
+        # Registers always cover MaxLive (validated inside allocation).
+    assert len(by_kernel) == len(KERNEL_NAMES)

@@ -1,0 +1,26 @@
+"""E1 / Figure 1: the motivating DDG, machine and lower bounds."""
+
+from conftest import once
+
+from repro.core import lower_bounds
+from repro.ddg.kernels import motivating_example
+from repro.ddg.render import ascii_ddg, to_dot
+
+
+def test_fig1_motivating_ddg(benchmark, motivating):
+    def build():
+        ddg = motivating_example()
+        return ddg, lower_bounds(ddg, motivating)
+
+    ddg, bounds = once(benchmark, build)
+
+    print()
+    print(ascii_ddg(ddg, motivating))
+    print(motivating.render())
+    print(motivating.reservation_for("fadd").render("FP reservation table"))
+    print(f"T_dep={bounds.t_dep}  T_res={bounds.t_res}  T_lb={bounds.t_lb}")
+
+    # Paper's quoted values.
+    assert bounds.t_dep == 2
+    assert bounds.t_lb == 3
+    assert to_dot(ddg).count("->") == 6

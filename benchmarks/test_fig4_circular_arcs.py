@@ -1,0 +1,47 @@
+"""E6 / Figure 4: the circular-arc coloring instance behind the mapping.
+
+Prints each FP op's occupied (stage, slot) cells around the period circle
+and the overlap edges; verifies the ILP's coloring is a proper coloring
+of the overlap graph and that at T=3 the overlap graph needs more colors
+than units exist (why T=3 dies).
+"""
+
+from conftest import once
+
+from repro.core import schedule_loop
+from repro.core.schedule import Schedule
+from repro.ddg.kernels import motivating_example
+from repro.experiments.motivating import (
+    circular_arcs,
+    overlap_edges,
+    render_arcs,
+)
+
+
+def test_fig4_circular_arcs(benchmark, motivating):
+    result = once(
+        benchmark,
+        lambda: schedule_loop(
+            motivating_example(), motivating, objective="min_sum_t"
+        ),
+    )
+    schedule = result.schedule
+
+    print()
+    print(render_arcs(schedule, "FP"))
+
+    arcs = circular_arcs(schedule, "FP")
+    assert set(arcs) == {2, 3, 4}
+    for i, j in overlap_edges(schedule, "FP"):
+        assert schedule.colors[i] != schedule.colors[j]
+
+    # At T=3, any offsets make the three FP arcs pairwise overlap on
+    # stage 3 (arcs of length 2 in Z_3): a 3-clique on 2 units.
+    t3 = Schedule(
+        ddg=schedule.ddg, machine=motivating, t_period=3,
+        starts=[0, 1, 3, 5, 7, 11], colors={},
+    )
+    edges = overlap_edges(t3, "FP")
+    assert len(edges) == 3  # triangle
+    print(f"at T=3 the FP overlap graph is a triangle: {edges} "
+          "-> needs 3 units, only 2 exist")

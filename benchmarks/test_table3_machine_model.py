@@ -1,0 +1,31 @@
+"""E7 / Table 3: the PowerPC-604-like machine model used in §6.
+
+Prints the full FU/latency table and checks the structural facts the
+paper's evaluation relies on (blocking divides, pipelined FP adds, two
+single-cycle integer units).
+"""
+
+from conftest import once
+
+from repro.machine.presets import powerpc604
+
+
+def test_table3_machine_model(benchmark):
+    machine = once(benchmark, powerpc604)
+
+    print()
+    print(machine.render())
+    print()
+    for cls_name in sorted(machine.op_classes):
+        table = machine.reservation_for(cls_name)
+        kind = "clean" if table.is_clean else "BLOCKING"
+        print(f"  {cls_name:<8} lat {machine.latency(cls_name):>2}  "
+              f"span {table.length:>2}  {kind}")
+
+    assert machine.fu_type("SCIU").count == 2
+    assert machine.reservation_for("fadd").is_clean
+    assert not machine.reservation_for("fdiv").is_clean
+    assert machine.reservation_for("div").forbidden_latencies() == set(
+        range(1, 20)
+    )
+    machine.validate()

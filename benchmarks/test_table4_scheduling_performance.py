@@ -1,0 +1,43 @@
+"""E8 / Table 4: scheduling performance over the loop corpus.
+
+Paper (766 loops scheduled within budget, of 1066):
+
+    735 at T = T_lb (mean 6 nodes), 20 at T_lb+2 (16), 11 at T_lb+4 (17)
+
+i.e. ~96% of scheduled loops achieve the lower bound, and the loops that
+miss it are markedly larger.  This bench reproduces the buckets on the
+synthetic corpus (set REPRO_FULL=1 for all 1066 loops).
+"""
+
+from conftest import FULL, once
+
+from repro.experiments.table4 import PAPER_TABLE4, run_table4
+
+
+def test_table4_scheduling_performance(benchmark, corpus, ppc604):
+    table = once(
+        benchmark,
+        lambda: run_table4(
+            corpus, ppc604,
+            time_limit_per_t=10.0 if FULL else 5.0,
+        ),
+    )
+
+    print()
+    print(table.render())
+    print()
+    print("paper's Table 4 (for reference):")
+    for delta, (loops, nodes) in sorted(PAPER_TABLE4.items()):
+        label = "T = T_lb" if delta == 0 else f"T = T_lb + {delta}"
+        print(f"{loops:>8}  {label:<22}  {nodes}")
+
+    # Shape claim: the overwhelming majority of scheduled loops achieve
+    # the lower bound (paper: 96%; "the fraction where T_lb was not
+    # tight is similar to what others have found [13, 16]").
+    assert table.fraction_at_t_lb >= 0.85
+    # Every off-bound loop was *proven* off: all smaller admissible
+    # periods returned infeasible, never a budget timeout (this is
+    # where we differ from 1995 — the modern solver always finishes).
+    for result in table.results:
+        if result.delta_from_lb and result.delta_from_lb > 0:
+            assert result.is_rate_optimal_proven, result.loop_name

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Run the paper-style evaluation on a synthetic corpus.
+
+Generates a reproducible loop corpus on the PowerPC-604-like model, runs
+the rate-optimal scheduler over it, and prints the Table 4 buckets
+(loops at T_lb, T_lb+1, ...) and the Table 5 solver-effort summary.
+
+Run:  python examples/benchmark_suite.py [count]
+(default 150 loops; the paper used 1066 — pass 1066 to match)
+"""
+
+import sys
+
+from repro import generators, presets
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    machine = presets.powerpc604()
+    corpus = generators.suite(count, machine, seed=604)
+    sizes = [g.num_ops for g in corpus]
+    print(f"corpus: {count} loops, {min(sizes)}-{max(sizes)} ops "
+          f"(mean {sum(sizes) / count:.1f})")
+    print()
+
+    table4 = run_table4(corpus, machine, time_limit_per_t=10.0)
+    print(table4.render())
+    print()
+    print(run_table5(table4.results).render())
+
+
+if __name__ == "__main__":
+    main()

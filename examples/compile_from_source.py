@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Compile loop source code to a rate-optimal pipelined kernel.
+
+Walks the whole pipeline the paper's testbed implied: parse a C-like
+loop body, build the dependence graph (scalar def-use + affine memory
+dependence analysis), compute lower bounds, solve the unified
+scheduling+mapping ILP, and emit the pipelined assembly.
+
+Run:  python examples/compile_from_source.py
+"""
+
+from repro import presets, schedule_loop, verify_schedule
+from repro.codegen import emit_assembly
+from repro.ddg.render import ascii_ddg
+from repro.frontend import compile_loop
+from repro.registers import max_live, total_buffers
+
+SOURCES = {
+    "sdot": """
+        for i:
+            s = s + x[i] * y[i]
+    """,
+    "smooth": """
+        for i:
+            d[i+1] = (d[i] + e[i]) * 0.5      # memory-carried recurrence
+    """,
+    "sweep": """
+        for i:
+            t = a[i] - b[i-2]
+            u = t / 3
+            c[i] = u + c[i-1]                 # second recurrence via memory
+    """,
+}
+
+
+def main() -> None:
+    machine = presets.powerpc604()
+    for name, source in SOURCES.items():
+        print("=" * 64)
+        print(f"loop {name!r}:")
+        print("\n".join(f"    {line.strip()}" for line in
+                        source.strip().splitlines()))
+        ddg = compile_loop(source, name=name)
+        print()
+        print(ascii_ddg(ddg, machine))
+        result = schedule_loop(ddg, machine, objective="min_sum_t")
+        print()
+        print(result.summary())
+        schedule = result.schedule
+        verify_schedule(schedule)
+        print(f"buffers={total_buffers(schedule)}  "
+              f"MaxLive={max_live(schedule)}")
+        print()
+        print(emit_assembly(schedule))
+        print()
+
+
+if __name__ == "__main__":
+    main()

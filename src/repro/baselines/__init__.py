@@ -1,0 +1,26 @@
+"""Heuristic comparators.
+
+The paper positions its ILP against the heuristic software-pipelining
+line ([7, 13, 22, 26]); its earlier work [9] compared three heuristics
+against the clean-pipeline ILP.  This package provides:
+
+* :mod:`repro.baselines.modulo` — iterative modulo scheduling (Rau [22])
+  extended with reservation-table hazards and integrated FU binding
+  (heuristic scheduling *and* mapping);
+* :mod:`repro.baselines.slack` — slack-based lifetime-sensitive modulo
+  scheduling (Huff [13]), bidirectional placement;
+* :mod:`repro.baselines.listsched` — acyclic list scheduling of a single
+  iteration (no software pipelining), the "sequential loop" baseline.
+"""
+
+from repro.baselines.listsched import ListScheduleResult, list_schedule
+from repro.baselines.modulo import ModuloScheduleResult, iterative_modulo_schedule
+from repro.baselines.slack import slack_modulo_schedule
+
+__all__ = [
+    "ListScheduleResult",
+    "ModuloScheduleResult",
+    "iterative_modulo_schedule",
+    "list_schedule",
+    "slack_modulo_schedule",
+]

@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+    schedule     schedule one loop (named kernel or DDG text file)
+    motivating   print the paper's §2 artifacts (Figures 1-4, Tables 1-2)
+    suite        run a synthetic corpus and print Table 4-style buckets
+    list         show available kernels and machine presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import iterative_modulo_schedule, list_schedule
+from repro.codegen import emit_assembly, flat_listing
+from repro.core import lower_bounds, schedule_loop
+from repro.ddg import builders, generators, kernels, render
+from repro.machine import presets
+
+
+def _load_ddg(args):
+    if args.kernel:
+        return kernels.by_name(args.kernel)
+    if args.ddg:
+        with open(args.ddg, encoding="utf-8") as handle:
+            return builders.parse_ddg(handle.read())
+    if getattr(args, "source", None):
+        from repro.frontend import OpClassMap, compile_loop
+
+        classes = None
+        if getattr(args, "classes", None):
+            overrides = {}
+            for pair in args.classes.split(","):
+                key, _, value = pair.partition("=")
+                if not value:
+                    raise SystemExit(
+                        f"--classes expects op=class pairs, got {pair!r}"
+                    )
+                overrides[key.strip()] = value.strip()
+            classes = OpClassMap(**overrides)
+        with open(args.source, encoding="utf-8") as handle:
+            return compile_loop(handle.read(), name=args.source,
+                                classes=classes)
+    raise SystemExit("one of --kernel, --ddg or --source is required")
+
+
+def _machine_of(args):
+    if getattr(args, "machine_file", None):
+        from repro.machine.io import load_machine
+
+        return load_machine(args.machine_file)
+    return presets.by_name(args.machine)
+
+
+def _cmd_schedule(args) -> int:
+    machine = _machine_of(args)
+    ddg = _load_ddg(args)
+    ddg.validate_against(machine)
+    print(render.ascii_ddg(ddg, machine))
+    bounds = lower_bounds(ddg, machine)
+    print(f"T_dep={bounds.t_dep}  T_res={bounds.t_res}  T_lb={bounds.t_lb}")
+    result = schedule_loop(
+        ddg,
+        machine,
+        backend=args.backend,
+        objective=args.objective,
+        time_limit_per_t=args.time_limit,
+        max_extra=args.max_extra,
+    )
+    print(result.summary())
+    if args.explain:
+        from repro.core.explain import explain_infeasibility
+
+        for attempt in result.attempts:
+            if attempt.status in ("optimal", "feasible"):
+                continue
+            diagnosis = explain_infeasibility(
+                ddg, machine, attempt.t_period, backend=args.backend,
+                time_limit=args.time_limit,
+            )
+            print(diagnosis.render(ddg))
+    if result.schedule is None:
+        print("no schedule found within the budget")
+        return 1
+    schedule = result.schedule
+    print()
+    print(schedule.render_tka())
+    print()
+    print(schedule.render_kernel())
+    if args.assembly:
+        print()
+        print(emit_assembly(schedule))
+    if args.listing:
+        print()
+        print(flat_listing(schedule, iterations=args.listing))
+    if args.registers:
+        from repro.registers import max_live, total_buffers, unroll_factor
+
+        print()
+        print(
+            f"register pressure: buffers={total_buffers(schedule)} "
+            f"(Ning-Gao), MaxLive={max_live(schedule)}, "
+            f"MVE unroll={unroll_factor(schedule)}"
+        )
+    if args.export_lp:
+        from repro.core import Formulation
+        from repro.ilp.lp_format import write_lp
+
+        formulation = Formulation(ddg, machine, schedule.t_period)
+        formulation.build()
+        with open(args.export_lp, "w", encoding="utf-8") as handle:
+            handle.write(write_lp(formulation.model))
+        print(f"wrote ILP at T={schedule.t_period} to {args.export_lp}")
+    if args.compare_heuristic:
+        heuristic = iterative_modulo_schedule(ddg, machine)
+        sequential = list_schedule(ddg, machine)
+        print()
+        print(
+            f"heuristic (iterative modulo): II="
+            f"{heuristic.achieved_ii}  |  ILP: T={schedule.t_period}  |  "
+            f"no pipelining: II={sequential.effective_ii}"
+        )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.machine.collision import analyze
+
+    machine = presets.by_name(args.machine)
+    print(machine.render())
+    print()
+    for fu in machine.fu_types.values():
+        report = analyze(fu.table)
+        print(f"FU {fu.name} (x{fu.count}):")
+        print(f"  forbidden latencies: {report['forbidden_latencies']}")
+        print(f"  collision vector:    {report['initial_collision_vector']}")
+        print(f"  greedy cycle:        {report['greedy_cycle']} "
+              f"(avg {report['greedy_average']})")
+        print(f"  MAL:                 {report['mal']}")
+        print(f"  clean:               {report['is_clean']}")
+    return 0
+
+
+def _cmd_motivating(args) -> int:
+    from repro.experiments import motivating as motivating_experiment
+
+    print(motivating_experiment.report())
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.experiments.table4 import run_table4
+
+    machine = presets.by_name(args.machine)
+    loops = generators.suite(args.count, machine, seed=args.seed)
+    table = run_table4(
+        loops,
+        machine,
+        backend=args.backend,
+        time_limit_per_t=args.time_limit,
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("kernels: " + ", ".join(sorted(kernels.KERNELS)))
+    print("machines: " + ", ".join(sorted(presets.PRESETS)))
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    """Dump a reproducible synthetic corpus as .ddg text files."""
+    import os
+
+    machine = presets.by_name(args.machine)
+    loops = generators.suite(args.count, machine, seed=args.seed)
+    os.makedirs(args.out, exist_ok=True)
+    sizes = []
+    for ddg in loops:
+        path = os.path.join(args.out, f"{ddg.name}.ddg")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(builders.serialize_ddg(ddg))
+        sizes.append(ddg.num_ops)
+    print(
+        f"wrote {len(loops)} loops to {args.out} "
+        f"(sizes {min(sizes)}-{max(sizes)}, mean "
+        f"{sum(sizes) / len(sizes):.1f}; seed {args.seed}, "
+        f"machine {args.machine})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rate-optimal software pipelining with structural "
+        "hazards (Altman/Govindarajan/Gao, PLDI 1995).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_schedule = sub.add_parser("schedule", help="schedule one loop")
+    p_schedule.add_argument("--kernel", help="named kernel (see 'list')")
+    p_schedule.add_argument("--ddg", help="path to a DDG text file")
+    p_schedule.add_argument(
+        "--source", help="path to a loop-DSL source file (see repro.frontend)"
+    )
+    p_schedule.add_argument(
+        "--classes", metavar="MAP",
+        help="operator->op-class overrides for --source, e.g. "
+             "'add=mac,mul=mac,div=div'",
+    )
+    p_schedule.add_argument("--machine", default="motivating")
+    p_schedule.add_argument("--machine-file", metavar="PATH",
+                            help="machine description file "
+                                 "(overrides --machine)")
+    p_schedule.add_argument("--backend", default="auto",
+                            choices=("auto", "highs", "bnb"))
+    p_schedule.add_argument("--objective", default="min_sum_t",
+                            choices=("feasibility", "min_sum_t", "min_fu",
+                                     "min_buffers", "min_lifetimes"))
+    p_schedule.add_argument("--time-limit", type=float, default=30.0)
+    p_schedule.add_argument("--max-extra", type=int, default=10)
+    p_schedule.add_argument("--assembly", action="store_true",
+                            help="emit PROLOG/KERNEL/EPILOG assembly")
+    p_schedule.add_argument("--listing", type=int, metavar="ITERS",
+                            help="emit an overlapped-iteration listing")
+    p_schedule.add_argument("--registers", action="store_true",
+                            help="report buffer/MaxLive pressure")
+    p_schedule.add_argument("--explain", action="store_true",
+                            help="diagnose why smaller periods failed")
+    p_schedule.add_argument("--export-lp", metavar="PATH",
+                            help="write the ILP in CPLEX LP format")
+    p_schedule.add_argument("--compare-heuristic", action="store_true")
+    p_schedule.set_defaults(func=_cmd_schedule)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="pipeline-hazard analysis of a machine's FUs"
+    )
+    p_analyze.add_argument("--machine", default="motivating")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_motivating = sub.add_parser(
+        "motivating", help="print the paper's Section 2 artifacts"
+    )
+    p_motivating.set_defaults(func=_cmd_motivating)
+
+    p_suite = sub.add_parser("suite", help="run a synthetic corpus")
+    p_suite.add_argument("--count", type=int, default=100)
+    p_suite.add_argument("--seed", type=int, default=604)
+    p_suite.add_argument("--machine", default="powerpc604")
+    p_suite.add_argument("--backend", default="auto")
+    p_suite.add_argument("--time-limit", type=float, default=10.0)
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_list = sub.add_parser("list", help="list kernels and machines")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="dump a synthetic loop corpus as .ddg files"
+    )
+    p_corpus.add_argument("--out", required=True, metavar="DIR")
+    p_corpus.add_argument("--count", type=int, default=100)
+    p_corpus.add_argument("--seed", type=int, default=604)
+    p_corpus.add_argument("--machine", default="powerpc604")
+    p_corpus.set_defaults(func=_cmd_corpus)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

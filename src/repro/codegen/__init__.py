@@ -1,0 +1,10 @@
+"""Symbolic code emission: prolog / repetitive pattern / epilog.
+
+Turns a :class:`repro.core.Schedule` into the overlapped-iteration
+listings of the paper's Tables 1–2 and into a symbolic assembly form with
+PROLOG / KERNEL / EPILOG sections.
+"""
+
+from repro.codegen.emit import emit_assembly, flat_listing, pipeline_sections
+
+__all__ = ["emit_assembly", "flat_listing", "pipeline_sections"]

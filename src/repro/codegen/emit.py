@@ -1,0 +1,168 @@
+"""Emission of overlapped-iteration listings and symbolic assembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.schedule import Schedule
+
+
+def flat_listing(schedule: Schedule, iterations: int = 4) -> str:
+    """Table 1/2-style listing: rows = cycles, columns = iterations.
+
+    Cell ``(cycle, j)`` holds the ops of iteration ``j`` issued at that
+    absolute cycle.
+    """
+    t_period = schedule.t_period
+    horizon = (iterations - 1) * t_period + schedule.span
+    grid: Dict[Tuple[int, int], List[str]] = {}
+    for j in range(iterations):
+        for op in schedule.ddg.ops:
+            cycle = j * t_period + schedule.starts[op.index]
+            grid.setdefault((cycle, j), []).append(op.name)
+
+    col_width = max(
+        [8] + [len(" ".join(v)) + 2 for v in grid.values()]
+    )
+    header = "Time | " + "".join(
+        f"Iter {j:<{col_width - 5}}" for j in range(iterations)
+    )
+    lines = [header, "-" * len(header)]
+    for cycle in range(horizon):
+        cells = []
+        any_content = False
+        for j in range(iterations):
+            ops = grid.get((cycle, j))
+            text = " ".join(ops) if ops else ""
+            if ops:
+                any_content = True
+            cells.append(f"{text:<{col_width}}")
+        if any_content:
+            lines.append(f"{cycle:>4} | " + "".join(cells))
+    return "\n".join(lines)
+
+
+@dataclass
+class PipelineSections:
+    """Cycle ranges of the three phases of the pipelined loop."""
+
+    prolog_cycles: Tuple[int, int]   # [start, end)
+    kernel_cycles: Tuple[int, int]   # one period
+    epilog_span: int                 # drain length after the last kernel
+
+    @property
+    def prolog_length(self) -> int:
+        return self.prolog_cycles[1] - self.prolog_cycles[0]
+
+
+def pipeline_sections(schedule: Schedule) -> PipelineSections:
+    """Split the steady-state execution into prolog / kernel / epilog.
+
+    With ``S = max(K) + 1`` software stages, the kernel (repetitive
+    pattern) is reached once ``S - 1`` iterations are in flight: cycles
+    ``[(S-1)*T, S*T)``; everything before is prolog, and the drain of the
+    final ``S - 1`` iterations is the epilog.
+    """
+    stages = schedule.num_software_stages
+    t_period = schedule.t_period
+    kernel_start = (stages - 1) * t_period
+    epilog = max(0, schedule.span - t_period)
+    return PipelineSections(
+        prolog_cycles=(0, kernel_start),
+        kernel_cycles=(kernel_start, kernel_start + t_period),
+        epilog_span=epilog,
+    )
+
+
+def emit_assembly(
+    schedule: Schedule,
+    trip_count_symbol: str = "N",
+    allocation=None,
+) -> str:
+    """Symbolic assembly with PROLOG / KERNEL / EPILOG sections.
+
+    Ops are annotated ``[j+k]`` with the iteration (relative to the
+    kernel's newest in-flight iteration) they belong to, and with the
+    physical FU carrying them.
+
+    With ``allocation`` (a :class:`repro.registers.RegisterAllocation`)
+    destination registers are annotated and the kernel is emitted
+    modulo-variable-expanded: ``allocation.unroll`` copies, each with
+    its own register names, exactly what a rotating-register-free code
+    generator must produce.
+    """
+    sections = pipeline_sections(schedule)
+    stages = schedule.num_software_stages
+    t_period = schedule.t_period
+    lines = [
+        f"; loop {schedule.ddg.name}: T={t_period}, "
+        f"{stages} software stage(s), trip count {trip_count_symbol}",
+    ]
+    producers = set()
+    if allocation is not None:
+        producers = {value.producer for value in allocation.ranges}
+        lines.append(
+            f"; {allocation.num_registers} register(s), kernel "
+            f"unrolled x{allocation.unroll} (modulo variable expansion)"
+        )
+
+    def dest(op_index: int, copy: int) -> str:
+        if allocation is None or op_index not in producers:
+            return ""
+        return f" ->{allocation.register_name(op_index, copy)}"
+
+    def ops_at(cycle: int, max_iteration: int) -> List[str]:
+        out = []
+        for j in range(max_iteration + 1):
+            for op in schedule.ddg.ops:
+                if j * t_period + schedule.starts[op.index] == cycle:
+                    copy = 0 if allocation is None else (
+                        j % allocation.unroll
+                    )
+                    out.append(
+                        f"{op.name}[j+{j}] "
+                        f"@{schedule.fu_label(op.index)}"
+                        f"{dest(op.index, copy)}"
+                    )
+        return out
+
+    lines.append("PROLOG:")
+    for cycle in range(*sections.prolog_cycles):
+        issued = ops_at(cycle, stages - 1)
+        lines.append(f"  {cycle:>3}: " + ("; ".join(issued) or "nop"))
+
+    unroll = 1 if allocation is None else allocation.unroll
+    repeat = f"({trip_count_symbol} - {stages - 1}) / {unroll}" if (
+        unroll > 1
+    ) else f"{trip_count_symbol} - {stages - 1}"
+    lines.append(f"KERNEL:  ; repeat {repeat} times")
+    for copy in range(unroll):
+        if unroll > 1:
+            lines.append(f" .copy {copy}:")
+        for slot, entries in enumerate(schedule.kernel_rows()):
+            rendered = []
+            for entry, op in _entries_with_ops(schedule, slot):
+                stage_tag = entry.replace("(+", "[j-").replace(")", "]")
+                rendered.append(stage_tag + dest(op, copy))
+            text = "; ".join(rendered) or "nop"
+            lines.append(f"  t={slot}: {text}")
+
+    lines.append("EPILOG:")
+    lines.append(
+        f"  ; drain {stages - 1} in-flight iteration(s), "
+        f"{sections.epilog_span} cycle(s)"
+    )
+    return "\n".join(lines)
+
+
+def _entries_with_ops(schedule: Schedule, slot: int):
+    """Kernel-row entries at ``slot`` paired with their op indices."""
+    pairs = []
+    for op in schedule.ddg.ops:
+        if schedule.starts[op.index] % schedule.t_period != slot:
+            continue
+        stage = schedule.starts[op.index] // schedule.t_period
+        entry = f"{op.name}/{schedule.fu_label(op.index)}(+{stage})"
+        pairs.append((entry, op.index))
+    return pairs

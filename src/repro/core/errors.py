@@ -1,0 +1,24 @@
+"""Errors raised by the core scheduling package."""
+
+
+class CoreError(Exception):
+    """Base class for scheduling errors."""
+
+
+class ModuloInfeasibleError(CoreError):
+    """No fixed-FU schedule can exist at this T: some reservation table
+    uses a stage at two cycles equal mod T (the paper's §3 modulo
+    scheduling constraint)."""
+
+
+class SchedulingError(CoreError):
+    """The driver could not produce a schedule (bounds, budget, ...)."""
+
+
+class VerificationError(CoreError):
+    """An allegedly valid schedule failed independent verification."""
+
+
+class MappingError(CoreError):
+    """No fixed instruction-to-FU assignment exists for the given start
+    times (the phenomenon motivating the paper's §4.2 coloring)."""

@@ -1,0 +1,413 @@
+"""The unified ILP formulation (paper §4–§5).
+
+Given a loop DDG, a machine and a candidate period ``T``, builds one
+integer linear program whose feasible points are exactly the valid
+software-pipelined schedules *with a fixed instruction-to-FU mapping*:
+
+Variables
+    * ``a[t][i]``  (0-1)  — instruction ``i`` starts at pattern slot ``t``
+      (the A matrix of Eq. 1; captures the modulo reservation table).
+    * ``k[i]``     (int)  — the stage index of Eq. 1; the start time is
+      the *expression* ``t_i = T*k_i + sum_t t * a[t][i]`` (Eq. 7/22
+      substituted directly, which saves one variable per op).
+    * ``c[i]``     (int in [1, R_r]) — the color/physical FU of ``i``
+      (§4.2), created only for FU types where mapping is non-trivial.
+    * ``w[i][j]``  (0-1) — Hu's [12] sign variables linearizing
+      ``|c_i - c_j| >= 1``.
+    * ``o[i][j]``  (0-1) — overlap indicators derived from stage usage.
+
+Constraints
+    * assignment:      ``sum_t a[t][i] == 1``                      (Eq. 9/23)
+    * dependences:     ``t_j - t_i >= d_i - T*m_ij``               (Eq. 4/8)
+    * stage capacity:  ``sum_i U_s[t][i] <= R_r``                  (Eq. 5/24)
+      where ``U_s[t][i] = sum_l rho_r[s][l] * a[(t-l) mod T][i]``  (Eq. 25)
+      — §4.1's cyclic usage for non-pipelined units is the special case
+      of a single-stage all-ones reservation table.
+    * coloring (§4.2/§5): overlap on any stage of a shared FU type forces
+      different colors::
+
+          o_ij >= U_s[t][i] + U_s[t][j] - 1        for all s, t
+          c_i - c_j >= 1 - R*(1 - w_ij) - R*(1 - o_ij)
+          c_j - c_i >= 1 - R*w_ij       - R*(1 - o_ij)
+
+      (Theorem 4.1: two ops get distinct colors iff they overlap — here
+      "iff" is relaxed to "if", which preserves exactly the same feasible
+      schedules since extra distinctness never helps the solver.)
+
+Objectives (selectable)
+    * ``feasibility``  — pure satisfiability (rate-optimality comes from
+      the driver sweeping T upward from T_lb);
+    * ``min_sum_t``    — compact schedules (short prologs), the guiding
+      heuristic mentioned in the paper;
+    * ``min_fu``       — ``min sum_r C_r * R_r`` with FU counts as
+      decision variables (Eq. 5 context);
+    * ``min_buffers``  — Ning–Gao [18]-style buffer minimization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bounds import modulo_feasible_t
+from repro.core.errors import CoreError, MappingError, ModuloInfeasibleError
+from repro.core.schedule import Schedule, greedy_mapping
+from repro.ddg.graph import Ddg
+from repro.ilp import LinExpr, Model, Solution, Variable, lin_sum
+from repro.machine import Machine
+
+OBJECTIVES = (
+    "feasibility", "min_sum_t", "min_fu", "min_buffers", "min_lifetimes",
+)
+
+
+@dataclass
+class FormulationOptions:
+    """Knobs for :class:`Formulation`.
+
+    ``mapping=None`` resolves automatically: coloring constraints are
+    emitted only for FU types that need them (count >= 2 and at least one
+    unclean reservation table in use).  Setting ``mapping=False`` forces
+    the *counting-only* relaxation of §4.1 (used by experiment E11 to
+    demonstrate that aggregate feasibility does not imply mappability);
+    ``mapping=True`` forces coloring for every multi-copy type.
+    """
+
+    mapping: Optional[bool] = None
+    objective: str = "feasibility"
+    k_max: Optional[int] = None
+    symmetry_breaking: bool = True
+    enforce_modulo_constraint: bool = True
+    fu_costs: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise CoreError(
+                f"unknown objective {self.objective!r}; pick from {OBJECTIVES}"
+            )
+
+
+class Formulation:
+    """One ILP instance for a (ddg, machine, T) triple."""
+
+    def __init__(
+        self,
+        ddg: Ddg,
+        machine: Machine,
+        t_period: int,
+        options: Optional[FormulationOptions] = None,
+    ) -> None:
+        if t_period < 1:
+            raise CoreError(f"period must be >= 1, got {t_period}")
+        self.ddg = ddg
+        self.machine = machine
+        self.t_period = t_period
+        self.options = options or FormulationOptions()
+        ddg.validate_against(machine)
+        if self.options.enforce_modulo_constraint and not modulo_feasible_t(
+            ddg, machine, t_period
+        ):
+            raise ModuloInfeasibleError(
+                f"T={t_period} violates the modulo scheduling constraint "
+                f"for loop {ddg.name!r}"
+            )
+        self._built = False
+        self.model: Model = Model(f"{ddg.name}@T={t_period}")
+        self.a: List[List[Variable]] = []        # a[t][i]
+        self.k: List[Variable] = []
+        self.t_expr: List[LinExpr] = []
+        self.color: Dict[int, Variable] = {}
+        self.fu_count_var: Dict[str, Variable] = {}
+        self.colored_types: List[str] = []
+
+    # -- structure helpers --------------------------------------------------------
+    def _needs_coloring(self, fu_name: str) -> bool:
+        """Whether mapping must be decided by the ILP for this FU type."""
+        fu = self.machine.fu_type(fu_name)
+        if self.options.mapping is False:
+            return False
+        ops_on = [
+            op for op in self.ddg.ops
+            if self.machine.op_class(op.op_class).fu_type == fu_name
+        ]
+        if len(ops_on) < 2 or fu.count < 2:
+            # count == 1: aggregate capacity 1 already forbids any overlap,
+            # which *is* the mapping constraint.
+            return False
+        if self.options.mapping is True:
+            return True
+        return any(
+            not self.machine.reservation_for(op.op_class).is_clean
+            for op in ops_on
+        )
+
+    def _ops_by_type(self) -> Dict[str, List[int]]:
+        groups: Dict[str, List[int]] = {}
+        for op in self.ddg.ops:
+            fu = self.machine.op_class(op.op_class).fu_type
+            groups.setdefault(fu, []).append(op.index)
+        return groups
+
+    def _default_k_max(self) -> int:
+        total_latency = sum(self.ddg.latencies(self.machine))
+        n = self.ddg.num_ops
+        horizon = (self.t_period - 1) + total_latency + (n - 1) * (self.t_period - 1)
+        return max(1, math.ceil(horizon / self.t_period) + 1)
+
+    # -- build ----------------------------------------------------------------------
+    def build(self) -> Model:
+        """Construct the model (idempotent)."""
+        if self._built:
+            return self.model
+        self._built = True
+        t_period = self.t_period
+        machine = self.machine
+        ddg = self.ddg
+        model = self.model
+        n = ddg.num_ops
+        k_max = self.options.k_max or self._default_k_max()
+
+        # Variables: A matrix and K vector.
+        self.a = [
+            [model.add_binary(f"a[{t},{i}]") for i in range(n)]
+            for t in range(t_period)
+        ]
+        self.k = [
+            model.add_var(f"k[{i}]", lb=0, ub=k_max, integer=True)
+            for i in range(n)
+        ]
+        # Start-time expressions t_i = T*k_i + sum_t t*a[t][i]   (Eq. 7/22)
+        self.t_expr = [
+            lin_sum(
+                [self.k[i] * t_period]
+                + [self.a[t][i] * t for t in range(1, t_period)]
+            )
+            for i in range(n)
+        ]
+
+        # Assignment: each op starts at exactly one slot.   (Eq. 9/23)
+        for i in range(n):
+            model.add(
+                lin_sum(self.a[t][i] for t in range(t_period)) == 1,
+                name=f"assign[{i}]",
+            )
+
+        # Dependences: t_j - t_i >= d_i - T*m_ij.            (Eq. 4/8)
+        separations = ddg.dep_latencies(machine)
+        for e, dep in enumerate(ddg.deps):
+            rhs = separations[e] - t_period * dep.distance
+            model.add(
+                self.t_expr[dep.dst] - self.t_expr[dep.src] >= rhs,
+                name=f"dep[{e}]",
+            )
+
+        usage = self._usage_expressions()
+        self._add_capacity_rows(usage)
+        self._add_coloring(usage)
+        self._set_objective()
+        return model
+
+    def _usage_expressions(self) -> Dict[Tuple[int, int, int], LinExpr]:
+        """``U_s[t][i]`` per Eq. 25, keyed by (op, stage, slot).
+
+        Only (stage, slot) pairs the op can actually occupy are present.
+        """
+        t_period = self.t_period
+        usage: Dict[Tuple[int, int, int], LinExpr] = {}
+        for op in self.ddg.ops:
+            table = self.machine.reservation_for(op.op_class)
+            for stage in range(table.num_stages):
+                cycles = table.stage_cycles(stage)
+                if not cycles:
+                    continue
+                for t in range(t_period):
+                    terms = [self.a[(t - l) % t_period][op.index] for l in cycles]
+                    usage[(op.index, stage, t)] = lin_sum(terms)
+        return usage
+
+    def _add_capacity_rows(
+        self, usage: Dict[Tuple[int, int, int], LinExpr]
+    ) -> None:
+        """Aggregate stage-capacity constraints (Eq. 5 / 24)."""
+        t_period = self.t_period
+        for fu_name, op_indices in self._ops_by_type().items():
+            fu = self.machine.fu_type(fu_name)
+            capacity: object = fu.count
+            if self.options.objective == "min_fu":
+                capacity = self._count_var(fu_name)
+            stages = self.machine.stage_count(fu_name)
+            for stage in range(stages):
+                contributors = [
+                    i for i in op_indices if (i, stage, 0) in usage
+                ]
+                if isinstance(capacity, int) and len(contributors) <= capacity:
+                    continue  # row can never bind
+                if not contributors:
+                    continue
+                for t in range(t_period):
+                    total = lin_sum(
+                        usage[(i, stage, t)] for i in contributors
+                    )
+                    self.model.add(
+                        total <= capacity,
+                        name=f"cap[{fu_name},s{stage},t{t}]",
+                    )
+
+    def _count_var(self, fu_name: str) -> Variable:
+        if fu_name not in self.fu_count_var:
+            fu = self.machine.fu_type(fu_name)
+            self.fu_count_var[fu_name] = self.model.add_var(
+                f"R[{fu_name}]", lb=1, ub=fu.count, integer=True
+            )
+        return self.fu_count_var[fu_name]
+
+    def _add_coloring(
+        self, usage: Dict[Tuple[int, int, int], LinExpr]
+    ) -> None:
+        """§4.2 / §5 mapping constraints via circular-arc coloring."""
+        t_period = self.t_period
+        model = self.model
+        for fu_name, op_indices in self._ops_by_type().items():
+            if not self._needs_coloring(fu_name):
+                continue
+            self.colored_types.append(fu_name)
+            fu = self.machine.fu_type(fu_name)
+            big_m = fu.count
+            color_cap: object = fu.count
+            if self.options.objective == "min_fu":
+                color_cap = self._count_var(fu_name)
+            for i in op_indices:
+                self.color[i] = model.add_var(
+                    f"c[{i}]", lb=1, ub=fu.count, integer=True
+                )
+                if not isinstance(color_cap, int):
+                    model.add(self.color[i] <= color_cap,
+                              name=f"cub[{i}]")
+            if self.options.symmetry_breaking:
+                first = op_indices[0]
+                model.add(self.color[first] <= 1, name=f"sym[{fu_name}]")
+
+            stages = self.machine.stage_count(fu_name)
+            for pos, i in enumerate(op_indices):
+                for j in op_indices[pos + 1:]:
+                    shared = [
+                        s for s in range(stages)
+                        if (i, s, 0) in usage and (j, s, 0) in usage
+                    ]
+                    if not shared:
+                        continue
+                    overlap = model.add_binary(f"o[{i},{j}]")
+                    for s in shared:
+                        for t in range(t_period):
+                            model.add(
+                                overlap
+                                >= usage[(i, s, t)] + usage[(j, s, t)] - 1,
+                                name=f"ov[{i},{j},s{s},t{t}]",
+                            )
+                    sign = model.add_binary(f"w[{i},{j}]")
+                    ci, cj = self.color[i], self.color[j]
+                    model.add(
+                        ci - cj
+                        >= 1 - big_m * (1 - sign) - big_m * (1 - overlap),
+                        name=f"hu1[{i},{j}]",
+                    )
+                    model.add(
+                        cj - ci >= 1 - big_m * sign - big_m * (1 - overlap),
+                        name=f"hu2[{i},{j}]",
+                    )
+
+    def _set_objective(self) -> None:
+        objective = self.options.objective
+        model = self.model
+        if objective == "feasibility":
+            model.minimize(LinExpr())
+        elif objective == "min_sum_t":
+            model.minimize(lin_sum(self.t_expr))
+        elif objective == "min_fu":
+            terms = []
+            for fu_name, op_indices in self._ops_by_type().items():
+                if not op_indices:
+                    continue
+                var = self._count_var(fu_name)
+                cost = self.options.fu_costs.get(
+                    fu_name, self.machine.fu_type(fu_name).cost
+                )
+                terms.append(var * cost)
+            model.minimize(lin_sum(terms))
+        elif objective == "min_buffers":
+            buffers = []
+            for e, dep in enumerate(self.ddg.deps):
+                buf = model.add_var(
+                    f"b[{e}]", lb=0, ub=None, integer=True
+                )
+                lifetime = (
+                    self.t_expr[dep.dst]
+                    - self.t_expr[dep.src]
+                    + self.t_period * dep.distance
+                )
+                model.add(buf * self.t_period >= lifetime, name=f"buf[{e}]")
+                buffers.append(buf)
+            model.minimize(lin_sum(buffers))
+        elif objective == "min_lifetimes":
+            # Sum of issue-to-use spans — the linear (un-ceiled) cousin
+            # of min_buffers; average register pressure, exactly.
+            model.minimize(lin_sum(
+                self.t_expr[dep.dst] - self.t_expr[dep.src]
+                + self.t_period * dep.distance
+                for dep in self.ddg.deps
+            ))
+
+    # -- solve / extract ----------------------------------------------------------------
+    def solve(
+        self,
+        backend: str = "auto",
+        time_limit: Optional[float] = None,
+    ) -> Solution:
+        self.build()
+        return self.model.solve(backend=backend, time_limit=time_limit)
+
+    def extract(self, solution: Solution, require_mapping: bool = True) -> Schedule:
+        """Turn a feasible solution into a :class:`Schedule`.
+
+        Ops whose FU types needed no coloring variables get a greedy
+        first-fit mapping (always possible for those types).  Under the
+        counting-only relaxation (``mapping=False``) the greedy mapper
+        may fail on unclean types; pass ``require_mapping=False`` to get
+        back a schedule with a partial mapping instead of the
+        :class:`MappingError` (experiment E11 relies on observing both).
+        """
+        if not self._built:
+            raise CoreError("build() (or solve()) must run before extract()")
+        if not solution.status.has_solution:
+            raise CoreError(
+                f"cannot extract a schedule from status {solution.status}"
+            )
+        starts = [
+            int(round(solution.value(self.t_expr[i])))
+            for i in range(self.ddg.num_ops)
+        ]
+        colors: Dict[int, int] = {
+            i: solution.int_value(var) - 1 for i, var in self.color.items()
+        }
+        try:
+            colors = greedy_mapping(
+                self.ddg, self.machine, starts, self.t_period, partial=colors
+            )
+        except MappingError:
+            if require_mapping:
+                raise
+        fu_counts = None
+        if self.fu_count_var:
+            fu_counts = {
+                name: solution.int_value(var)
+                for name, var in self.fu_count_var.items()
+            }
+        return Schedule(
+            ddg=self.ddg,
+            machine=self.machine,
+            t_period=self.t_period,
+            starts=starts,
+            colors=colors,
+            fu_counts_used=fu_counts,
+        )

@@ -1,0 +1,90 @@
+"""The linear periodic schedule form (paper §3, Eq. 1/7/22).
+
+A software-pipelined schedule assigns instruction ``i`` of iteration ``j``
+the start time ``j*T + t_i``.  The vector ``T = (t_0, ..., t_{N-1})``
+decomposes as
+
+    T = T_period * K + A' @ [0, 1, ..., T_period - 1]'
+
+where ``K[i] = t_i // T_period`` counts which pipeline *stage* (in the
+software sense) instruction ``i`` occupies, and ``A`` is the 0-1
+``T_period x N`` matrix with ``A[t][i] = 1`` iff ``i`` starts at slot
+``t`` of the repetitive pattern.  ``A`` is exactly the modulo reservation
+table of instruction start slots [16, 20].
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import CoreError
+
+
+def decompose(start_times: Sequence[int], t_period: int) -> Tuple[List[int], np.ndarray]:
+    """Split start times into (K, A) per Eq. 1.
+
+    Returns ``K`` as a list and ``A`` as a ``(T, N)`` 0-1 integer array.
+    """
+    if t_period < 1:
+        raise CoreError(f"period must be >= 1, got {t_period}")
+    n = len(start_times)
+    k_vector = [int(t) // t_period for t in start_times]
+    a_matrix = np.zeros((t_period, n), dtype=int)
+    for i, t in enumerate(start_times):
+        if t < 0:
+            raise CoreError(f"negative start time {t} for op {i}")
+        a_matrix[int(t) % t_period, i] = 1
+    return k_vector, a_matrix
+
+
+def compose(k_vector: Sequence[int], a_matrix: np.ndarray, t_period: int) -> List[int]:
+    """Rebuild start times from (K, A); inverse of :func:`decompose`."""
+    a_matrix = np.asarray(a_matrix)
+    if a_matrix.shape[0] != t_period:
+        raise CoreError(
+            f"A has {a_matrix.shape[0]} rows but period is {t_period}"
+        )
+    if not ((a_matrix == 0) | (a_matrix == 1)).all():
+        raise CoreError("A must be a 0-1 matrix")
+    if not (a_matrix.sum(axis=0) == 1).all():
+        raise CoreError("each column of A must contain exactly one 1")
+    slots = a_matrix.T @ np.arange(t_period)
+    return [t_period * int(k) + int(p) for k, p in zip(k_vector, slots)]
+
+
+def validate(start_times: Sequence[int], k_vector: Sequence[int],
+             a_matrix: np.ndarray, t_period: int) -> None:
+    """Assert Eq. 1 holds for the given (T, K, A) triple."""
+    rebuilt = compose(k_vector, a_matrix, t_period)
+    if list(map(int, start_times)) != rebuilt:
+        raise CoreError(
+            f"Eq. 1 violated: T={list(start_times)} but T*K + A'*tau = {rebuilt}"
+        )
+
+
+def offsets(start_times: Sequence[int], t_period: int) -> List[int]:
+    """Pattern slots ``t_i mod T`` for each instruction."""
+    return [int(t) % t_period for t in start_times]
+
+
+def format_tka(
+    start_times: Sequence[int],
+    t_period: int,
+    op_names: Sequence[str] | None = None,
+) -> str:
+    """Figure 3-style rendering of the T, K and A matrices."""
+    k_vector, a_matrix = decompose(start_times, t_period)
+    names = list(op_names) if op_names else [
+        f"i{i}" for i in range(len(start_times))
+    ]
+    lines = [
+        "T = [" + ", ".join(str(int(t)) for t in start_times) + "]'",
+        "K = [" + ", ".join(str(k) for k in k_vector) + "]'",
+        f"A ({t_period} x {len(start_times)}), columns = " + ", ".join(names) + ":",
+    ]
+    for t in range(t_period):
+        row = " ".join(str(v) for v in a_matrix[t])
+        lines.append(f"  t={t}: [{row}]")
+    return "\n".join(lines)

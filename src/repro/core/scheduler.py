@@ -1,0 +1,172 @@
+"""The rate-optimal scheduling driver (paper §6 procedure).
+
+Computes ``T_lb = max(T_dep, T_res)``, then tries successive periods
+(skipping those ruled out by the modulo scheduling constraint), building
+and solving the unified ILP at each ``T`` under a per-period time budget.
+The first feasible period yields a rate-optimal schedule *for fixed FU
+assignment* — every smaller admissible period was proven infeasible.
+
+The per-attempt records feed the Table 4 / Table 5 experiment harness
+(how many loops schedule at ``T_lb``, ``T_lb + 2``, ... and how much
+solver time each took).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.bounds import LowerBounds, lower_bounds, modulo_feasible_t
+from repro.core.errors import SchedulingError
+from repro.core.formulation import Formulation, FormulationOptions
+from repro.core.schedule import Schedule
+from repro.core.verify import verify_schedule
+from repro.ddg.graph import Ddg
+from repro.ilp.solution import SolveStatus
+from repro.machine import Machine
+
+
+@dataclass
+class ScheduleAttempt:
+    """One ILP solve at a candidate period."""
+
+    t_period: int
+    status: str  # SolveStatus value, or "modulo_infeasible" (skipped)
+    seconds: float = 0.0
+    model_stats: Dict[str, int] = field(default_factory=dict)
+    nodes: int = 0
+    #: True when the period was admissible only after delay insertion.
+    repaired: bool = False
+
+
+@dataclass
+class SchedulingResult:
+    """Outcome of :func:`schedule_loop`."""
+
+    loop_name: str
+    bounds: LowerBounds
+    attempts: List[ScheduleAttempt]
+    schedule: Optional[Schedule] = None
+    total_seconds: float = 0.0
+
+    @property
+    def achieved_t(self) -> Optional[int]:
+        return self.schedule.t_period if self.schedule else None
+
+    @property
+    def is_rate_optimal_proven(self) -> bool:
+        """Schedule found and every smaller admissible T proven infeasible."""
+        if self.schedule is None:
+            return False
+        for attempt in self.attempts:
+            if attempt.t_period >= self.schedule.t_period:
+                continue
+            if attempt.status not in (
+                SolveStatus.INFEASIBLE.value,
+                "modulo_infeasible",
+            ):
+                return False
+        return True
+
+    @property
+    def delta_from_lb(self) -> Optional[int]:
+        """``T - T_lb`` — the quantity Table 4 buckets loops by."""
+        if self.schedule is None:
+            return None
+        return self.schedule.t_period - self.bounds.t_lb
+
+    def summary(self) -> str:
+        t_found = self.achieved_t if self.schedule else "none"
+        return (
+            f"{self.loop_name}: T_dep={self.bounds.t_dep} "
+            f"T_res={self.bounds.t_res} T_lb={self.bounds.t_lb} "
+            f"-> T={t_found} ({self.total_seconds:.2f}s, "
+            f"{len(self.attempts)} attempt(s))"
+        )
+
+
+def schedule_loop(
+    ddg: Ddg,
+    machine: Machine,
+    backend: str = "auto",
+    objective: str = "feasibility",
+    mapping: Optional[bool] = None,
+    time_limit_per_t: Optional[float] = 30.0,
+    max_extra: int = 10,
+    verify: bool = True,
+    repair_modulo: bool = False,
+) -> SchedulingResult:
+    """Find a rate-optimal software-pipelined schedule for ``ddg``.
+
+    Tries ``T = T_lb .. T_lb + max_extra``; periods violating the modulo
+    scheduling constraint are recorded as skipped — unless
+    ``repair_modulo`` is set, in which case delay insertion
+    (:func:`repro.machine.delays.delayed_machine`) is attempted first:
+    the period becomes admissible on a patched machine at the price of
+    longer latencies (the paper's §3 out-of-scope case, experiment E16).
+    Raises :class:`SchedulingError` only for structurally impossible
+    inputs; a loop that simply exhausts its budget returns a result with
+    ``schedule=None`` (the paper's "not scheduled within the time limit"
+    bucket).
+    """
+    start_clock = time.monotonic()
+    bounds = lower_bounds(ddg, machine)
+    attempts: List[ScheduleAttempt] = []
+    schedule: Optional[Schedule] = None
+
+    for t_period in range(bounds.t_lb, bounds.t_lb + max_extra + 1):
+        attempt_machine = machine
+        repaired = False
+        if not modulo_feasible_t(ddg, machine, t_period):
+            patched = None
+            if repair_modulo:
+                from repro.machine.delays import delayed_machine
+
+                patched = delayed_machine(machine, t_period)
+            if patched is None:
+                attempts.append(
+                    ScheduleAttempt(
+                        t_period=t_period, status="modulo_infeasible"
+                    )
+                )
+                continue
+            attempt_machine = patched
+            repaired = True
+        options = FormulationOptions(mapping=mapping, objective=objective)
+        formulation = Formulation(ddg, attempt_machine, t_period, options)
+        formulation.build()
+        solution = formulation.solve(
+            backend=backend, time_limit=time_limit_per_t
+        )
+        attempts.append(
+            ScheduleAttempt(
+                t_period=t_period,
+                status=solution.status.value,
+                seconds=solution.solve_seconds,
+                model_stats=formulation.model.stats(),
+                nodes=solution.nodes,
+                repaired=repaired,
+            )
+        )
+        if solution.status.has_solution:
+            require_mapping = mapping is not False
+            schedule = formulation.extract(
+                solution, require_mapping=require_mapping
+            )
+            if verify:
+                verify_schedule(schedule, check_mapping=require_mapping)
+            break
+
+    if schedule is None and not attempts:
+        raise SchedulingError(
+            f"no candidate periods for loop {ddg.name!r} "
+            f"(T_lb={bounds.t_lb}, max_extra={max_extra})"
+        )
+    return SchedulingResult(
+        loop_name=ddg.name,
+        bounds=bounds,
+        attempts=attempts,
+        schedule=schedule,
+        total_seconds=time.monotonic() - start_clock,
+    )

@@ -1,0 +1,112 @@
+"""Independent schedule verification.
+
+Never trusts the solver: checks are computed directly from the DDG, the
+machine's reservation tables and the schedule's start times / colors.
+
+* **dependences** — ``t_j - t_i >= d_i - T * m_ij`` for every edge;
+* **capacity** — aggregate modulo stage usage never exceeds the FU count;
+* **mapping** — every op has a color within range, and no two ops mapped
+  to the same physical unit occupy one stage at the same pattern slot
+  (the fixed-assignment condition of §4.2/§5).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import VerificationError
+from repro.core.schedule import Schedule
+
+
+def verify_schedule(schedule: Schedule, check_mapping: bool = True) -> None:
+    """Raise :class:`VerificationError` on the first violated condition."""
+    _check_starts(schedule)
+    _check_dependences(schedule)
+    _check_capacity(schedule)
+    if check_mapping:
+        _check_mapping(schedule)
+
+
+def _check_starts(schedule: Schedule) -> None:
+    if len(schedule.starts) != schedule.ddg.num_ops:
+        raise VerificationError(
+            f"schedule has {len(schedule.starts)} start times for "
+            f"{schedule.ddg.num_ops} ops"
+        )
+    for op, start in zip(schedule.ddg.ops, schedule.starts):
+        if start < 0 or start != int(start):
+            raise VerificationError(
+                f"op {op.name!r} has invalid start time {start!r}"
+            )
+
+
+def _check_dependences(schedule: Schedule) -> None:
+    t_period = schedule.t_period
+    separations = schedule.ddg.dep_latencies(schedule.machine)
+    for dep, separation in zip(schedule.ddg.deps, separations):
+        slack = (
+            schedule.starts[dep.dst]
+            - schedule.starts[dep.src]
+            - separation
+            + t_period * dep.distance
+        )
+        if slack < 0:
+            src = schedule.ddg.ops[dep.src].name
+            dst = schedule.ddg.ops[dep.dst].name
+            raise VerificationError(
+                f"dependence {src}->{dst} (m={dep.distance}) violated by "
+                f"{-slack} cycle(s) at T={t_period}"
+            )
+
+
+def _check_capacity(schedule: Schedule) -> None:
+    machine = schedule.machine
+    used_types = {
+        machine.op_class(op.op_class).fu_type for op in schedule.ddg.ops
+    }
+    for fu_name in used_types:
+        available = machine.fu_type(fu_name).count
+        if schedule.fu_counts_used and fu_name in schedule.fu_counts_used:
+            available = schedule.fu_counts_used[fu_name]
+        grid = schedule.stage_usage_table(fu_name)
+        worst = int(grid.max())
+        if worst > available:
+            stage, slot = divmod(int(grid.argmax()), schedule.t_period)
+            raise VerificationError(
+                f"FU type {fu_name!r}: stage {stage + 1} needs {worst} "
+                f"units at slot {slot} but only {available} exist"
+            )
+
+
+def _check_mapping(schedule: Schedule) -> None:
+    machine = schedule.machine
+    if not schedule.has_complete_mapping:
+        missing = [
+            schedule.ddg.ops[i].name
+            for i in range(schedule.ddg.num_ops)
+            if i not in schedule.colors
+        ]
+        raise VerificationError(
+            f"schedule has no FU assignment for: {', '.join(missing)}"
+        )
+    used_types = {
+        machine.op_class(op.op_class).fu_type for op in schedule.ddg.ops
+    }
+    for fu_name in used_types:
+        fu = machine.fu_type(fu_name)
+        for op in schedule.ddg.ops:
+            cls = machine.op_class(op.op_class)
+            if cls.fu_type != fu_name:
+                continue
+            color = schedule.colors[op.index]
+            if not 0 <= color < fu.count:
+                raise VerificationError(
+                    f"op {op.name!r} mapped to {fu_name}#{color} but only "
+                    f"{fu.count} unit(s) exist"
+                )
+        for copy in range(fu.count):
+            grid = schedule.stage_usage_table(fu_name, copy)
+            if int(grid.max()) > 1:
+                stage, slot = divmod(int(grid.argmax()), schedule.t_period)
+                raise VerificationError(
+                    f"structural hazard on {fu_name}#{copy}: stage "
+                    f"{stage + 1} double-booked at slot {slot}"
+                )

@@ -1,0 +1,16 @@
+"""Data-dependence-graph substrate.
+
+Loop bodies are represented as DDGs: nodes are operations (with an
+instruction class resolved against a :class:`repro.machine.Machine`),
+edges are dependences with an iteration **distance** ``m_ij`` (0 =
+intra-iteration, >0 = loop-carried).  This is the input format the
+paper's testbed compiler produced for its 1066 benchmark loops; here the
+DDGs come from hand-built kernels (:mod:`repro.ddg.kernels`), a tiny text
+format (:mod:`repro.ddg.builders`), or calibrated synthetic generators
+(:mod:`repro.ddg.generators`).
+"""
+
+from repro.ddg.errors import DdgError
+from repro.ddg.graph import Ddg, Dep, Op
+
+__all__ = ["Ddg", "DdgError", "Dep", "Op"]

@@ -1,0 +1,86 @@
+"""A tiny text format for DDGs (CLI input / corpus files).
+
+Format, one directive per line (``#`` comments allowed)::
+
+    loop dotprod
+    op   i0 load
+    op   i1 fmul
+    op   i2 fadd
+    dep  i0 i1 0
+    dep  i1 i2 0 flow
+    dep  i2 i2 1 flow
+
+``dep SRC DST DISTANCE [KIND]`` — distance defaults to 0, kind to "flow".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ddg.errors import DdgError
+from repro.ddg.graph import Ddg
+
+
+def parse_ddg(text: str) -> Ddg:
+    """Parse the text format into a :class:`Ddg`."""
+    ddg = Ddg()
+    saw_loop = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        directive = tokens[0]
+        try:
+            if directive == "loop":
+                _expect(tokens, 2, lineno)
+                if saw_loop:
+                    raise DdgError(f"line {lineno}: duplicate 'loop' directive")
+                ddg.name = tokens[1]
+                saw_loop = True
+            elif directive == "op":
+                _expect(tokens, 3, lineno)
+                ddg.add_op(tokens[1], tokens[2])
+            elif directive == "dep":
+                if len(tokens) not in (3, 4, 5, 6):
+                    raise DdgError(
+                        f"line {lineno}: 'dep' takes SRC DST "
+                        "[DISTANCE [KIND [LATENCY]]]"
+                    )
+                distance = int(tokens[3]) if len(tokens) >= 4 else 0
+                kind = tokens[4] if len(tokens) >= 5 else "flow"
+                latency = int(tokens[5]) if len(tokens) == 6 else None
+                ddg.add_dep(tokens[1], tokens[2], distance, kind, latency)
+            else:
+                raise DdgError(f"line {lineno}: unknown directive {directive!r}")
+        except ValueError as exc:
+            raise DdgError(f"line {lineno}: {exc}") from exc
+        except DdgError as exc:
+            if str(exc).startswith("line "):
+                raise
+            raise DdgError(f"line {lineno}: {exc}") from exc
+    if ddg.num_ops == 0:
+        raise DdgError("no ops in DDG text")
+    return ddg
+
+
+def _expect(tokens: List[str], count: int, lineno: int) -> None:
+    if len(tokens) != count:
+        raise DdgError(
+            f"line {lineno}: '{tokens[0]}' takes {count - 1} argument(s)"
+        )
+
+
+def serialize_ddg(ddg: Ddg) -> str:
+    """Render a DDG back into the text format (round-trips with parse)."""
+    lines = [f"loop {ddg.name}"]
+    for op in ddg.ops:
+        lines.append(f"op {op.name} {op.op_class}")
+    for dep in ddg.deps:
+        src = ddg.ops[dep.src].name
+        dst = ddg.ops[dep.dst].name
+        line = f"dep {src} {dst} {dep.distance} {dep.kind}"
+        if dep.latency is not None:
+            line += f" {dep.latency}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"

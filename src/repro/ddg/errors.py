@@ -1,0 +1,5 @@
+"""Errors raised by the DDG substrate."""
+
+
+class DdgError(Exception):
+    """Malformed dependence graph (unknown ops, bad distances, ...)."""

@@ -1,0 +1,338 @@
+"""Hand-built kernel DDGs.
+
+``motivating_example`` reconstructs the paper's §2 loop: six operations
+``i0..i5`` whose published Schedule B has ``T = [0,1,3,5,7,11]``,
+``K = [0,0,0,1,1,2]`` and ``T = 4`` on the :func:`motivating_machine`.
+``T_dep = 2`` comes from the self-loop on ``i2`` (a loop-carried
+floating-point recurrence), exactly as quoted.
+
+The remaining kernels are hand translations of the loop families the
+paper's corpus drew from (livermore loops, linpack, SPEC-style bodies);
+they stand in for the unavailable McGill-compiler DDG dumps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ddg.graph import Ddg
+
+
+def motivating_example() -> Ddg:
+    """The §2 example: two loads feeding an FP chain with a recurrence.
+
+    Source form (one plausible reading)::
+
+        for j:
+            t0 = a[j]          # i0: load
+            t1 = b[j]          # i1: load
+            s  = s + t0        # i2: fadd, loop-carried (self-loop, m=1)
+            u  = s + t1        # i3: fadd
+            v  = u + c         # i4: fadd
+            d[j] = v           # i5: store
+    """
+    g = Ddg("motivating")
+    i0 = g.add_op("i0", "load")
+    i1 = g.add_op("i1", "load")
+    i2 = g.add_op("i2", "fadd")
+    i3 = g.add_op("i3", "fadd")
+    i4 = g.add_op("i4", "fadd")
+    i5 = g.add_op("i5", "store")
+    g.add_dep(i0, i2)
+    g.add_dep(i1, i3)
+    g.add_dep(i2, i3)
+    g.add_dep(i3, i4)
+    g.add_dep(i4, i5)
+    g.add_dep(i2, i2, distance=1)
+    return g
+
+
+def dot_product() -> Ddg:
+    """``s += a[j] * b[j]`` — multiply feeding a loop-carried add."""
+    g = Ddg("dotprod")
+    la = g.add_op("ld_a", "load")
+    lb = g.add_op("ld_b", "load")
+    mul = g.add_op("mul", "fmul")
+    acc = g.add_op("acc", "fadd")
+    g.add_dep(la, mul)
+    g.add_dep(lb, mul)
+    g.add_dep(mul, acc)
+    g.add_dep(acc, acc, distance=1)
+    return g
+
+
+def daxpy() -> Ddg:
+    """Linpack ``y[j] = y[j] + a * x[j]`` — no recurrence, memory bound."""
+    g = Ddg("daxpy")
+    lx = g.add_op("ld_x", "load")
+    ly = g.add_op("ld_y", "load")
+    mul = g.add_op("mul", "fmul")
+    add = g.add_op("add", "fadd")
+    st = g.add_op("st_y", "store")
+    g.add_dep(lx, mul)
+    g.add_dep(mul, add)
+    g.add_dep(ly, add)
+    g.add_dep(add, st)
+    g.add_dep(ly, st, distance=0, kind="anti")
+    return g
+
+
+def livermore_kernel1() -> Ddg:
+    """LL1 hydro fragment: ``x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])``."""
+    g = Ddg("ll1-hydro")
+    z10 = g.add_op("ld_z10", "load")
+    z11 = g.add_op("ld_z11", "load")
+    m1 = g.add_op("mul_r", "fmul")
+    m2 = g.add_op("mul_t", "fmul")
+    a1 = g.add_op("add_in", "fadd")
+    ly = g.add_op("ld_y", "load")
+    m3 = g.add_op("mul_y", "fmul")
+    a2 = g.add_op("add_q", "fadd")
+    st = g.add_op("st_x", "store")
+    g.add_dep(z10, m1)
+    g.add_dep(z11, m2)
+    g.add_dep(m1, a1)
+    g.add_dep(m2, a1)
+    g.add_dep(ly, m3)
+    g.add_dep(a1, m3)
+    g.add_dep(m3, a2)
+    g.add_dep(a2, st)
+    return g
+
+
+def livermore_kernel5() -> Ddg:
+    """LL5 tri-diagonal elimination: ``x[i] = z[i]*(y[i] - x[i-1])``.
+
+    The loop-carried flow from the store/computed value back into the
+    subtraction (distance 1) makes this strongly recurrence-bound.
+    """
+    g = Ddg("ll5-tridiag")
+    lz = g.add_op("ld_z", "load")
+    ly = g.add_op("ld_y", "load")
+    sub = g.add_op("sub", "fadd")
+    mul = g.add_op("mul", "fmul")
+    st = g.add_op("st_x", "store")
+    g.add_dep(ly, sub)
+    g.add_dep(lz, mul)
+    g.add_dep(sub, mul)
+    g.add_dep(mul, sub, distance=1)  # x[i-1] feeds next subtraction
+    g.add_dep(mul, st)
+    return g
+
+
+def livermore_kernel11() -> Ddg:
+    """LL11 first sum (prefix sum): ``x[k] = x[k-1] + y[k]``."""
+    g = Ddg("ll11-firstsum")
+    ly = g.add_op("ld_y", "load")
+    add = g.add_op("add", "fadd")
+    st = g.add_op("st_x", "store")
+    g.add_dep(ly, add)
+    g.add_dep(add, add, distance=1)
+    g.add_dep(add, st)
+    return g
+
+
+def spice_like() -> Ddg:
+    """A SPEC-style body mixing integer address math and FP work."""
+    g = Ddg("spice-like")
+    addr = g.add_op("addr", "fadd")  # stands for address arithmetic on FP-ish path
+    ld1 = g.add_op("ld1", "load")
+    ld2 = g.add_op("ld2", "load")
+    m1 = g.add_op("m1", "fmul")
+    m2 = g.add_op("m2", "fmul")
+    a1 = g.add_op("a1", "fadd")
+    a2 = g.add_op("a2", "fadd")
+    st1 = g.add_op("st1", "store")
+    g.add_dep(addr, ld1)
+    g.add_dep(addr, ld2)
+    g.add_dep(ld1, m1)
+    g.add_dep(ld2, m2)
+    g.add_dep(m1, a1)
+    g.add_dep(m2, a1)
+    g.add_dep(a1, a2)
+    g.add_dep(a2, st1)
+    g.add_dep(a2, a1, distance=2)  # second-order recurrence
+    return g
+
+
+def livermore_kernel2() -> Ddg:
+    """LL2 ICCG fragment: ``x[i] = x[i] - z[i]*x[i+1]`` style excerpt."""
+    g = Ddg("ll2-iccg")
+    lx = g.add_op("ld_x", "load")
+    lx1 = g.add_op("ld_x1", "load")
+    lz = g.add_op("ld_z", "load")
+    mul = g.add_op("mul", "fmul")
+    sub = g.add_op("sub", "fadd")
+    st = g.add_op("st_x", "store")
+    g.add_dep(lz, mul)
+    g.add_dep(lx1, mul)
+    g.add_dep(lx, sub)
+    g.add_dep(mul, sub)
+    g.add_dep(sub, st)
+    # x[i+1] is read one iteration before iteration i+1 overwrites it.
+    g.add_dep(lx1, st, distance=1, kind="mem-anti", latency=1)
+    return g
+
+
+def livermore_kernel3() -> Ddg:
+    """LL3 inner product: ``q += z[k] * x[k]`` (same family as dotprod
+    but with an extra address add, like the generated code had)."""
+    g = Ddg("ll3-inner")
+    addr = g.add_op("addr", "add")
+    lz = g.add_op("ld_z", "load")
+    lx = g.add_op("ld_x", "load")
+    mul = g.add_op("mul", "fmul")
+    acc = g.add_op("acc", "fadd")
+    g.add_dep(addr, lz)
+    g.add_dep(addr, lx)
+    g.add_dep(lz, mul)
+    g.add_dep(lx, mul)
+    g.add_dep(mul, acc)
+    g.add_dep(acc, acc, distance=1)
+    return g
+
+
+def livermore_kernel7() -> Ddg:
+    """LL7 equation-of-state fragment — wide, parallel FP expression."""
+    g = Ddg("ll7-eos")
+    lu = g.add_op("ld_u", "load")
+    lz = g.add_op("ld_z", "load")
+    ly = g.add_op("ld_y", "load")
+    m1 = g.add_op("m1", "fmul")
+    m2 = g.add_op("m2", "fmul")
+    m3 = g.add_op("m3", "fmul")
+    a1 = g.add_op("a1", "fadd")
+    a2 = g.add_op("a2", "fadd")
+    a3 = g.add_op("a3", "fadd")
+    st = g.add_op("st_x", "store")
+    g.add_dep(lu, m1)
+    g.add_dep(lz, m2)
+    g.add_dep(ly, m3)
+    g.add_dep(m1, a1)
+    g.add_dep(m2, a1)
+    g.add_dep(m3, a2)
+    g.add_dep(a1, a3)
+    g.add_dep(a2, a3)
+    g.add_dep(a3, st)
+    return g
+
+
+def livermore_kernel12() -> Ddg:
+    """LL12 first difference: ``x[k] = y[k+1] - y[k]`` — pure streaming."""
+    g = Ddg("ll12-firstdiff")
+    ly1 = g.add_op("ld_y1", "load")
+    ly = g.add_op("ld_y", "load")
+    sub = g.add_op("sub", "fadd")
+    st = g.add_op("st_x", "store")
+    g.add_dep(ly1, sub)
+    g.add_dep(ly, sub)
+    g.add_dep(sub, st)
+    return g
+
+
+def fir_filter(taps: int = 4) -> Ddg:
+    """An N-tap FIR: ``y[i] = sum_k c_k * x[i-k]`` (default 4 taps)."""
+    g = Ddg(f"fir{taps}")
+    previous = None
+    for k in range(taps):
+        load = g.add_op(f"ld_x{k}", "load")
+        mul = g.add_op(f"m{k}", "fmul")
+        g.add_dep(load, mul)
+        if previous is None:
+            previous = mul
+        else:
+            acc = g.add_op(f"a{k}", "fadd")
+            g.add_dep(previous, acc)
+            g.add_dep(mul, acc)
+            previous = acc
+    st = g.add_op("st_y", "store")
+    g.add_dep(previous, st)
+    return g
+
+
+def stencil3() -> Ddg:
+    """3-point Jacobi stencil: ``b[i] = (a[i-1] + a[i] + a[i+1]) / 3``."""
+    g = Ddg("stencil3")
+    lm = g.add_op("ld_am1", "load")
+    lc = g.add_op("ld_a0", "load")
+    lp = g.add_op("ld_ap1", "load")
+    a1 = g.add_op("a1", "fadd")
+    a2 = g.add_op("a2", "fadd")
+    div = g.add_op("scale", "fmul")
+    st = g.add_op("st_b", "store")
+    g.add_dep(lm, a1)
+    g.add_dep(lc, a1)
+    g.add_dep(a1, a2)
+    g.add_dep(lp, a2)
+    g.add_dep(a2, div)
+    g.add_dep(div, st)
+    return g
+
+
+def matmul_inner() -> Ddg:
+    """Matrix-multiply inner loop: ``c += a[k] * b[k]`` with two address
+    streams (the j-stride load makes the LSU the bottleneck)."""
+    g = Ddg("matmul-inner")
+    addr_a = g.add_op("addr_a", "add")
+    addr_b = g.add_op("addr_b", "add")
+    la = g.add_op("ld_a", "load")
+    lb = g.add_op("ld_b", "load")
+    mul = g.add_op("mul", "fmul")
+    acc = g.add_op("acc", "fadd")
+    g.add_dep(addr_a, la)
+    g.add_dep(addr_b, lb)
+    g.add_dep(addr_a, addr_a, distance=1)
+    g.add_dep(addr_b, addr_b, distance=1)
+    g.add_dep(la, mul)
+    g.add_dep(lb, mul)
+    g.add_dep(mul, acc)
+    g.add_dep(acc, acc, distance=1)
+    return g
+
+
+def newton_step() -> Ddg:
+    """Newton iteration body with a blocking divide in the recurrence:
+    ``x = x - f(x)/g(x)`` — exercises non-pipelined FU recurrences."""
+    g = Ddg("newton")
+    f = g.add_op("f", "fmul")
+    gp = g.add_op("gp", "fadd")
+    div = g.add_op("div", "fdiv")
+    upd = g.add_op("upd", "fadd")
+    g.add_dep(f, div)
+    g.add_dep(gp, div)
+    g.add_dep(div, upd)
+    g.add_dep(upd, f, distance=1)
+    g.add_dep(upd, gp, distance=1)
+    return g
+
+
+#: Registry of all hand kernels (used by CLI and benches).
+KERNELS: Dict[str, Callable[[], Ddg]] = {
+    "motivating": motivating_example,
+    "dotprod": dot_product,
+    "daxpy": daxpy,
+    "ll1": livermore_kernel1,
+    "ll2": livermore_kernel2,
+    "ll3": livermore_kernel3,
+    "ll5": livermore_kernel5,
+    "ll7": livermore_kernel7,
+    "ll11": livermore_kernel11,
+    "ll12": livermore_kernel12,
+    "fir4": fir_filter,
+    "stencil3": stencil3,
+    "matmul": matmul_inner,
+    "newton": newton_step,
+    "spice": spice_like,
+}
+
+
+def all_kernels() -> List[Ddg]:
+    return [factory() for factory in KERNELS.values()]
+
+
+def by_name(name: str) -> Ddg:
+    try:
+        return KERNELS[name]()
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(f"unknown kernel {name!r}; known: {known}")

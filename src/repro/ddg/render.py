@@ -1,0 +1,54 @@
+"""Textual renderings of DDGs (Figure 1-style displays)."""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.ddg.graph import Ddg
+
+if TYPE_CHECKING:
+    from repro.machine import Machine
+
+
+def ascii_ddg(ddg: Ddg, machine: Optional["Machine"] = None) -> str:
+    """One line per op with its outgoing dependences.
+
+    Example output::
+
+        loop motivating (6 ops, 6 deps)
+          i0: load (lat 3) -> i2[m=0]
+          i2: fadd (lat 2) -> i3[m=0], i2[m=1]
+    """
+    header = f"loop {ddg.name} ({ddg.num_ops} ops, {ddg.num_deps} deps)"
+    lines = [header]
+    for op in ddg.ops:
+        latency = ""
+        if machine is not None:
+            latency = f" (lat {machine.latency(op.op_class)})"
+        outs = [
+            f"{ddg.ops[d.dst].name}[m={d.distance}]"
+            for d in ddg.deps
+            if d.src == op.index
+        ]
+        arrow = f" -> {', '.join(outs)}" if outs else ""
+        lines.append(f"  {op.name}: {op.op_class}{latency}{arrow}")
+    return "\n".join(lines)
+
+
+def to_dot(ddg: Ddg, machine: Optional["Machine"] = None) -> str:
+    """Graphviz dot source; loop-carried edges are dashed and labelled."""
+    lines = [f'digraph "{ddg.name}" {{', "  rankdir=TB;"]
+    for op in ddg.ops:
+        label = f"{op.name}\\n{op.op_class}"
+        if machine is not None:
+            label += f" (d={machine.latency(op.op_class)})"
+        lines.append(f'  {op.index} [label="{label}"];')
+    for dep in ddg.deps:
+        attrs = []
+        if dep.distance > 0:
+            attrs.append(f'label="m={dep.distance}"')
+            attrs.append("style=dashed")
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {dep.src} -> {dep.dst}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines)

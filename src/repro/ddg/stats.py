@@ -1,0 +1,92 @@
+"""Corpus statistics (size, structure, class mix).
+
+Backs the Table 4 size columns and the generator-calibration tests: the
+paper characterizes its 1066-loop corpus only through aggregate numbers
+(mean DDG sizes per bucket), so the synthetic stand-in is validated
+against the same kind of aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.ddg.analysis import has_recurrence
+from repro.ddg.graph import Ddg
+
+
+@dataclass
+class CorpusStats:
+    """Aggregates over a list of loops."""
+
+    count: int
+    mean_ops: float
+    min_ops: int
+    max_ops: int
+    mean_deps: float
+    recurrence_fraction: float
+    size_histogram: Dict[int, int] = field(default_factory=dict)
+    class_mix: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"corpus: {self.count} loops, {self.min_ops}-{self.max_ops} "
+            f"ops (mean {self.mean_ops:.1f}), mean deps "
+            f"{self.mean_deps:.1f}, {100 * self.recurrence_fraction:.0f}% "
+            "with recurrences",
+            "size histogram:",
+        ]
+        peak = max(self.size_histogram.values(), default=1)
+        for size in sorted(self.size_histogram):
+            bar = "#" * max(1, round(30 * self.size_histogram[size] / peak))
+            lines.append(
+                f"  {size:>3} ops: {self.size_histogram[size]:>5} {bar}"
+            )
+        lines.append("class mix: " + ", ".join(
+            f"{cls} {100 * frac:.1f}%"
+            for cls, frac in sorted(self.class_mix.items(),
+                                    key=lambda kv: -kv[1])
+        ))
+        return "\n".join(lines)
+
+
+def corpus_stats(loops: Sequence[Ddg], histogram_bucket: int = 2) -> CorpusStats:
+    """Compute :class:`CorpusStats` for a corpus."""
+    if not loops:
+        raise ValueError("empty corpus")
+    sizes = [g.num_ops for g in loops]
+    deps = [g.num_deps for g in loops]
+    histogram: Dict[int, int] = {}
+    for size in sizes:
+        bucket = (size // histogram_bucket) * histogram_bucket
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    class_counts: Dict[str, int] = {}
+    total_ops = 0
+    for g in loops:
+        for op in g.ops:
+            class_counts[op.op_class] = class_counts.get(op.op_class, 0) + 1
+            total_ops += 1
+    with_recurrence = sum(1 for g in loops if has_recurrence(g))
+    return CorpusStats(
+        count=len(loops),
+        mean_ops=sum(sizes) / len(sizes),
+        min_ops=min(sizes),
+        max_ops=max(sizes),
+        mean_deps=sum(deps) / len(deps),
+        recurrence_fraction=with_recurrence / len(loops),
+        size_histogram=histogram,
+        class_mix={
+            cls: count / total_ops for cls, count in class_counts.items()
+        },
+    )
+
+
+def size_percentiles(loops: Sequence[Ddg],
+                     points: Sequence[float] = (0.5, 0.9, 0.99)) -> List[int]:
+    """Op-count percentiles (nearest-rank)."""
+    sizes = sorted(g.num_ops for g in loops)
+    result = []
+    for p in points:
+        rank = min(len(sizes) - 1, max(0, round(p * len(sizes)) - 1))
+        result.append(sizes[rank])
+    return result

@@ -1,0 +1,38 @@
+"""Exhaustive combinatorial scheduling + mapping.
+
+The paper's conclusion poses an open question: *"will cleverly designed
+exhaustive search methods be superior to an ILP solver in terms of
+efficiency? Although we have lately been working on exploiting such
+alternatives [2], it is still too early to make a conclusion."*
+(Reference [2] is Altman's thesis, "Two Approaches for Optimal Software
+Pipelining with Resource Constraints".)
+
+This package implements the second approach: a depth-first search over
+(pattern offset, physical FU) assignments with
+
+* per-unit modulo-reservation-table pruning (resource/mapping conflicts
+  rejected as soon as they appear),
+* incremental dependence-feasibility pruning — with offsets fixed, the
+  remaining ``K`` vector exists iff an integer difference-constraint
+  system has no positive cycle (Bellman–Ford),
+* color symmetry breaking (a new physical unit may only be opened in
+  index order), and
+* a most-constrained-first variable order.
+
+It is exact: for a given ``T`` it reports feasible (with a verified
+schedule) or infeasible, so it can replace the ILP inside the
+rate-optimal driver.  Experiment E15 races the two, answering the
+paper's question on this corpus.
+"""
+
+from repro.enumerative.search import (
+    EnumerationResult,
+    enumerative_schedule_loop,
+    search_at_period,
+)
+
+__all__ = [
+    "EnumerationResult",
+    "enumerative_schedule_loop",
+    "search_at_period",
+]

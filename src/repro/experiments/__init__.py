@@ -1,0 +1,19 @@
+"""Experiment harnesses reproducing the paper's tables and figures.
+
+Each module maps to rows of the DESIGN.md experiment index:
+
+* :mod:`repro.experiments.motivating` — §2 artifacts: Figure 1 (DDG),
+  Table 1 (Schedule A, run-time mapping only), Table 2 (Schedule B),
+  Figure 2 (stage usage), Figure 3 (T/K/A), Figure 4 (circular arcs).
+* :mod:`repro.experiments.table4` — scheduling-performance buckets over a
+  loop corpus (loops found at T_lb, T_lb+1, ...).
+* :mod:`repro.experiments.table5` — solver-effort distribution under the
+  paper's 10 s / 30 s budgets.
+* :mod:`repro.experiments.compare` — ILP vs iterative modulo scheduling
+  vs no-pipelining (E10).
+* :mod:`repro.experiments.ablation` — counting-only vs coloring (E11)
+  and hazard-model on/off (E12).
+
+The pytest benchmarks under ``benchmarks/`` are thin wrappers over these
+functions, so the same code drives the CLI, the benches and EXPERIMENTS.md.
+"""

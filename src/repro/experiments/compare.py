@@ -1,0 +1,147 @@
+"""E10: ILP vs iterative modulo scheduling vs no pipelining.
+
+The paper argues (and [9] measured, for clean pipelines) that the ILP's
+initiation intervals dominate heuristic modulo scheduling: the ILP is
+rate-optimal, so ``T_ilp <= II_heuristic`` on every loop both complete,
+and both should beat running iterations back-to-back.  This harness
+reproduces that *shape* for unclean machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.baselines import (
+    iterative_modulo_schedule,
+    list_schedule,
+    slack_modulo_schedule,
+)
+from repro.core import schedule_loop, verify_schedule
+from repro.ddg.graph import Ddg
+from repro.machine import Machine
+
+
+@dataclass
+class LoopComparison:
+    """Per-loop initiation intervals under the three schedulers."""
+
+    loop_name: str
+    num_ops: int
+    t_lb: int
+    ilp_t: Optional[int]
+    heuristic_ii: Optional[int]
+    slack_ii: Optional[int]
+    sequential_ii: int
+
+    @property
+    def heuristic_gap(self) -> Optional[int]:
+        """Cycles per iteration the heuristic loses to the ILP."""
+        if self.ilp_t is None or self.heuristic_ii is None:
+            return None
+        return self.heuristic_ii - self.ilp_t
+
+    @property
+    def slack_gap(self) -> Optional[int]:
+        if self.ilp_t is None or self.slack_ii is None:
+            return None
+        return self.slack_ii - self.ilp_t
+
+    @property
+    def pipelining_speedup(self) -> Optional[float]:
+        if self.ilp_t is None:
+            return None
+        return self.sequential_ii / self.ilp_t
+
+
+@dataclass
+class Comparison:
+    """Corpus-level comparison summary."""
+
+    rows: List[LoopComparison] = field(default_factory=list)
+
+    @property
+    def both_completed(self) -> List[LoopComparison]:
+        return [
+            r for r in self.rows
+            if r.ilp_t is not None and r.heuristic_ii is not None
+        ]
+
+    @property
+    def ilp_never_worse(self) -> bool:
+        return all(
+            r.heuristic_gap >= 0
+            and (r.slack_gap is None or r.slack_gap >= 0)
+            for r in self.both_completed
+        )
+
+    @property
+    def heuristic_losses(self) -> int:
+        return sum(1 for r in self.both_completed if r.heuristic_gap > 0)
+
+    @property
+    def mean_speedup_vs_sequential(self) -> float:
+        speedups = [
+            r.pipelining_speedup for r in self.rows
+            if r.pipelining_speedup is not None
+        ]
+        return sum(speedups) / len(speedups) if speedups else 0.0
+
+    def render(self) -> str:
+        done = self.both_completed
+        lines = [
+            "E10 — ILP vs heuristic vs sequential",
+            f"loops compared: {len(done)} / {len(self.rows)}",
+            f"ILP never worse than heuristic: {self.ilp_never_worse}",
+            f"loops where the heuristic loses cycles: "
+            f"{self.heuristic_losses}",
+            f"mean speedup of ILP pipelining over sequential: "
+            f"{self.mean_speedup_vs_sequential:.2f}x",
+        ]
+        gaps = [r.heuristic_gap for r in done]
+        if gaps:
+            lines.append(
+                f"heuristic gap (cycles/iter): mean "
+                f"{sum(gaps) / len(gaps):.2f}, max {max(gaps)}"
+            )
+        return "\n".join(lines)
+
+
+def run_compare(
+    loops: List[Ddg],
+    machine: Machine,
+    backend: str = "auto",
+    time_limit_per_t: Optional[float] = 10.0,
+    max_extra: int = 8,
+) -> Comparison:
+    """Schedule every loop three ways and collect the IIs."""
+    comparison = Comparison()
+    for ddg in loops:
+        result = schedule_loop(
+            ddg,
+            machine,
+            backend=backend,
+            time_limit_per_t=time_limit_per_t,
+            max_extra=max_extra,
+        )
+        if result.schedule is not None:
+            verify_schedule(result.schedule)
+        heuristic = iterative_modulo_schedule(ddg, machine)
+        if heuristic.schedule is not None:
+            verify_schedule(heuristic.schedule)
+        slack = slack_modulo_schedule(ddg, machine)
+        if slack.schedule is not None:
+            verify_schedule(slack.schedule)
+        sequential = list_schedule(ddg, machine)
+        comparison.rows.append(
+            LoopComparison(
+                loop_name=ddg.name,
+                num_ops=ddg.num_ops,
+                t_lb=result.bounds.t_lb,
+                ilp_t=result.achieved_t,
+                heuristic_ii=heuristic.achieved_ii,
+                slack_ii=slack.achieved_ii,
+                sequential_ii=sequential.effective_ii,
+            )
+        )
+    return comparison

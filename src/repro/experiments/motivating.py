@@ -1,0 +1,214 @@
+"""The paper's §2 motivating example, end to end (experiments E1–E6).
+
+Reconstructs and verifies every §2 claim:
+
+* ``T_dep = 2`` (self-loop on ``i2``), ``T_res = 3``, so ``T_lb = 3``;
+* at ``T = 3`` the aggregate (counting-only) ILP **is** feasible and the
+  resulting schedule executes correctly under *run-time* FU selection —
+  that is **Schedule A** (Table 1) — but no fixed FU assignment exists
+  (the overlap graph of the three FP ops is a triangle on two units);
+* the full scheduling+mapping ILP proves ``T = 3`` infeasible and finds a
+  fixed-assignment schedule at ``T = 4`` — **Schedule B** (Table 2),
+  whose ``K = [0,0,0,1,1,2]`` matches the paper's Figure 3;
+* Figure 2's per-stage modulo usage tables and Figure 4's circular-arc
+  overlap structure are printed from the same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import (
+    Formulation,
+    FormulationOptions,
+    MappingError,
+    Schedule,
+    lower_bounds,
+    schedule_loop,
+    verify_schedule,
+)
+from repro.core.schedule import greedy_mapping
+from repro.ddg.kernels import motivating_example
+from repro.ddg.render import ascii_ddg
+from repro.machine import Machine
+from repro.machine.presets import motivating_machine
+from repro.sim import simulate
+
+
+@dataclass
+class MotivatingArtifacts:
+    """Everything §2 exhibits, produced by :func:`run`."""
+
+    machine: Machine
+    t_dep: int
+    t_res: int
+    t_lb: int
+    schedule_a: Optional[Schedule]          # counting-only, T = 3
+    schedule_a_dynamic_ok: bool             # Table 1: works w/ run-time map
+    schedule_a_fixed_mappable: bool         # ... but has no fixed mapping
+    t3_with_mapping_infeasible: bool        # full ILP rejects T = 3
+    schedule_b: Schedule                    # Table 2 / Figure 3, T = 4
+    rate_optimal_proven: bool
+
+    @property
+    def consistent_with_paper(self) -> bool:
+        """The §2 storyline holds end to end."""
+        return (
+            self.t_dep == 2
+            and self.t_lb == 3
+            and self.schedule_a is not None
+            and self.schedule_a_dynamic_ok
+            and not self.schedule_a_fixed_mappable
+            and self.t3_with_mapping_infeasible
+            and self.schedule_b.t_period == 4
+            and self.rate_optimal_proven
+        )
+
+
+def run(backend: str = "auto") -> MotivatingArtifacts:
+    """Compute all §2 artifacts (deterministic; < 1 s with HiGHS)."""
+    machine = motivating_machine()
+    ddg = motivating_example()
+    bounds = lower_bounds(ddg, machine)
+
+    # Schedule A: counting-only relaxation at T = T_lb = 3  (§4.1 alone).
+    counting = Formulation(
+        ddg, machine, bounds.t_lb,
+        FormulationOptions(mapping=False, objective="min_sum_t"),
+    )
+    counting_solution = counting.solve(backend=backend)
+    schedule_a = None
+    dynamic_ok = False
+    fixed_mappable = False
+    if counting_solution.status.has_solution:
+        schedule_a = counting.extract(counting_solution, require_mapping=False)
+        dynamic_ok = simulate(
+            schedule_a, iterations=12, dynamic_mapping=True
+        ).ok
+        try:
+            greedy_mapping(ddg, machine, schedule_a.starts, schedule_a.t_period)
+            fixed_mappable = True
+        except MappingError:
+            fixed_mappable = False
+
+    # Full scheduling + mapping ILP, sweeping T from T_lb.
+    result = schedule_loop(
+        ddg, machine, backend=backend, objective="min_sum_t"
+    )
+    assert result.schedule is not None
+    verify_schedule(result.schedule)
+    t3_infeasible = any(
+        a.t_period == bounds.t_lb and a.status == "infeasible"
+        for a in result.attempts
+    )
+    return MotivatingArtifacts(
+        machine=machine,
+        t_dep=bounds.t_dep,
+        t_res=bounds.t_res,
+        t_lb=bounds.t_lb,
+        schedule_a=schedule_a,
+        schedule_a_dynamic_ok=dynamic_ok,
+        schedule_a_fixed_mappable=fixed_mappable,
+        t3_with_mapping_infeasible=t3_infeasible,
+        schedule_b=result.schedule,
+        rate_optimal_proven=result.is_rate_optimal_proven,
+    )
+
+
+def circular_arcs(
+    schedule: Schedule, fu_name: str
+) -> Dict[int, List[Tuple[int, int]]]:
+    """Figure 4 data: per-op occupied (stage, slot) cells on ``fu_name``."""
+    arcs: Dict[int, List[Tuple[int, int]]] = {}
+    machine = schedule.machine
+    for op in schedule.ddg.ops:
+        if machine.op_class(op.op_class).fu_type != fu_name:
+            continue
+        table = machine.reservation_for(op.op_class)
+        offset = schedule.starts[op.index] % schedule.t_period
+        arcs[op.index] = [
+            (stage, (offset + cycle) % schedule.t_period)
+            for stage, cycle in table.usage_offsets()
+        ]
+    return arcs
+
+
+def overlap_edges(
+    schedule: Schedule, fu_name: str
+) -> List[Tuple[int, int]]:
+    """Pairs of ops on ``fu_name`` whose arcs intersect (must differ in color)."""
+    arcs = circular_arcs(schedule, fu_name)
+    indices = sorted(arcs)
+    edges = []
+    for pos, i in enumerate(indices):
+        cells_i = set(arcs[i])
+        for j in indices[pos + 1:]:
+            if cells_i & set(arcs[j]):
+                edges.append((i, j))
+    return edges
+
+
+def render_arcs(schedule: Schedule, fu_name: str) -> str:
+    """Text rendering of the Figure 4 circular-arc instance."""
+    arcs = circular_arcs(schedule, fu_name)
+    lines = [
+        f"circular arcs on {fu_name} (period {schedule.t_period}); "
+        "overlapping ops need distinct units:"
+    ]
+    for op_index, cells in sorted(arcs.items()):
+        op = schedule.ddg.ops[op_index]
+        cell_text = ", ".join(f"(s{s + 1},t{t})" for s, t in sorted(cells))
+        color = schedule.colors.get(op_index)
+        unit = f" -> {fu_name}{color}" if color is not None else ""
+        lines.append(f"  {op.name}: {cell_text}{unit}")
+    edges = overlap_edges(schedule, fu_name)
+    names = [
+        f"{schedule.ddg.ops[i].name}-{schedule.ddg.ops[j].name}"
+        for i, j in edges
+    ]
+    lines.append("  overlap edges: " + (", ".join(names) or "(none)"))
+    return "\n".join(lines)
+
+
+def report(backend: str = "auto") -> str:
+    """The full §2 narrative as printable text (CLI `motivating`)."""
+    artifacts = run(backend=backend)
+    machine = artifacts.machine
+    ddg = artifacts.schedule_b.ddg
+    sections = [
+        "== Figure 1: motivating DDG and machine ==",
+        ascii_ddg(ddg, machine),
+        machine.render(),
+        machine.reservation_for("fadd").render("FP reservation table"),
+        "",
+        f"T_dep={artifacts.t_dep}  T_res={artifacts.t_res}  "
+        f"T_lb={artifacts.t_lb}",
+        "",
+        "== Table 1: Schedule A (T=3, run-time FU choice only) ==",
+    ]
+    if artifacts.schedule_a is not None:
+        sections += [
+            artifacts.schedule_a.render_kernel(),
+            f"executes with dynamic mapping: {artifacts.schedule_a_dynamic_ok}",
+            f"admits a fixed FU assignment: "
+            f"{artifacts.schedule_a_fixed_mappable}",
+        ]
+    sections += [
+        "",
+        f"full ILP at T=3 infeasible: {artifacts.t3_with_mapping_infeasible}",
+        "",
+        "== Table 2 / Figure 3: Schedule B (T=4, fixed mapping) ==",
+        artifacts.schedule_b.render_kernel(),
+        artifacts.schedule_b.render_tka(),
+        "",
+        "== Figure 2: per-unit modulo stage usage ==",
+        artifacts.schedule_b.render_usage("FP"),
+        "",
+        "== Figure 4: circular-arc mapping ==",
+        render_arcs(artifacts.schedule_b, "FP"),
+        "",
+        f"rate-optimality proven: {artifacts.rate_optimal_proven}",
+        f"all §2 claims hold: {artifacts.consistent_with_paper}",
+    ]
+    return "\n".join(sections)

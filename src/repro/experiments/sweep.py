@@ -1,0 +1,110 @@
+"""Machine-parameter sensitivity sweeps (experiment E19).
+
+The paper evaluates one machine model; a natural follow-on question for
+its framework is *how the achieved rates respond to hardware*: sweep the
+FP-unit count (and optionally memory ports) of the motivating-style
+machine across a corpus and record mean achieved T per configuration —
+the throughput/hardware response surface, computed with the same
+rate-optimal ILP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import schedule_loop
+from repro.ddg.graph import Ddg
+from repro.machine.presets import motivating_machine
+
+
+@dataclass
+class SweepPoint:
+    """One (fp_units, mem_units) configuration's aggregate outcome."""
+
+    fp_units: int
+    mem_units: int
+    scheduled: int
+    mean_t: float
+    mean_t_lb: float
+
+    @property
+    def mean_gap(self) -> float:
+        return self.mean_t - self.mean_t_lb
+
+
+@dataclass
+class SweepResult:
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def point(self, fp_units: int, mem_units: int) -> SweepPoint:
+        for candidate in self.points:
+            if (candidate.fp_units, candidate.mem_units) == (
+                fp_units, mem_units,
+            ):
+                return candidate
+        raise KeyError((fp_units, mem_units))
+
+    def monotone_in_fp(self) -> bool:
+        """More FP units never increase the mean achieved T."""
+        by_mem: Dict[int, List[SweepPoint]] = {}
+        for point in self.points:
+            by_mem.setdefault(point.mem_units, []).append(point)
+        for group in by_mem.values():
+            group.sort(key=lambda p: p.fp_units)
+            for earlier, later in zip(group, group[1:]):
+                if later.mean_t > earlier.mean_t + 1e-9:
+                    return False
+        return True
+
+    def render(self) -> str:
+        lines = [
+            "E19 — machine-sensitivity sweep",
+            f"{'FP':>3} {'MEM':>4} {'scheduled':>10} {'mean T':>8} "
+            f"{'mean T_lb':>10} {'gap':>6}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.fp_units:>3} {point.mem_units:>4} "
+                f"{point.scheduled:>10} {point.mean_t:>8.2f} "
+                f"{point.mean_t_lb:>10.2f} {point.mean_gap:>6.2f}"
+            )
+        return "\n".join(lines)
+
+
+def fp_mem_sweep(
+    loops: List[Ddg],
+    fp_range: Tuple[int, ...] = (1, 2, 3),
+    mem_range: Tuple[int, ...] = (1, 2),
+    backend: str = "auto",
+    time_limit_per_t: Optional[float] = 5.0,
+    max_extra: int = 10,
+) -> SweepResult:
+    """Sweep motivating-machine unit counts over a corpus."""
+    result = SweepResult()
+    for mem_units in mem_range:
+        for fp_units in fp_range:
+            machine = motivating_machine(
+                fp_units=fp_units, mem_units=mem_units
+            )
+            achieved: List[int] = []
+            lower: List[int] = []
+            for ddg in loops:
+                outcome = schedule_loop(
+                    ddg, machine, backend=backend,
+                    time_limit_per_t=time_limit_per_t,
+                    max_extra=max_extra,
+                )
+                if outcome.achieved_t is None:
+                    continue
+                achieved.append(outcome.achieved_t)
+                lower.append(outcome.bounds.t_lb)
+            count = len(achieved)
+            result.points.append(SweepPoint(
+                fp_units=fp_units,
+                mem_units=mem_units,
+                scheduled=count,
+                mean_t=sum(achieved) / count if count else float("nan"),
+                mean_t_lb=sum(lower) / count if count else float("nan"),
+            ))
+    return result

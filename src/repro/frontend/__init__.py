@@ -1,0 +1,33 @@
+"""A small loop front end: C-like loop bodies -> dependence graphs.
+
+The paper's 1066-loop corpus came from a testbed compiler that parsed
+benchmark source and emitted DDGs.  This package plays that role for the
+library: a lexer, a recursive-descent parser, and a lowering pass with
+scalar def-use and affine memory-dependence analysis.
+
+Input language (one statement per line inside a ``for`` header)::
+
+    for i:
+        t = a[i] * b[i]
+        s = s + t            # scalar recurrence -> loop-carried dep
+        c[i] = s
+        d[i+1] = d[i] * 0.5  # memory recurrence at distance 1
+
+Semantics that produce dependences:
+
+* a scalar read *before* its definition in the body (including reads by
+  its own defining statement, e.g. ``s = s + t``) refers to the previous
+  iteration's value — a flow dependence of distance 1;
+* array references must be affine in the induction variable
+  (``name[i+k]``); store/load pairs on one array get flow/anti/output
+  dependences with the exact iteration distance ``k_writer - k_reader``;
+* operators map to machine op classes through an
+  :class:`OpClassMap` (defaults match the PowerPC-604 preset).
+
+Entry point: :func:`compile_loop`.
+"""
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.lower import OpClassMap, compile_loop
+
+__all__ = ["FrontendError", "OpClassMap", "compile_loop"]

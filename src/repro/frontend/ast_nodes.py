@@ -1,0 +1,76 @@
+"""AST node types for the loop DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+
+@dataclass(frozen=True)
+class Const:
+    """A numeric literal."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class ScalarRef:
+    """A scalar variable read/write."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """An affine array reference ``name[iv + offset]``."""
+
+    name: str
+    offset: int
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return f"{self.name}[i]"
+        sign = "+" if self.offset > 0 else "-"
+        return f"{self.name}[i{sign}{abs(self.offset)}]"
+
+
+Operand = Union[Const, ScalarRef, ArrayRef, "BinOp"]
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary arithmetic expression."""
+
+    op: str  # one of + - * /
+    left: Operand
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """One statement: ``target = expr``."""
+
+    target: Union[ScalarRef, ArrayRef]
+    expr: Operand
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class LoopAst:
+    """A parsed loop: induction variable + body statements."""
+
+    induction: str
+    body: List[Assign]
+    name: str = "loop"

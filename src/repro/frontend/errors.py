@@ -1,0 +1,5 @@
+"""Errors raised by the loop front end."""
+
+
+class FrontendError(Exception):
+    """Lexing, parsing or lowering failed; message carries line info."""

@@ -1,0 +1,100 @@
+"""Tokenizer for the loop DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.frontend.errors import FrontendError
+
+#: Token kinds.
+NAME = "NAME"
+NUMBER = "NUMBER"
+OP = "OP"          # + - * /
+EQUALS = "EQUALS"
+LBRACKET = "LBRACKET"
+RBRACKET = "RBRACKET"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+COLON = "COLON"
+NEWLINE = "NEWLINE"
+FOR = "FOR"
+END = "END"
+
+_SINGLE = {
+    "=": EQUALS,
+    "[": LBRACKET,
+    "]": RBRACKET,
+    "(": LPAREN,
+    ")": RPAREN,
+    ":": COLON,
+}
+_OPERATORS = set("+-*/")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; comments start with ``#``."""
+    tokens: List[Token] = []
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0]
+        tokens.extend(_tokenize_line(line, line_number))
+        if tokens and tokens[-1].kind != NEWLINE:
+            tokens.append(Token(NEWLINE, "\n", line_number, len(line) + 1))
+    tokens.append(Token(END, "", len(source.splitlines()) + 1, 1))
+    return tokens
+
+
+def _tokenize_line(line: str, line_number: int) -> Iterator[Token]:
+    position = 0
+    length = len(line)
+    while position < length:
+        ch = line[position]
+        column = position + 1
+        if ch in " \t":
+            position += 1
+            continue
+        if ch in _SINGLE:
+            yield Token(_SINGLE[ch], ch, line_number, column)
+            position += 1
+            continue
+        if ch in _OPERATORS:
+            yield Token(OP, ch, line_number, column)
+            position += 1
+            continue
+        if ch.isdigit() or (ch == "." and position + 1 < length
+                            and line[position + 1].isdigit()):
+            start = position
+            seen_dot = False
+            while position < length and (
+                line[position].isdigit()
+                or (line[position] == "." and not seen_dot)
+            ):
+                seen_dot = seen_dot or line[position] == "."
+                position += 1
+            yield Token(NUMBER, line[start:position], line_number, column)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = position
+            while position < length and (
+                line[position].isalnum() or line[position] == "_"
+            ):
+                position += 1
+            text = line[start:position]
+            kind = FOR if text == "for" else NAME
+            yield Token(kind, text, line_number, column)
+            continue
+        raise FrontendError(
+            f"line {line_number}, column {column}: "
+            f"unexpected character {ch!r}"
+        )

@@ -1,0 +1,381 @@
+"""Lowering: loop AST -> dependence graph.
+
+Pass structure:
+
+1. **Instruction selection** — each :class:`BinOp` becomes one DDG op
+   (class chosen by operator through :class:`OpClassMap`), each array
+   read a ``load``, each array assignment a ``store``.  Pure scalar
+   copies (``x = y``) generate no code; they alias.
+2. **Scalar def-use** — a scalar read at a program point resolves to the
+   most recent definition *above* it (distance 0) or, if none, to the
+   scalar's last definition in the body at distance 1 (previous
+   iteration).  Reads feeding the scalar's own defining op therefore
+   close recurrence cycles (``s = s + t`` self-loops).  Scalars never
+   defined in the body are loop invariants (no dependence).
+3. **Memory dependence analysis** — for affine references ``A[i + k]``
+   on one array, an access pair (W at ``k_w``, R at ``k_r``) touches the
+   same address ``k_w - k_r`` iterations apart; flow (store->load), anti
+   (load->store) and output (store->store) edges are emitted with that
+   exact distance when it is >= 0 (or 0 with compatible program order).
+   Anti and output edges carry a latency override of 1 — the second
+   access need only *start* after the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ddg.graph import Ddg
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    LoopAst,
+    Operand,
+    ScalarRef,
+)
+from repro.frontend.errors import FrontendError
+from repro.frontend.parser import parse_loop
+
+
+@dataclass(frozen=True)
+class OpClassMap:
+    """Operator / access -> machine op-class mapping.
+
+    Defaults target the FP-oriented presets (``powerpc604``,
+    ``motivating``); pass a custom map to compile for other machines,
+    e.g. ``OpClassMap(add="add", mul="mul", div="div")`` for integer
+    code on the clean preset.
+    """
+
+    add: str = "fadd"
+    sub: str = "fadd"
+    mul: str = "fmul"
+    div: str = "fdiv"
+    load: str = "load"
+    store: str = "store"
+
+    def for_operator(self, operator: str) -> str:
+        try:
+            return {
+                "+": self.add,
+                "-": self.sub,
+                "*": self.mul,
+                "/": self.div,
+            }[operator]
+        except KeyError:
+            raise FrontendError(f"unknown operator {operator!r}") from None
+
+
+#: Where a value comes from: a DDG op, a previous-iteration scalar, a
+#: constant, or a loop-invariant scalar.
+@dataclass(frozen=True)
+class _FromOp:
+    op_index: int
+
+
+@dataclass(frozen=True)
+class _Carried:
+    scalar: str
+
+
+@dataclass(frozen=True)
+class _ConstVal:
+    value: float
+
+
+_Value = Union[_FromOp, _Carried, _ConstVal, None]
+
+
+@dataclass
+class OperandSource:
+    """Functional origin of one operand (for dataflow execution).
+
+    ``kind`` is ``"const"`` (literal ``value``), ``"op"`` (result of
+    ``op_index`` from ``distance`` iterations back; ``name`` holds the
+    scalar whose pre-loop seed covers iterations before the recurrence
+    warms up), ``"scalar"`` (loop-invariant read of ``name``), or
+    ``"carried_const"`` (previous iteration's value of ``name``, which
+    is the seed on iteration 0 and ``value`` afterwards).
+    """
+
+    kind: str
+    value: float = 0.0
+    op_index: int = -1
+    distance: int = 0
+    name: str = ""
+
+
+@dataclass
+class OpSemantics:
+    """What an op computes (recorded at lowering for execution)."""
+
+    kind: str  # "binop" | "load" | "store"
+    operator: str = ""
+    operands: List[OperandSource] = field(default_factory=list)
+    array: str = ""
+    offset: int = 0
+
+
+@dataclass
+class CompiledLoop:
+    """A lowered loop plus per-op functional semantics and its AST."""
+
+    ddg: Ddg
+    semantics: Dict[int, OpSemantics]
+    ast: "LoopAst"
+
+
+@dataclass
+class _MemAccess:
+    array: str
+    offset: int
+    op_index: int
+    position: int
+    is_store: bool
+
+
+@dataclass
+class _Builder:
+    ddg: Ddg
+    classes: OpClassMap
+    cse: bool = True
+    scalar_value: Dict[str, _Value] = field(default_factory=dict)
+    #: (consumer op, carried scalar name) pairs to resolve after the pass.
+    carried_reads: List[Tuple[int, str]] = field(default_factory=list)
+    accesses: List[_MemAccess] = field(default_factory=list)
+    position: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: (array, offset) -> load op, valid until the array is stored to.
+    load_cache: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    semantics: Dict[int, OpSemantics] = field(default_factory=dict)
+    #: (op, operand slot, scalar) placeholders resolved after the pass.
+    operand_fixups: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def fresh_name(self, prefix: str) -> str:
+        count = self.counters.get(prefix, 0)
+        self.counters[prefix] = count + 1
+        return f"{prefix}{count}"
+
+    def connect(self, value: _Value, consumer: int) -> None:
+        """Record the dependence feeding ``consumer`` from ``value``."""
+        if isinstance(value, _FromOp):
+            if value.op_index == consumer:
+                raise FrontendError(
+                    "internal: op cannot consume its own result"
+                )
+            self.ddg.add_dep(value.op_index, consumer)
+        elif isinstance(value, _Carried):
+            self.carried_reads.append((consumer, value.scalar))
+
+    def source_of(self, value: _Value, consumer: int, slot: int) -> OperandSource:
+        """Operand descriptor for ``value``; carried reads get a
+        placeholder fixed up once the body's definitions are known."""
+        if isinstance(value, _FromOp):
+            return OperandSource(kind="op", op_index=value.op_index)
+        if isinstance(value, _ConstVal):
+            return OperandSource(kind="const", value=value.value)
+        if isinstance(value, _Carried):
+            self.operand_fixups.append((consumer, slot, value.scalar))
+            return OperandSource(kind="scalar", name=value.scalar)
+        raise FrontendError(f"cannot describe operand {value!r}")
+
+    # -- expression lowering ---------------------------------------------------
+    def lower_operand(self, node: Operand) -> _Value:
+        if isinstance(node, Const):
+            return _ConstVal(node.value)
+        if isinstance(node, ScalarRef):
+            if node.name in self.scalar_value:
+                return self.scalar_value[node.name]
+            # Read-before-def: previous iteration (resolved later) —
+            # unless the scalar is never defined, then it is invariant.
+            return _Carried(node.name)
+        if isinstance(node, ArrayRef):
+            return self.emit_load(node)
+        if isinstance(node, BinOp):
+            left = self.lower_operand(node.left)
+            right = self.lower_operand(node.right)
+            op_class = self.classes.for_operator(node.op)
+            op = self.ddg.add_op(self.fresh_name("t"), op_class)
+            self.connect(left, op.index)
+            self.connect(right, op.index)
+            self.semantics[op.index] = OpSemantics(
+                kind="binop",
+                operator=node.op,
+                operands=[
+                    self.source_of(left, op.index, 0),
+                    self.source_of(right, op.index, 1),
+                ],
+            )
+            return _FromOp(op.index)
+        raise FrontendError(f"cannot lower {node!r}")
+
+    def emit_load(self, ref: ArrayRef) -> _FromOp:
+        cache_key = (ref.name, ref.offset)
+        if self.cse and cache_key in self.load_cache:
+            return _FromOp(self.load_cache[cache_key])
+        op = self.ddg.add_op(
+            self.fresh_name(f"ld_{ref.name}_"), self.classes.load
+        )
+        self.accesses.append(_MemAccess(
+            array=ref.name, offset=ref.offset, op_index=op.index,
+            position=self.position, is_store=False,
+        ))
+        if self.cse:
+            self.load_cache[cache_key] = op.index
+        self.semantics[op.index] = OpSemantics(
+            kind="load", array=ref.name, offset=ref.offset
+        )
+        return _FromOp(op.index)
+
+    # -- statements -------------------------------------------------------------------
+    def lower_statement(self, statement: Assign) -> None:
+        value = self.lower_operand(statement.expr)
+        target = statement.target
+        if isinstance(target, ScalarRef):
+            # Pure copies alias; computed values define the scalar.
+            self.scalar_value[target.name] = value
+            return
+        store = self.ddg.add_op(
+            self.fresh_name(f"st_{target.name}_"),
+            self.classes.store,
+        )
+        self.connect(value, store.index)
+        self.semantics[store.index] = OpSemantics(
+            kind="store", array=target.name, offset=target.offset,
+            operands=[self.source_of(value, store.index, 0)],
+        )
+        self.accesses.append(_MemAccess(
+            array=target.name, offset=target.offset, op_index=store.index,
+            position=self.position, is_store=True,
+        ))
+        # A store invalidates cached loads of the same array.
+        for key in [k for k in self.load_cache if k[0] == target.name]:
+            del self.load_cache[key]
+
+    # -- post passes -----------------------------------------------------------------------
+    def resolve_carried_reads(self) -> None:
+        for consumer, scalar in self.carried_reads:
+            final = self.scalar_value.get(scalar)
+            if final is None or isinstance(final, (_Carried, _ConstVal)):
+                continue  # loop invariant, constant, or chained copy
+            if final.op_index == consumer:
+                self.ddg.add_dep(consumer, consumer, distance=1)
+            else:
+                self.ddg.add_dep(final.op_index, consumer, distance=1)
+        for op_index, slot, scalar in self.operand_fixups:
+            final = self.scalar_value.get(scalar)
+            operands = self.semantics[op_index].operands
+            if isinstance(final, _FromOp):
+                operands[slot] = OperandSource(
+                    kind="op", op_index=final.op_index, distance=1,
+                    name=scalar,
+                )
+            elif isinstance(final, _ConstVal):
+                operands[slot] = OperandSource(
+                    kind="carried_const", value=final.value, name=scalar,
+                )
+            # None / chained-carried stay as invariant scalar reads.
+
+    def add_memory_deps(self) -> None:
+        by_array: Dict[str, List[_MemAccess]] = {}
+        for access in self.accesses:
+            by_array.setdefault(access.array, []).append(access)
+        for accesses in by_array.values():
+            for first in accesses:
+                for second in accesses:
+                    if first is second:
+                        continue
+                    self._maybe_mem_dep(first, second)
+
+    def _maybe_mem_dep(self, a: _MemAccess, b: _MemAccess) -> None:
+        """Emit the dependence a -> b if a's access precedes b's to the
+        same address.  ``a`` precedes when the address written/read by
+        ``a`` in iteration j is touched by ``b`` in iteration
+        ``j + (a.offset - b.offset)`` — valid when that distance is > 0,
+        or 0 with a earlier in program order."""
+        if not a.is_store and not b.is_store:
+            return  # load-load: no dependence
+        distance = a.offset - b.offset
+        if distance < 0 or (distance == 0 and a.position >= b.position):
+            return
+        if a.is_store and not b.is_store:
+            kind, latency = "mem-flow", None
+        elif not a.is_store and b.is_store:
+            kind, latency = "mem-anti", 1
+        else:
+            kind, latency = "mem-output", 1
+        if a.op_index == b.op_index:
+            return
+        self.ddg.add_dep(a.op_index, b.op_index, distance=distance,
+                         kind=kind, latency=latency)
+
+
+
+def _lower(ast: LoopAst, classes: Optional[OpClassMap], cse: bool) -> _Builder:
+    builder = _Builder(
+        ddg=Ddg(ast.name), classes=classes or OpClassMap(), cse=cse
+    )
+    for position, statement in enumerate(ast.body):
+        builder.position = position
+        builder.lower_statement(statement)
+    builder.resolve_carried_reads()
+    builder.add_memory_deps()
+    if builder.ddg.num_ops == 0:
+        raise FrontendError(
+            "loop body lowers to no operations (only copies of invariants)"
+        )
+    return builder
+
+
+def lower_loop(
+    ast: LoopAst,
+    classes: Optional[OpClassMap] = None,
+    cse: bool = True,
+) -> Ddg:
+    """Lower a parsed loop to a DDG."""
+    return _lower(ast, classes, cse).ddg
+
+
+def compile_loop_semantics(
+    source: str,
+    name: str = "loop",
+    classes: Optional[OpClassMap] = None,
+    cse: bool = True,
+) -> CompiledLoop:
+    """Compile with per-op functional semantics attached.
+
+    The result drives :func:`repro.sim.functional.execute_dataflow`,
+    which replays a *schedule* value-by-value and compares against the
+    sequential interpreter.  (Store-to-load forwarding is not supported
+    here: :mod:`repro.frontend.optimize` rebuilds the DDG without
+    semantics.)
+    """
+    ast = parse_loop(source, name)
+    builder = _lower(ast, classes, cse)
+    return CompiledLoop(ddg=builder.ddg, semantics=builder.semantics,
+                        ast=ast)
+
+
+def compile_loop(
+    source: str,
+    name: str = "loop",
+    classes: Optional[OpClassMap] = None,
+    cse: bool = True,
+    forward: bool = False,
+) -> Ddg:
+    """Parse and lower DSL ``source`` into a dependence graph.
+
+    ``cse`` collapses duplicate loads of one address at lowering time;
+    ``forward`` additionally runs store-to-load forwarding
+    (:mod:`repro.frontend.optimize`) so memory-carried recurrences turn
+    into register-carried ones.
+    """
+    ddg = lower_loop(parse_loop(source, name), classes, cse=cse)
+    if forward:
+        from repro.frontend.optimize import optimize
+
+        ddg = optimize(ddg)
+    return ddg

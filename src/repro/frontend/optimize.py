@@ -1,0 +1,118 @@
+"""Store-to-load forwarding over front-end DDGs.
+
+Replaces value paths through memory with equivalent register paths: a
+load whose address was written ``m`` iterations earlier gets its
+consumers rewired to the stored value's producer at distance ``m``,
+shrinking memory-carried recurrences (``x[i] = x[i-1] + y[i]`` drops
+from the store+reload round trip to the bare add latency).  The store
+itself always stays (memory must still be written); the load disappears
+when nothing else reads it.
+
+Safety conditions enforced:
+
+* only loads with **exactly one** incoming ``mem-flow`` edge are
+  forwarded (several writers would need most-recent-writer reasoning);
+* a rewire that would create a zero-distance self-cycle is skipped;
+* anti/output edges of a deleted load vanish with it — sound, because
+  with no read left there is nothing for a later store to clobber.
+
+(Load CSE lives in the front end itself — see
+``compile_loop(..., cse=True)`` — where address offsets are known.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ddg.graph import Ddg, Dep
+
+
+def forward_stores(ddg: Ddg) -> Ddg:
+    """One forwarding pass; returns a rewritten copy (input untouched)."""
+    store_value: Dict[int, int] = {}
+    for dep in ddg.deps:
+        if dep.kind == "flow" and ddg.ops[dep.dst].op_class == "store":
+            store_value[dep.dst] = dep.src
+
+    incoming_mem_flow: Dict[int, List[int]] = {}
+    for index, dep in enumerate(ddg.deps):
+        if dep.kind == "mem-flow":
+            incoming_mem_flow.setdefault(dep.dst, []).append(index)
+
+    new_deps: List[Dep] = []
+    drop_deps: Set[int] = set()
+    fully_forwarded: Set[int] = set()
+    for load, mem_edges in incoming_mem_flow.items():
+        if ddg.ops[load].op_class != "load" or len(mem_edges) != 1:
+            continue
+        mem_dep = ddg.deps[mem_edges[0]]
+        producer = store_value.get(mem_dep.src)
+        if producer is None:
+            continue  # store of a constant: nothing to forward
+        all_rewired = True
+        for out_index, out in enumerate(ddg.deps):
+            if out.src != load or out.kind != "flow":
+                continue
+            total = mem_dep.distance + out.distance
+            if producer == out.dst and total == 0:
+                all_rewired = False
+                continue
+            new_deps.append(Dep(producer, out.dst, total, "flow", None))
+            drop_deps.add(out_index)
+        if all_rewired:
+            fully_forwarded.add(load)
+
+    if not new_deps:
+        return ddg.copy()
+    drop_ops = {
+        load for load in fully_forwarded
+        if not any(
+            dep.src == load and dep.kind == "flow" and index not in drop_deps
+            for index, dep in enumerate(ddg.deps)
+        )
+    }
+    return _rebuild(ddg, drop_ops, new_deps, drop_deps)
+
+
+def optimize(ddg: Ddg) -> Ddg:
+    """Forwarding to a fixpoint (chains of copies through memory)."""
+    current = ddg
+    for _ in range(4):
+        after = forward_stores(current)
+        if (after.num_ops == current.num_ops
+                and after.num_deps == current.num_deps):
+            return after
+        current = after
+    return current
+
+
+def _rebuild(ddg: Ddg, drop_ops: Set[int], new_deps: List[Dep],
+             drop_deps: Set[int]) -> Ddg:
+    result = Ddg(ddg.name)
+    remap: Dict[int, int] = {}
+    for op in ddg.ops:
+        if op.index in drop_ops:
+            continue
+        remap[op.index] = result.add_op(op.name, op.op_class).index
+    seen = set()
+    for source_index, dep in enumerate(ddg.deps):
+        if source_index in drop_deps:
+            continue
+        if dep.src in drop_ops or dep.dst in drop_ops:
+            continue
+        key = (dep.src, dep.dst, dep.distance, dep.kind)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.add_dep(remap[dep.src], remap[dep.dst], dep.distance,
+                       dep.kind, dep.latency)
+    for dep in new_deps:
+        if dep.src in drop_ops or dep.dst in drop_ops:
+            continue
+        key = (dep.src, dep.dst, dep.distance, dep.kind)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.add_dep(remap[dep.src], remap[dep.dst], dep.distance,
+                       dep.kind, dep.latency)
+    return result

@@ -1,0 +1,162 @@
+"""Recursive-descent parser for the loop DSL.
+
+Grammar::
+
+    loop      := 'for' NAME ':' NEWLINE statement+
+    statement := target '=' expr NEWLINE
+    target    := NAME | NAME '[' index ']'
+    expr      := term (('+' | '-') term)*
+    term      := factor (('*' | '/') factor)*
+    factor    := NUMBER | NAME | NAME '[' index ']' | '(' expr ')'
+                 | '-' factor
+    index     := NAME (('+' | '-') NUMBER)? | NUMBER
+
+Array indices must be affine in the loop's induction variable (or a
+plain constant, treated as offset relative to nothing — rejected, since
+only induction-relative accesses carry analyzable distances).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    LoopAst,
+    Operand,
+    ScalarRef,
+)
+from repro.frontend.errors import FrontendError
+from repro.frontend import lexer
+from repro.frontend.lexer import Token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.induction = ""
+
+    # -- token plumbing --------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, what: str = "") -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            wanted = what or kind.lower()
+            raise FrontendError(
+                f"line {token.line}: expected {wanted}, got {token.text!r}"
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind == lexer.NEWLINE:
+            self.advance()
+
+    # -- grammar ------------------------------------------------------------------
+    def parse_loop(self, name: str) -> LoopAst:
+        self.skip_newlines()
+        self.expect(lexer.FOR, "'for'")
+        self.induction = self.expect(lexer.NAME, "induction variable").text
+        self.expect(lexer.COLON, "':'")
+        self.expect(lexer.NEWLINE, "newline after loop header")
+        body: List[Assign] = []
+        self.skip_newlines()
+        while self.peek().kind not in (lexer.END,):
+            body.append(self.parse_statement())
+            self.skip_newlines()
+        if not body:
+            raise FrontendError("loop body is empty")
+        return LoopAst(induction=self.induction, body=body, name=name)
+
+    def parse_statement(self) -> Assign:
+        name_token = self.expect(lexer.NAME, "assignment target")
+        target: Union[ScalarRef, ArrayRef]
+        if self.peek().kind == lexer.LBRACKET:
+            target = self.parse_array_suffix(name_token)
+        else:
+            target = ScalarRef(name_token.text)
+        self.expect(lexer.EQUALS, "'='")
+        expr = self.parse_expr()
+        self.expect(lexer.NEWLINE, "end of statement")
+        return Assign(target=target, expr=expr, line=name_token.line)
+
+    def parse_expr(self) -> Operand:
+        node = self.parse_term()
+        while self.peek().kind == lexer.OP and self.peek().text in "+-":
+            op = self.advance().text
+            node = BinOp(op, node, self.parse_term())
+        return node
+
+    def parse_term(self) -> Operand:
+        node = self.parse_factor()
+        while self.peek().kind == lexer.OP and self.peek().text in "*/":
+            op = self.advance().text
+            node = BinOp(op, node, self.parse_factor())
+        return node
+
+    def parse_factor(self) -> Operand:
+        token = self.peek()
+        if token.kind == lexer.OP and token.text == "-":
+            self.advance()
+            inner = self.parse_factor()
+            if isinstance(inner, Const):
+                return Const(-inner.value)
+            return BinOp("-", Const(0.0), inner)
+        if token.kind == lexer.NUMBER:
+            self.advance()
+            return Const(float(token.text))
+        if token.kind == lexer.LPAREN:
+            self.advance()
+            node = self.parse_expr()
+            self.expect(lexer.RPAREN, "')'")
+            return node
+        if token.kind == lexer.NAME:
+            name_token = self.advance()
+            if self.peek().kind == lexer.LBRACKET:
+                return self.parse_array_suffix(name_token)
+            return ScalarRef(name_token.text)
+        raise FrontendError(
+            f"line {token.line}: unexpected {token.text!r} in expression"
+        )
+
+    def parse_array_suffix(self, name_token: Token) -> ArrayRef:
+        self.expect(lexer.LBRACKET)
+        index_token = self.peek()
+        if index_token.kind != lexer.NAME:
+            raise FrontendError(
+                f"line {index_token.line}: array index must be affine in "
+                f"the induction variable (e.g. {name_token.text}[i+1])"
+            )
+        self.advance()
+        if index_token.text != self.induction:
+            raise FrontendError(
+                f"line {index_token.line}: index variable "
+                f"{index_token.text!r} is not the induction variable "
+                f"{self.induction!r}"
+            )
+        offset = 0
+        if self.peek().kind == lexer.OP and self.peek().text in "+-":
+            sign = 1 if self.advance().text == "+" else -1
+            magnitude = self.expect(lexer.NUMBER, "integer offset")
+            if "." in magnitude.text:
+                raise FrontendError(
+                    f"line {magnitude.line}: array offset must be integral"
+                )
+            offset = sign * int(magnitude.text)
+        self.expect(lexer.RBRACKET, "']'")
+        return ArrayRef(name_token.text, offset)
+
+
+def parse_loop(source: str, name: str = "loop") -> LoopAst:
+    """Parse DSL ``source`` into a :class:`LoopAst`."""
+    return _Parser(lexer.tokenize(source)).parse_loop(name)

@@ -1,0 +1,36 @@
+"""Integer linear programming substrate.
+
+The paper solves its unified scheduling+mapping formulation with a
+commercial ILP solver (IBM OSL).  This subpackage provides the equivalent,
+self-contained stack:
+
+* :mod:`repro.ilp.model` — a small modeling layer (variables, affine
+  expressions, linear constraints, objectives) in the spirit of PuLP.
+* :mod:`repro.ilp.simplex` — a dense two-phase primal simplex solver for
+  the LP relaxations (pure numpy).
+* :mod:`repro.ilp.branch_bound` — a best-first branch-and-bound MILP
+  solver built on the simplex engine.
+* :mod:`repro.ilp.highs` — an adapter to :func:`scipy.optimize.milp`
+  (HiGHS), used as the default production backend.
+
+The public surface is :class:`Model`, :class:`Variable`, :class:`LinExpr`,
+:class:`Solution`, and :class:`SolveStatus`; everything needed by
+:mod:`repro.core.formulation`.
+"""
+
+from repro.ilp.errors import IlpError, ModelError, SolverError
+from repro.ilp.model import Constraint, LinExpr, Model, Variable, lin_sum
+from repro.ilp.solution import Solution, SolveStatus
+
+__all__ = [
+    "Constraint",
+    "IlpError",
+    "LinExpr",
+    "Model",
+    "ModelError",
+    "Solution",
+    "SolveStatus",
+    "SolverError",
+    "Variable",
+    "lin_sum",
+]

@@ -1,0 +1,13 @@
+"""Exception hierarchy for the ILP substrate."""
+
+
+class IlpError(Exception):
+    """Base class for all errors raised by :mod:`repro.ilp`."""
+
+
+class ModelError(IlpError):
+    """The model is malformed (bad bounds, foreign variables, ...)."""
+
+
+class SolverError(IlpError):
+    """A backend failed in a way that is not an ordinary infeasibility."""

@@ -1,0 +1,90 @@
+"""CPLEX-LP-format export for models.
+
+Lets users inspect the generated scheduling ILPs or feed them to an
+external solver (CPLEX, Gurobi, SCIP, `highs` CLI all read this format),
+mirroring how the paper's system handed formulations to OSL.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict
+
+from repro.ilp.model import EQ, GE, LE, LinExpr, Model, Variable
+
+_SENSE_TEXT = {LE: "<=", GE: ">=", EQ: "="}
+
+
+def _sanitize(name: str) -> str:
+    """LP format forbids several characters common in our names."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch in "_." else "_")
+    text = "".join(out)
+    if not text or text[0].isdigit():
+        text = "v_" + text
+    return text
+
+
+def _unique_names(model: Model) -> Dict[Variable, str]:
+    names: Dict[Variable, str] = {}
+    used: Dict[str, int] = {}
+    for var in model.variables:
+        base = _sanitize(var.name)
+        count = used.get(base, 0)
+        used[base] = count + 1
+        names[var] = base if count == 0 else f"{base}_{count}"
+    return names
+
+
+def _expr_text(
+    expr: LinExpr, names: Dict[Variable, str], fallback: str = ""
+) -> str:
+    parts = []
+    for var, coef in sorted(expr.terms.items(), key=lambda kv: kv[0].index):
+        if coef == 0:
+            continue
+        sign = "+" if coef >= 0 else "-"
+        magnitude = abs(coef)
+        coef_text = "" if magnitude == 1 else f"{magnitude:g} "
+        parts.append(f"{sign} {coef_text}{names[var]}")
+    if not parts:
+        # An empty expression (e.g. feasibility objective): reference an
+        # arbitrary variable with zero coefficient to stay parseable.
+        return f"0 {fallback}" if fallback else "0"
+    text = " ".join(parts)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def write_lp(model: Model) -> str:
+    """Serialize ``model`` to CPLEX LP format text."""
+    names = _unique_names(model)
+    out = io.StringIO()
+    sense = "Minimize" if model.sense_minimize else "Maximize"
+    out.write(f"\\ {model.name}\n{sense}\n")
+    fallback = names[model.variables[0]] if model.variables else ""
+    objective = _expr_text(model.objective, names, fallback)
+    out.write(f" obj: {objective}\n")
+    out.write("Subject To\n")
+    for con in model.constraints:
+        lhs = _expr_text(LinExpr(con.expr.terms), names, fallback)
+        rhs = con.rhs + 0.0  # normalize -0.0 to 0.0
+        out.write(
+            f" {_sanitize(con.name)}: {lhs} "
+            f"{_SENSE_TEXT[con.sense]} {rhs:g}\n"
+        )
+    out.write("Bounds\n")
+    for var in model.variables:
+        name = names[var]
+        if var.ub == float("inf"):
+            out.write(f" {var.lb:g} <= {name} <= +inf\n")
+        else:
+            out.write(f" {var.lb:g} <= {name} <= {var.ub:g}\n")
+    integers = [names[v] for v in model.variables if v.integer]
+    if integers:
+        out.write("General\n")
+        for chunk_start in range(0, len(integers), 8):
+            row = " ".join(integers[chunk_start:chunk_start + 8])
+            out.write(f" {row}\n")
+    out.write("End\n")
+    return out.getvalue()

@@ -1,0 +1,281 @@
+"""Dense two-phase primal simplex solver (pure numpy).
+
+This is the LP engine underneath :mod:`repro.ilp.branch_bound`.  It is a
+classical tableau implementation: the model is lowered to the standard
+form ``min c y  s.t.  A y = b, y >= 0`` with slack/surplus/artificial
+columns, phase 1 minimizes the artificial sum, phase 2 the real objective.
+Dantzig pricing is used until stalling is detected, then Bland's rule
+guarantees termination.
+
+The implementation favours clarity over speed; the production backend for
+large models is HiGHS (:mod:`repro.ilp.highs`).  It is nonetheless exact
+enough to drive branch-and-bound on every model the test-suite and the
+motivating-example experiments build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ilp.standard import ArrayForm
+
+#: Feasibility / optimality tolerance.
+TOL = 1e-9
+
+#: After this many consecutive non-improving pivots, switch to Bland's rule.
+STALL_LIMIT = 50
+
+
+@dataclass
+class LpResult:
+    """Outcome of an LP solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+    iterations: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def solve_lp(
+    form: ArrayForm,
+    lb: Optional[np.ndarray] = None,
+    ub: Optional[np.ndarray] = None,
+    max_iterations: int = 20000,
+) -> LpResult:
+    """Solve the LP relaxation of ``form``.
+
+    ``lb``/``ub`` optionally override the variable bounds (used by
+    branch-and-bound to impose branching decisions without copying the
+    whole model).
+    """
+    lb = form.lb if lb is None else lb
+    ub = form.ub if ub is None else ub
+    n = form.num_vars
+    if np.any(lb > ub + TOL):
+        return LpResult(status="infeasible")
+    if n == 0:
+        lo_ok = np.all(form.row_lower <= TOL)
+        hi_ok = np.all(form.row_upper >= -TOL)
+        if lo_ok and hi_ok:
+            return LpResult(status="optimal", x=np.zeros(0), objective=form.c0)
+        return LpResult(status="infeasible")
+
+    rows_a, rows_b, senses = _collect_rows(form, lb, ub)
+    tableau = _Tableau(np.asarray(rows_a), np.asarray(rows_b), senses, n)
+    status, iterations = tableau.run_phase1(max_iterations)
+    if status != "optimal":
+        return LpResult(status=status, iterations=iterations)
+    if tableau.phase1_objective() > 1e-7:
+        return LpResult(status="infeasible", iterations=iterations)
+    tableau.drop_artificials()
+
+    shifted_c = form.c.copy()
+    status2, iters2 = tableau.run_phase2(shifted_c, max_iterations)
+    iterations += iters2
+    if status2 != "optimal":
+        return LpResult(status=status2, iterations=iterations)
+
+    y = tableau.primal_solution()
+    x = y + lb
+    objective = float(form.c @ x + form.c0)
+    return LpResult(status="optimal", x=x, objective=objective,
+                    iterations=iterations)
+
+
+def _collect_rows(form: ArrayForm, lb: np.ndarray, ub: np.ndarray):
+    """Lower two-sided rows and finite upper bounds to single-sense rows.
+
+    Works in the shifted space ``y = x - lb`` so all variables are
+    non-negative.  Returns (coefficient rows, rhs values, senses) where
+    senses are "<=", ">=", or "==".
+    """
+    rows_a = []
+    rows_b = []
+    senses = []
+    shift = form.a_matrix @ lb if form.num_rows else np.zeros(0)
+    for r in range(form.num_rows):
+        row = form.a_matrix[r]
+        lo = form.row_lower[r] - shift[r]
+        hi = form.row_upper[r] - shift[r]
+        if lo == hi:
+            rows_a.append(row)
+            rows_b.append(lo)
+            senses.append("==")
+            continue
+        if np.isfinite(hi):
+            rows_a.append(row)
+            rows_b.append(hi)
+            senses.append("<=")
+        if np.isfinite(lo):
+            rows_a.append(row)
+            rows_b.append(lo)
+            senses.append(">=")
+    n = form.num_vars
+    for j in range(n):
+        span = ub[j] - lb[j]
+        if np.isfinite(span):
+            bound_row = np.zeros(n)
+            bound_row[j] = 1.0
+            rows_a.append(bound_row)
+            rows_b.append(span)
+            senses.append("<=")
+    if not rows_a:
+        rows_a = [np.zeros(n)]
+        rows_b = [0.0]
+        senses = ["<="]
+    return rows_a, rows_b, senses
+
+
+class _Tableau:
+    """Standard-form tableau with slack, surplus and artificial columns."""
+
+    def __init__(self, a_rows: np.ndarray, b: np.ndarray, senses, n: int):
+        m = a_rows.shape[0]
+        self.n_struct = n
+        a_rows = a_rows.astype(float).copy()
+        b = b.astype(float).copy()
+        # Normalize to b >= 0 so artificial starts are feasible.
+        flip = b < 0
+        a_rows[flip] *= -1.0
+        b[flip] *= -1.0
+        senses = [
+            {"<=": ">=", ">=": "<=", "==": "=="}[s] if f else s
+            for s, f in zip(senses, flip)
+        ]
+
+        n_slack = sum(1 for s in senses if s == "<=")
+        n_surplus = sum(1 for s in senses if s == ">=")
+        n_art = sum(1 for s in senses if s in (">=", "=="))
+        total = n + n_slack + n_surplus + n_art
+        matrix = np.zeros((m, total))
+        matrix[:, :n] = a_rows
+        basis = np.empty(m, dtype=int)
+        slack_at = n
+        surplus_at = n + n_slack
+        art_at = n + n_slack + n_surplus
+        self.artificial_start = art_at
+        for r, sense in enumerate(senses):
+            if sense == "<=":
+                matrix[r, slack_at] = 1.0
+                basis[r] = slack_at
+                slack_at += 1
+            elif sense == ">=":
+                matrix[r, surplus_at] = -1.0
+                surplus_at += 1
+                matrix[r, art_at] = 1.0
+                basis[r] = art_at
+                art_at += 1
+            else:
+                matrix[r, art_at] = 1.0
+                basis[r] = art_at
+                art_at += 1
+        self.matrix = matrix
+        self.b = b
+        self.basis = basis
+        self.m = m
+        self.total = total
+        self.blocked = np.zeros(total, dtype=bool)
+
+    # -- phases ---------------------------------------------------------------
+    def run_phase1(self, max_iterations: int):
+        cost = np.zeros(self.total)
+        cost[self.artificial_start:] = 1.0
+        self._cost = cost
+        return self._iterate(max_iterations, allow_unbounded=False)
+
+    def phase1_objective(self) -> float:
+        return float(
+            sum(
+                self.b[r]
+                for r in range(self.m)
+                if self.basis[r] >= self.artificial_start
+            )
+        )
+
+    def drop_artificials(self) -> None:
+        """Pivot artificial variables out of the basis, then freeze them."""
+        for r in range(self.m):
+            if self.basis[r] < self.artificial_start:
+                continue
+            row = self.matrix[r]
+            candidates = np.where(
+                np.abs(row[: self.artificial_start]) > TOL
+            )[0]
+            usable = [j for j in candidates if not self.blocked[j]]
+            if usable:
+                self._pivot(r, usable[0])
+            # A row with no usable pivot is redundant (all-zero after
+            # elimination); its artificial stays basic at value 0.
+        self.blocked[self.artificial_start:] = True
+
+    def run_phase2(self, c_struct: np.ndarray, max_iterations: int):
+        cost = np.zeros(self.total)
+        cost[: self.n_struct] = c_struct
+        self._cost = cost
+        return self._iterate(max_iterations, allow_unbounded=True)
+
+    # -- core iteration ----------------------------------------------------------
+    def _reduced_costs(self) -> np.ndarray:
+        cb = self._cost[self.basis]
+        return self._cost - cb @ self.matrix
+
+    def _iterate(self, max_iterations: int, allow_unbounded: bool):
+        iterations = 0
+        stall = 0
+        last_obj = np.inf
+        while iterations < max_iterations:
+            reduced = self._reduced_costs()
+            reduced[self.blocked] = 0.0
+            if np.all(reduced >= -TOL):
+                return "optimal", iterations
+            if stall >= STALL_LIMIT:
+                negatives = np.where(reduced < -TOL)[0]
+                enter = int(negatives[0])  # Bland
+            else:
+                enter = int(np.argmin(reduced))
+            column = self.matrix[:, enter]
+            positive = column > TOL
+            if not np.any(positive):
+                if allow_unbounded:
+                    return "unbounded", iterations
+                return "infeasible", iterations
+            ratios = np.full(self.m, np.inf)
+            ratios[positive] = self.b[positive] / column[positive]
+            min_ratio = ratios.min()
+            ties = np.where(ratios <= min_ratio + TOL)[0]
+            # Bland-compatible tie-break: smallest basis index leaves.
+            leave = int(min(ties, key=lambda r: self.basis[r]))
+            self._pivot(leave, enter)
+            iterations += 1
+            obj = float(self._cost[self.basis] @ self.b)
+            if obj >= last_obj - 1e-12:
+                stall += 1
+            else:
+                stall = 0
+            last_obj = obj
+        return "iteration_limit", iterations
+
+    def _pivot(self, row: int, col: int) -> None:
+        pivot_value = self.matrix[row, col]
+        self.matrix[row] /= pivot_value
+        self.b[row] /= pivot_value
+        for r in range(self.m):
+            if r == row:
+                continue
+            factor = self.matrix[r, col]
+            if factor != 0.0:
+                self.matrix[r] -= factor * self.matrix[row]
+                self.b[r] -= factor * self.b[row]
+        self.basis[row] = col
+
+    def primal_solution(self) -> np.ndarray:
+        y = np.zeros(self.total)
+        y[self.basis] = self.b
+        return y[: self.n_struct]

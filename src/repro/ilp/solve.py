@@ -1,0 +1,39 @@
+"""Backend dispatch for :meth:`repro.ilp.Model.solve`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ilp.errors import SolverError
+from repro.ilp.model import Model
+from repro.ilp.solution import Solution
+
+_BACKENDS = ("auto", "highs", "bnb")
+
+
+def solve(
+    model: Model,
+    backend: str = "auto",
+    time_limit: Optional[float] = None,
+    gap: float = 1e-6,
+) -> Solution:
+    """Solve ``model`` with the chosen backend.
+
+    ``auto`` prefers HiGHS (fast, production) and falls back to the
+    built-in branch-and-bound when scipy's MILP interface is unavailable.
+    """
+    if backend not in _BACKENDS:
+        raise SolverError(
+            f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    if backend in ("auto", "highs"):
+        try:
+            from repro.ilp.highs import solve_highs
+
+            return solve_highs(model, time_limit=time_limit, gap=gap)
+        except ImportError:
+            if backend == "highs":
+                raise SolverError("scipy.optimize.milp is not available")
+    from repro.ilp.branch_bound import solve_bnb
+
+    return solve_bnb(model, time_limit=time_limit, gap=gap)

@@ -1,0 +1,97 @@
+"""Conversion of a :class:`repro.ilp.Model` to array form for backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.ilp.errors import ModelError
+from repro.ilp.model import EQ, GE, LE, Model
+
+
+@dataclass
+class ArrayForm:
+    """Dense array representation of a model.
+
+    The objective is always stored as *minimize* ``c @ x + c0``; for a
+    maximization model ``c``/``c0`` are pre-negated and ``flipped`` is set
+    so callers can restore the user-facing objective value.
+    """
+
+    c: np.ndarray
+    c0: float
+    a_matrix: np.ndarray
+    row_lower: np.ndarray
+    row_upper: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    integrality: np.ndarray
+    flipped: bool
+    row_names: List[str]
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.shape[0]
+
+    @property
+    def num_rows(self) -> int:
+        return self.a_matrix.shape[0]
+
+    def user_objective(self, minimized_value: float) -> float:
+        """Map a minimized objective value back to the model's sense."""
+        return -minimized_value if self.flipped else minimized_value
+
+
+def to_arrays(model: Model) -> ArrayForm:
+    """Lower a model to the dense :class:`ArrayForm`.
+
+    Rows are encoded with two-sided bounds ``row_lower <= A x <= row_upper``
+    which matches both HiGHS and the simplex driver.
+    """
+    n = model.num_vars
+    c = np.zeros(n)
+    for var, coef in model.objective.terms.items():
+        c[var.index] += coef
+    c0 = model.objective.const
+    flipped = not model.sense_minimize
+    if flipped:
+        c = -c
+        c0 = -c0
+
+    m = model.num_constraints
+    a_matrix = np.zeros((m, n))
+    row_lower = np.full(m, -np.inf)
+    row_upper = np.full(m, np.inf)
+    row_names = []
+    for r, con in enumerate(model.constraints):
+        row_names.append(con.name)
+        for var, coef in con.expr.terms.items():
+            a_matrix[r, var.index] += coef
+        rhs = con.rhs
+        if con.sense == LE:
+            row_upper[r] = rhs
+        elif con.sense == GE:
+            row_lower[r] = rhs
+        elif con.sense == EQ:
+            row_lower[r] = rhs
+            row_upper[r] = rhs
+        else:  # pragma: no cover - Constraint guards senses already
+            raise ModelError(f"unknown sense {con.sense!r}")
+
+    lb = np.array([v.lb for v in model.variables], dtype=float)
+    ub = np.array([v.ub for v in model.variables], dtype=float)
+    integrality = np.array([v.integer for v in model.variables], dtype=bool)
+    return ArrayForm(
+        c=c,
+        c0=c0,
+        a_matrix=a_matrix,
+        row_lower=row_lower,
+        row_upper=row_upper,
+        lb=lb,
+        ub=ub,
+        integrality=integrality,
+        flipped=flipped,
+        row_names=row_names,
+    )

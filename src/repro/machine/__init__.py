@@ -1,0 +1,23 @@
+"""Machine-description substrate.
+
+Models the paper's target architectures: function units (FUs) described by
+**reservation tables** (Kogge [15]) — stages x cycles 0-1 matrices — with a
+count of identical physical copies per FU type, and instruction classes
+mapping operations to FU types with a latency.
+
+Covers the whole spectrum the paper discusses:
+
+* *clean pipelines* — every stage used exactly once, a new operation can
+  enter every cycle;
+* *non-pipelined units* — one stage busy for the whole execution time;
+* *unclean pipelines* — arbitrary reservation tables with structural
+  hazards (a stage used more than once, or several stages at once);
+* *multi-function pipelines* (paper §7 extension) — several instruction
+  classes sharing one FU type with per-class reservation tables.
+"""
+
+from repro.machine.errors import MachineError
+from repro.machine.machine import FuType, Machine, OpClass
+from repro.machine.reservation import ReservationTable
+
+__all__ = ["FuType", "Machine", "MachineError", "OpClass", "ReservationTable"]

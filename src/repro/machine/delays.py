@@ -1,0 +1,154 @@
+"""Delay insertion: making a reservation table compatible with a period.
+
+The paper assumes the modulo scheduling constraint holds and declares the
+other case "beyond the scope of this paper" (§3).  The classical fix
+(Patel & Davidson, 1976) inserts delay stages into the pipeline's data
+path so that stage usages shift to cycles that are distinct mod ``T``.
+
+Model: the table's columns are shifted by a non-decreasing vector
+``s_0 <= s_1 <= ...`` (a delay inserted before column ``j`` also delays
+every later column, preserving flow order).  We search the minimum total
+shift making every stage's used cycles pairwise distinct mod ``T``,
+returning the delayed table and the latency penalty (the shift of the
+final column, which postpones the result).
+
+Used by the scheduler extension in experiment E16: periods the paper's
+formulation must skip become admissible at the price of extra latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.errors import MachineError
+from repro.machine.reservation import ReservationTable
+
+
+@dataclass(frozen=True)
+class DelayedTable:
+    """Result of :func:`insert_delays`."""
+
+    table: ReservationTable
+    column_shifts: Tuple[int, ...]
+    #: Cycles by which the operation's completion (result) is postponed.
+    latency_penalty: int
+
+    @property
+    def total_delay(self) -> int:
+        return sum(self.column_shifts)
+
+
+def _shifted(table: ReservationTable, shifts: List[int]) -> ReservationTable:
+    """Rebuild the table with column ``j`` moved to ``j + shifts[j]``."""
+    new_length = table.length - 1 + shifts[-1] + 1 if shifts else table.length
+    matrix = np.zeros((table.num_stages, new_length), dtype=int)
+    for stage, cycle in table.usage_offsets():
+        matrix[stage, cycle + shifts[cycle]] = 1
+    return ReservationTable(matrix)
+
+
+def _stage_conflicts(table: ReservationTable, shifts: List[int],
+                     t_period: int, upto_column: int) -> bool:
+    """Check mod-T collisions among already-shifted columns."""
+    for stage in range(table.num_stages):
+        seen = set()
+        for cycle in table.stage_cycles(stage):
+            if cycle > upto_column:
+                continue
+            slot = (cycle + shifts[cycle]) % t_period
+            if slot in seen:
+                return True
+            seen.add(slot)
+    return False
+
+
+def insert_delays(
+    table: ReservationTable,
+    t_period: int,
+    max_total_delay: int = 16,
+) -> Optional[DelayedTable]:
+    """Minimum-total-delay column shifts making ``table`` T-compatible.
+
+    Returns ``None`` when no shift assignment within the budget works
+    (e.g. a stage with more uses than ``T`` slots can never fit).
+    Already-compatible tables return zero shifts.
+    """
+    if t_period < 1:
+        raise MachineError(f"period must be >= 1, got {t_period}")
+    if table.max_stage_usage > t_period:
+        return None  # pigeonhole: some stage can never fit mod T
+    columns = table.length
+    if table.modulo_feasible(t_period):
+        return DelayedTable(
+            table=table,
+            column_shifts=tuple([0] * columns),
+            latency_penalty=0,
+        )
+
+    # Iterative deepening on the total delay keeps the first solution
+    # minimal; per column the extra delay is bounded by T - 1 (a full
+    # period of slip never helps mod T beyond T - 1).
+    for budget in range(1, max_total_delay + 1):
+        shifts = [0] * columns
+        if _search(table, t_period, shifts, column=1, budget=budget):
+            return DelayedTable(
+                table=_shifted(table, shifts),
+                column_shifts=tuple(shifts),
+                latency_penalty=shifts[-1],
+            )
+    return None
+
+
+def _search(table: ReservationTable, t_period: int, shifts: List[int],
+            column: int, budget: int) -> bool:
+    if column == table.length:
+        return not _stage_conflicts(table, shifts, t_period,
+                                    table.length - 1)
+    base = shifts[column - 1]
+    for extra in range(0, min(budget, t_period - 1) + 1):
+        shifts[column] = base + extra
+        if _stage_conflicts(table, shifts, t_period, column):
+            continue
+        if _search(table, t_period, shifts, column + 1, budget - extra):
+            return True
+    shifts[column] = base
+    return False
+
+
+def delayed_machine(machine, t_period: int, max_total_delay: int = 16):
+    """A machine variant whose tables are all T-compatible, or ``None``.
+
+    Every op class whose table violates the modulo constraint at
+    ``t_period`` is given a delayed table; its latency grows by the
+    delay's penalty (the result emerges later).  FU-type default tables
+    are delayed likewise.  Returns ``None`` if any table is beyond
+    repair within the budget.
+    """
+    from repro.machine.machine import Machine
+
+    patched = Machine(f"{machine.name}@T={t_period}-delayed")
+    fu_delays = {}
+    for fu in machine.fu_types.values():
+        outcome = insert_delays(fu.table, t_period, max_total_delay)
+        if outcome is None:
+            return None
+        fu_delays[fu.name] = outcome
+        patched.add_fu_type(fu.name, fu.count, outcome.table, cost=fu.cost)
+    for cls in machine.op_classes.values():
+        if cls.table is not None:
+            outcome = insert_delays(cls.table, t_period, max_total_delay)
+            if outcome is None:
+                return None
+            patched.add_op_class(
+                cls.name, cls.fu_type,
+                cls.latency + outcome.latency_penalty, outcome.table,
+            )
+        else:
+            penalty = fu_delays[cls.fu_type].latency_penalty
+            patched.add_op_class(
+                cls.name, cls.fu_type, cls.latency + penalty, None
+            )
+    return patched

@@ -1,0 +1,5 @@
+"""Errors raised by the machine-description substrate."""
+
+
+class MachineError(Exception):
+    """Malformed machine description (bad tables, unknown classes, ...)."""

@@ -1,0 +1,172 @@
+"""Machine descriptions as text files.
+
+Lets users define architectures without writing Python, e.g.::
+
+    machine dsp
+    fu MAC count=2 cost=2.0
+      row 1 0 0 0
+      row 0 1 1 0
+      row 0 0 0 1
+    fu AGU count=2 clean=2
+    class mac  MAC latency=4
+    class div  MAC latency=6 nonpipelined=6
+    class load AGU latency=2
+    class store AGU latency=1 row=1
+
+FU tables come either from explicit ``row`` lines (stages in order),
+``clean=D`` (hazard-free D-deep pipeline) or ``nonpipelined=D``.
+Classes may override their FU's table the same way (inline ``row=...``
+uses comma-free single-row shorthand: ``row=101`` means ``[1,0,1]``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.machine.errors import MachineError
+from repro.machine.machine import Machine
+from repro.machine.reservation import ReservationTable
+
+
+def parse_machine(text: str) -> Machine:
+    """Parse the machine text format."""
+    machine: Optional[Machine] = None
+    pending_fu: Optional[Dict] = None
+    pending_rows: List[List[int]] = []
+
+    def flush_fu() -> None:
+        nonlocal pending_fu, pending_rows
+        if pending_fu is None:
+            return
+        if pending_rows:
+            table = ReservationTable(pending_rows)
+        elif "table" in pending_fu:
+            table = pending_fu["table"]
+        else:
+            raise MachineError(
+                f"FU {pending_fu['name']!r} has no reservation table "
+                "(add 'row' lines, clean=D or nonpipelined=D)"
+            )
+        machine.add_fu_type(
+            pending_fu["name"], pending_fu["count"], table,
+            cost=pending_fu["cost"],
+        )
+        pending_fu = None
+        pending_rows = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        directive = tokens[0]
+        try:
+            if directive == "machine":
+                if machine is not None:
+                    raise MachineError("duplicate 'machine' directive")
+                machine = Machine(tokens[1])
+            elif directive == "fu":
+                _require(machine, lineno)
+                flush_fu()
+                options = _options(tokens[2:])
+                pending_fu = {
+                    "name": tokens[1],
+                    "count": int(options.pop("count", "1")),
+                    "cost": float(options.pop("cost", "1.0")),
+                }
+                table = _table_from_options(options)
+                if table is not None:
+                    pending_fu["table"] = table
+                _reject_leftovers(options, lineno)
+            elif directive == "row":
+                if pending_fu is None:
+                    raise MachineError("'row' outside an 'fu' block")
+                pending_rows.append([int(v) for v in tokens[1:]])
+            elif directive == "class":
+                _require(machine, lineno)
+                flush_fu()
+                options = _options(tokens[3:])
+                latency = int(options.pop("latency"))
+                table = _table_from_options(options)
+                _reject_leftovers(options, lineno)
+                machine.add_op_class(tokens[1], tokens[2], latency, table)
+            else:
+                raise MachineError(f"unknown directive {directive!r}")
+        except (IndexError, ValueError, KeyError) as exc:
+            raise MachineError(f"line {lineno}: {exc!r}") from exc
+        except MachineError as exc:
+            if str(exc).startswith("line "):
+                raise
+            raise MachineError(f"line {lineno}: {exc}") from exc
+    if machine is None:
+        raise MachineError("missing 'machine' directive")
+    flush_fu()
+    machine.validate()
+    return machine
+
+
+def _require(machine: Optional[Machine], lineno: int) -> None:
+    if machine is None:
+        raise MachineError(
+            f"line {lineno}: 'machine NAME' must come first"
+        )
+
+
+def _options(tokens: List[str]) -> Dict[str, str]:
+    options = {}
+    for token in tokens:
+        if "=" not in token:
+            raise MachineError(f"expected key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        options[key] = value
+    return options
+
+
+def _table_from_options(options: Dict[str, str]) -> Optional[ReservationTable]:
+    if "clean" in options:
+        return ReservationTable.clean(int(options.pop("clean")))
+    if "nonpipelined" in options:
+        return ReservationTable.non_pipelined(
+            int(options.pop("nonpipelined"))
+        )
+    if "row" in options:
+        digits = options.pop("row")
+        return ReservationTable([[int(d) for d in digits]])
+    return None
+
+
+def _reject_leftovers(options: Dict[str, str], lineno: int) -> None:
+    if options:
+        raise MachineError(
+            f"line {lineno}: unknown option(s) {sorted(options)}"
+        )
+
+
+def serialize_machine(machine: Machine) -> str:
+    """Render a machine back into the text format (round-trips)."""
+    lines = [f"machine {machine.name}"]
+    for fu in machine.fu_types.values():
+        lines.append(f"fu {fu.name} count={fu.count} cost={fu.cost:g}")
+        for row in fu.table.matrix:
+            lines.append("  row " + " ".join(str(v) for v in row))
+    for cls in machine.op_classes.values():
+        line = f"class {cls.name} {cls.fu_type} latency={cls.latency}"
+        lines.append(line)
+        if cls.table is not None:
+            # Per-class tables are emitted as a dedicated FU-style note;
+            # single-row tables use the inline shorthand.
+            if cls.table.num_stages == 1:
+                digits = "".join(str(v) for v in cls.table.matrix[0])
+                lines[-1] += f" row={digits}"
+            else:
+                raise MachineError(
+                    f"class {cls.name!r} has a multi-stage override "
+                    "table, which the text format cannot express"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def load_machine(path) -> Machine:
+    """Read a machine description file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_machine(handle.read())

@@ -1,0 +1,174 @@
+"""Machine descriptions: FU types, counts, and instruction classes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.machine.errors import MachineError
+from repro.machine.reservation import ReservationTable
+
+
+@dataclass(frozen=True)
+class FuType:
+    """A function-unit type: ``count`` identical physical copies.
+
+    ``table`` is the default reservation table for operations executing on
+    this type; individual :class:`OpClass` entries may override it
+    (multi-function pipelines, paper §7).  ``cost`` weights the FU in the
+    ``min sum C_r * R_r`` objective (paper Eq. 5 context).
+    """
+
+    name: str
+    count: int
+    table: ReservationTable
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise MachineError(f"FU type {self.name!r} needs count >= 1")
+
+
+@dataclass(frozen=True)
+class OpClass:
+    """An instruction class bound to an FU type.
+
+    ``latency`` is the dependence latency ``d_i`` (cycles until the result
+    may be consumed); the reservation table describes *occupancy*, which
+    may be shorter or longer than the latency.
+    """
+
+    name: str
+    fu_type: str
+    latency: int
+    table: Optional[ReservationTable] = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise MachineError(f"op class {self.name!r} needs latency >= 1")
+
+
+@dataclass
+class Machine:
+    """A complete target description.
+
+    Example::
+
+        m = Machine("toy")
+        m.add_fu_type("FP", count=1,
+                      table=ReservationTable.from_rows([1,0,0],[0,1,0],[0,1,1]))
+        m.add_fu_type("MEM", count=1, table=ReservationTable.clean(3))
+        m.add_op_class("fadd", "FP", latency=2)
+        m.add_op_class("load", "MEM", latency=3)
+    """
+
+    name: str = "machine"
+    fu_types: Dict[str, FuType] = field(default_factory=dict)
+    op_classes: Dict[str, OpClass] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------------
+    def add_fu_type(
+        self,
+        name: str,
+        count: int,
+        table: ReservationTable,
+        cost: float = 1.0,
+    ) -> FuType:
+        if name in self.fu_types:
+            raise MachineError(f"duplicate FU type {name!r}")
+        fu = FuType(name, count, table, cost)
+        self.fu_types[name] = fu
+        return fu
+
+    def add_op_class(
+        self,
+        name: str,
+        fu_type: str,
+        latency: int,
+        table: Optional[ReservationTable] = None,
+    ) -> OpClass:
+        if name in self.op_classes:
+            raise MachineError(f"duplicate op class {name!r}")
+        if fu_type not in self.fu_types:
+            raise MachineError(
+                f"op class {name!r} references unknown FU type {fu_type!r}"
+            )
+        cls = OpClass(name, fu_type, latency, table)
+        self.op_classes[name] = cls
+        return cls
+
+    # -- lookups --------------------------------------------------------------------
+    def op_class(self, name: str) -> OpClass:
+        try:
+            return self.op_classes[name]
+        except KeyError:
+            raise MachineError(f"unknown op class {name!r}") from None
+
+    def fu_type(self, name: str) -> FuType:
+        try:
+            return self.fu_types[name]
+        except KeyError:
+            raise MachineError(f"unknown FU type {name!r}") from None
+
+    def fu_type_of(self, op_class: str) -> FuType:
+        return self.fu_type(self.op_class(op_class).fu_type)
+
+    def latency(self, op_class: str) -> int:
+        return self.op_class(op_class).latency
+
+    def reservation_for(self, op_class: str) -> ReservationTable:
+        """Reservation table an op of ``op_class`` stamps on its FU."""
+        cls = self.op_class(op_class)
+        if cls.table is not None:
+            return cls.table
+        return self.fu_type(cls.fu_type).table
+
+    def classes_on(self, fu_type: str) -> List[OpClass]:
+        return [c for c in self.op_classes.values() if c.fu_type == fu_type]
+
+    def stage_count(self, fu_type: str) -> int:
+        """Stages of an FU type = max over the tables stamped on it."""
+        tables = [self.fu_type(fu_type).table] + [
+            c.table for c in self.classes_on(fu_type) if c.table is not None
+        ]
+        return max(t.num_stages for t in tables)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when every op class runs on a hazard-free pipeline."""
+        return all(
+            self.reservation_for(c).is_clean for c in self.op_classes
+        )
+
+    # -- validation ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`MachineError` on inconsistencies."""
+        if not self.fu_types:
+            raise MachineError("machine has no FU types")
+        if not self.op_classes:
+            raise MachineError("machine has no op classes")
+        for cls in self.op_classes.values():
+            table = self.reservation_for(cls.name)
+            fu = self.fu_type(cls.fu_type)
+            if cls.table is not None and cls.table.num_stages > fu.table.num_stages:
+                # Per-class tables may add stages; allowed, but the FU's
+                # stage space is the union - nothing to check beyond shape.
+                pass
+            if table.length < 1:  # pragma: no cover - table guards this
+                raise MachineError(f"class {cls.name!r} has an empty table")
+
+    def render(self) -> str:
+        """Human-readable summary (Table 3-style machine model listing)."""
+        lines = [f"Machine {self.name!r}"]
+        for fu in self.fu_types.values():
+            kind = "clean" if fu.table.is_clean else "unclean/non-pipelined"
+            lines.append(
+                f"  FU {fu.name}: x{fu.count}, {fu.table.num_stages} stage(s), "
+                f"span {fu.table.length}, {kind}"
+            )
+            for cls in self.classes_on(fu.name):
+                table_note = " (own table)" if cls.table is not None else ""
+                lines.append(
+                    f"    class {cls.name}: latency {cls.latency}{table_note}"
+                )
+        return "\n".join(lines)

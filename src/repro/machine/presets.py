@@ -1,0 +1,145 @@
+"""Preset machine models used by the experiments.
+
+``motivating_machine`` reconstructs the paper's §2 example architecture
+(one clean Load/Store pipeline, two copies of an unclean 3-stage FP
+pipeline whose third stage is busy two consecutive cycles — resource rows
+``100 / 010 / 011`` as quoted in Figure 2).  ``powerpc604`` follows the
+PowerPC-604 technical summary [14] the paper's evaluation used: two
+single-cycle integer units, one complex integer unit (pipelined multiply,
+blocking divide), one FPU (pipelined adds/multiplies, blocking divide),
+one load/store unit and one branch unit.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.machine.reservation import ReservationTable
+
+
+def motivating_machine(fp_units: int = 2, mem_units: int = 1) -> Machine:
+    """The §2 motivating-example machine.
+
+    The FP pipeline has a structural hazard: stage 3 is occupied at cycles
+    1 and 2 (forbidden latency 1), so consecutive-cycle issue to one FP
+    unit is impossible even though the dependence latency is only 2.
+    """
+    m = Machine("motivating")
+    fp_table = ReservationTable.from_rows([1, 0, 0], [0, 1, 0], [0, 1, 1])
+    m.add_fu_type("FP", count=fp_units, table=fp_table)
+    m.add_fu_type("MEM", count=mem_units, table=ReservationTable.clean(3))
+    m.add_op_class("fadd", "FP", latency=2)
+    m.add_op_class("fmul", "FP", latency=2)
+    m.add_op_class("load", "MEM", latency=3)
+    m.add_op_class("store", "MEM", latency=1)
+    return m
+
+
+def clean_machine(int_units: int = 2, fp_units: int = 1, mem_units: int = 1) -> Machine:
+    """A hazard-free VLIW-style machine (the regime of the earlier work [9])."""
+    m = Machine("clean")
+    m.add_fu_type("INT", count=int_units, table=ReservationTable.clean(1))
+    m.add_fu_type("FP", count=fp_units, table=ReservationTable.clean(3))
+    m.add_fu_type("MEM", count=mem_units, table=ReservationTable.clean(2))
+    m.add_op_class("add", "INT", latency=1)
+    m.add_op_class("mul", "FP", latency=3)
+    m.add_op_class("fadd", "FP", latency=3)
+    m.add_op_class("fmul", "FP", latency=3)
+    m.add_op_class("load", "MEM", latency=2)
+    m.add_op_class("store", "MEM", latency=1)
+    return m
+
+
+def nonpipelined_machine(div_units: int = 2, div_time: int = 4) -> Machine:
+    """The §1 illustration: several divide ops competing for non-pipelined
+    divide units (mapping decides which of X / Y runs each divide)."""
+    m = Machine("nonpipelined")
+    m.add_fu_type("DIV", count=div_units,
+                  table=ReservationTable.non_pipelined(div_time))
+    m.add_fu_type("INT", count=1, table=ReservationTable.clean(1))
+    m.add_op_class("div", "DIV", latency=div_time)
+    m.add_op_class("add", "INT", latency=1)
+    return m
+
+
+def powerpc604() -> Machine:
+    """PowerPC-604-like model (latencies per the 604 technical summary [14]).
+
+    Multi-function pipelines use per-class reservation tables: ``div`` and
+    ``fdiv`` block stage 0 of their unit for the full execution time,
+    while the pipelined classes flow through clean stages.
+    """
+    m = Machine("powerpc604")
+    m.add_fu_type("SCIU", count=2, table=ReservationTable.clean(1))
+    m.add_fu_type("MCIU", count=1, table=ReservationTable.clean(4))
+    m.add_fu_type("FPU", count=1, table=ReservationTable.clean(3))
+    m.add_fu_type("LSU", count=1, table=ReservationTable.clean(2))
+    m.add_fu_type("BPU", count=1, table=ReservationTable.clean(1))
+
+    for cls in ("add", "sub", "logical", "shift", "cmp"):
+        m.add_op_class(cls, "SCIU", latency=1)
+    m.add_op_class("mul", "MCIU", latency=4)
+    m.add_op_class("div", "MCIU", latency=20,
+                   table=ReservationTable.non_pipelined(20))
+    m.add_op_class("fadd", "FPU", latency=3)
+    m.add_op_class("fmul", "FPU", latency=3)
+    m.add_op_class("fdiv", "FPU", latency=18,
+                   table=ReservationTable.non_pipelined(18))
+    m.add_op_class("load", "LSU", latency=2)
+    m.add_op_class("store", "LSU", latency=1,
+                   table=ReservationTable.from_rows([1]))
+    m.add_op_class("branch", "BPU", latency=1)
+    return m
+
+
+def cydra5() -> Machine:
+    """Cydra-5-like numeric processor (Dehnert–Towle [4]).
+
+    Characteristic regime: long main-memory latency served by two ports,
+    deep clean FP pipelines, and a blocking divide/sqrt unit — the
+    architecture whose compiler work the paper credits for handling
+    complex usage patterns heuristically.
+    """
+    m = Machine("cydra5")
+    m.add_fu_type("ADDR", count=2, table=ReservationTable.clean(1))
+    m.add_fu_type("FPALU", count=1, table=ReservationTable.clean(5))
+    m.add_fu_type("DIV", count=1, table=ReservationTable.non_pipelined(21))
+    m.add_fu_type("MEM", count=2, table=ReservationTable.clean(2))
+    m.add_op_class("add", "ADDR", latency=1)
+    m.add_op_class("cmp", "ADDR", latency=1)
+    m.add_op_class("fadd", "FPALU", latency=5)
+    m.add_op_class("fmul", "FPALU", latency=5)
+    m.add_op_class("fdiv", "DIV", latency=21)
+    m.add_op_class("load", "MEM", latency=17)
+    m.add_op_class("store", "MEM", latency=1,
+                   table=ReservationTable.from_rows([1]))
+    return m
+
+
+def unclean_demo_machine() -> Machine:
+    """A small machine whose only FU is an unclean pipeline; handy in tests."""
+    m = Machine("unclean-demo")
+    table = ReservationTable.from_rows([1, 0, 1], [0, 1, 0])
+    m.add_fu_type("X", count=1, table=table)
+    m.add_op_class("op", "X", latency=3)
+    return m
+
+
+#: Registry used by the CLI (`--machine NAME`).
+PRESETS = {
+    "motivating": motivating_machine,
+    "clean": clean_machine,
+    "nonpipelined": nonpipelined_machine,
+    "powerpc604": powerpc604,
+    "cydra5": cydra5,
+    "unclean-demo": unclean_demo_machine,
+}
+
+
+def by_name(name: str) -> Machine:
+    """Instantiate a preset machine by registry name."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown machine preset {name!r}; known: {known}")
+    return factory()

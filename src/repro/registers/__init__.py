@@ -1,0 +1,47 @@
+"""Register/buffer pressure analysis for periodic schedules.
+
+The paper (§7) notes its framework "can incorporate minimizing buffers
+(logical registers) as in [18] or minimizing the maximum number of live
+values at any time step, as in [5]".  This package implements both
+metrics *as analyses over finished schedules* (the ILP-side objective is
+``min_buffers`` in :class:`repro.core.FormulationOptions`):
+
+* :func:`lifetimes` — per-dependence value lifetimes under the periodic
+  schedule;
+* :func:`buffer_requirements` — Ning–Gao [18] buffer counts
+  (``ceil(lifetime / T)`` live copies per value);
+* :func:`max_live` — Eichenberger–Davidson–Abraham [5] MaxLive: the peak
+  number of simultaneously live values at any kernel slot;
+* :func:`unroll_factor` — the modulo-variable-expansion unroll degree a
+  rotating-register-free code generator would need (Rau et al. [21]).
+"""
+
+from repro.registers.allocator import (
+    RegisterAllocation,
+    allocate_registers,
+    validate_allocation,
+    value_ranges,
+)
+from repro.registers.pressure import (
+    Lifetime,
+    buffer_requirements,
+    lifetimes,
+    max_live,
+    total_buffers,
+    unroll_factor,
+    value_live_ranges,
+)
+
+__all__ = [
+    "Lifetime",
+    "RegisterAllocation",
+    "allocate_registers",
+    "buffer_requirements",
+    "lifetimes",
+    "max_live",
+    "total_buffers",
+    "unroll_factor",
+    "validate_allocation",
+    "value_live_ranges",
+    "value_ranges",
+]

@@ -1,0 +1,144 @@
+"""Lifetime, buffer and MaxLive computations over periodic schedules.
+
+Conventions (matching the register-allocation line the paper cites
+[5, 18, 21]):
+
+* The value produced by instruction ``i`` for consumer ``j`` (dependence
+  ``(i -> j, m)``) is **defined** when ``i`` completes, at
+  ``t_i + d_i``, and is **last used** at the consumer's start in the
+  consuming iteration: ``t_j + T*m``.  Its lifetime is
+  ``t_j + T*m - t_i`` cycles of *occupancy* counted from the producer's
+  start (the value must be buffered from issue in hardware that latches
+  results at completion; we report both spans).
+* Under a periodic schedule a new instance of every value is created
+  each ``T`` cycles, so a value whose lifetime exceeds ``T`` needs
+  ``ceil(lifetime / T)`` simultaneously-live copies — the Ning–Gao
+  buffer count.
+* MaxLive counts, for each kernel slot, how many values are live across
+  it in steady state; the maximum over slots lower-bounds the register
+  count of any allocation [5].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """One value's lifetime under a periodic schedule."""
+
+    dep_index: int
+    producer: int
+    consumer: int
+    distance: int
+    #: Producer completion time (value defined).
+    define_time: int
+    #: Consumer start in the consuming iteration (last use).
+    last_use: int
+
+    @property
+    def span(self) -> int:
+        """Cycles the value is live (0 when consumed as defined)."""
+        return self.last_use - self.define_time
+
+
+def lifetimes(schedule: Schedule) -> List[Lifetime]:
+    """Per-dependence lifetimes (flow edges carry values; others are
+    ordering-only and reported with their kinds left to the caller)."""
+    result = []
+    lat = schedule.ddg.latencies(schedule.machine)
+    for index, dep in enumerate(schedule.ddg.deps):
+        define_time = schedule.starts[dep.src] + lat[dep.src]
+        last_use = schedule.starts[dep.dst] + schedule.t_period * dep.distance
+        result.append(
+            Lifetime(
+                dep_index=index,
+                producer=dep.src,
+                consumer=dep.dst,
+                distance=dep.distance,
+                define_time=define_time,
+                last_use=last_use,
+            )
+        )
+    return result
+
+
+def buffer_requirements(schedule: Schedule) -> Dict[int, int]:
+    """Ning–Gao buffer counts per dependence index.
+
+    ``ceil((t_j + T*m - t_i) / T)`` live copies of the value produced by
+    ``i`` for ``j`` coexist in steady state (counting from the
+    producer's *issue*, the form used by the ILP's ``min_buffers``
+    objective).  Values consumed within the producing period need 1.
+    """
+    t_period = schedule.t_period
+    buffers: Dict[int, int] = {}
+    for life in lifetimes(schedule):
+        issue_to_use = (
+            schedule.starts[life.consumer]
+            + t_period * life.distance
+            - schedule.starts[life.producer]
+        )
+        buffers[life.dep_index] = max(1, -(-issue_to_use // t_period))
+    return buffers
+
+
+def total_buffers(schedule: Schedule) -> int:
+    """Sum of per-value buffer counts (the [18] objective value)."""
+    return sum(buffer_requirements(schedule).values())
+
+
+def value_live_ranges(schedule: Schedule) -> List[Tuple[int, int, int]]:
+    """Per-*value* live ranges ``(producer, define, last_use)``.
+
+    Consumers of one producer share the value, so per-producer ranges
+    merge all its outgoing dependences (define at completion, die at the
+    latest consumer's start).  Zero-span values are omitted.
+    """
+    define: Dict[int, int] = {}
+    last_use: Dict[int, int] = {}
+    for life in lifetimes(schedule):
+        define[life.producer] = life.define_time
+        current = last_use.get(life.producer)
+        if current is None or life.last_use > current:
+            last_use[life.producer] = life.last_use
+    return [
+        (producer, define[producer], last_use[producer])
+        for producer in sorted(define)
+        if last_use[producer] > define[producer]
+    ]
+
+
+def max_live(schedule: Schedule) -> int:
+    """Peak simultaneously-live *values* across kernel slots (MaxLive [5]).
+
+    A value live over absolute span ``[define, last_use)`` contributes to
+    kernel slot ``t`` once per period it crosses: for each slot we count
+    ``#{k : define <= k < last_use, k = t (mod T)}`` summed over values.
+    Distinct consumers of one value share it (producer-merged ranges).
+    """
+    t_period = schedule.t_period
+    pressure = [0] * t_period
+    for _, define, last_use in value_live_ranges(schedule):
+        for absolute in range(define, last_use):
+            pressure[absolute % t_period] += 1
+    return max(pressure, default=0)
+
+
+def unroll_factor(schedule: Schedule) -> int:
+    """Kernel unroll degree for modulo variable expansion.
+
+    Without rotating registers, a value living ``q = ceil(span / T)``
+    periods needs ``q`` renamed copies, so the kernel must be unrolled
+    ``max_q`` times (Lam's MVE; cf. [21]'s hardware alternative).
+    """
+    worst = 1
+    for life in lifetimes(schedule):
+        if life.span <= 0:
+            continue
+        worst = max(worst, -(-life.span // schedule.t_period))
+    return worst

@@ -1,0 +1,145 @@
+"""Functional replay: does the *scheduled* loop compute the right values?
+
+Executes a software-pipelined schedule of a front-end-compiled loop at
+its scheduled times, value by value, against a timed memory model:
+
+* a load reads memory at its start cycle;
+* a store's write becomes visible one cycle after its start (the
+  1-cycle separation anti/output dependences enforce);
+* a binop consumes producer-instance values resolved through the
+  recorded :class:`repro.frontend.lower.OperandSource` descriptors
+  (constants, invariant scalars, recurrence seeds for pre-loop
+  instances).
+
+Comparing the final memory against the sequential reference interpreter
+(:mod:`repro.frontend.interp`) is the strongest end-to-end statement the
+library makes: the dependence analysis, the ILP schedule and the code
+model together preserve the loop's semantics, for *any* verified
+schedule — including aggressively reordered ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.schedule import Schedule
+from repro.frontend.errors import FrontendError
+from repro.frontend.lower import CompiledLoop, OperandSource
+
+
+@dataclass
+class DataflowResult:
+    """Final state after :func:`execute_dataflow`."""
+
+    arrays: Dict[str, List[float]]
+    #: Values computed per (op, iteration) — for debugging mismatches.
+    values: Dict[Tuple[int, int], float]
+
+
+def execute_dataflow(
+    compiled: CompiledLoop,
+    schedule: Schedule,
+    arrays: Dict[str, List[float]],
+    scalars: Dict[str, float],
+    iterations: int,
+) -> DataflowResult:
+    """Replay ``iterations`` iterations of ``schedule`` functionally.
+
+    ``arrays`` is deep-copied; ``scalars`` seeds loop-carried
+    recurrences (the value "before" iteration 0) and loop invariants.
+    """
+    if schedule.ddg is not compiled.ddg:
+        raise FrontendError(
+            "schedule was built for a different DDG object than the "
+            "compiled loop"
+        )
+    memory = {name: list(data) for name, data in arrays.items()}
+    values: Dict[Tuple[int, int], float] = {}
+    t_period = schedule.t_period
+
+    # Events: loads/binops evaluate at start; stores commit at start+1.
+    # Writes at time t are visible to reads at time >= t, so commits
+    # sort before evaluations at equal timestamps.
+    events = []
+    for iteration in range(iterations):
+        for op in compiled.ddg.ops:
+            sem = compiled.semantics[op.index]
+            start = iteration * t_period + schedule.starts[op.index]
+            when = start + 1 if sem.kind == "store" else start
+            order = 0 if sem.kind == "store" else 1
+            events.append((when, order, op.index, iteration))
+    events.sort()
+
+    for _, _, op_index, iteration in events:
+        sem = compiled.semantics[op_index]
+        if sem.kind == "load":
+            values[(op_index, iteration)] = _read(
+                memory, sem.array, iteration + sem.offset
+            )
+        elif sem.kind == "binop":
+            left = _operand(sem.operands[0], values, scalars, iteration)
+            right = _operand(sem.operands[1], values, scalars, iteration)
+            values[(op_index, iteration)] = _apply(
+                sem.operator, left, right
+            )
+        elif sem.kind == "store":
+            value = _operand(sem.operands[0], values, scalars, iteration)
+            _write(memory, sem.array, iteration + sem.offset, value)
+            values[(op_index, iteration)] = value
+        else:  # pragma: no cover - lowering only emits these kinds
+            raise FrontendError(f"unknown op kind {sem.kind!r}")
+    return DataflowResult(arrays=memory, values=values)
+
+
+def _operand(
+    source: OperandSource,
+    values: Dict[Tuple[int, int], float],
+    scalars: Dict[str, float],
+    iteration: int,
+) -> float:
+    if source.kind == "const":
+        return source.value
+    if source.kind == "scalar":
+        try:
+            return scalars[source.name]
+        except KeyError:
+            raise FrontendError(
+                f"scalar {source.name!r} needs a seed value"
+            ) from None
+    if source.kind == "carried_const":
+        if iteration == 0:
+            return scalars.get(source.name, 0.0)
+        return source.value
+    if source.kind == "op":
+        producer_iteration = iteration - source.distance
+        if producer_iteration < 0:
+            # Before the recurrence warms up: the scalar's seed.
+            return scalars.get(source.name, 0.0)
+        return values[(source.op_index, producer_iteration)]
+    raise FrontendError(f"unknown operand kind {source.kind!r}")
+
+
+def _apply(operator: str, left: float, right: float) -> float:
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        return left / right if right != 0 else 0.0
+    raise FrontendError(f"unknown operator {operator!r}")
+
+
+def _read(memory, array: str, index: int) -> float:
+    data = memory.setdefault(array, [])
+    if 0 <= index < len(data):
+        return data[index]
+    return 0.0
+
+
+def _write(memory, array: str, index: int, value: float) -> None:
+    data = memory.setdefault(array, [])
+    if 0 <= index < len(data):
+        data[index] = value

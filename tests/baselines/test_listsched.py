@@ -1,0 +1,100 @@
+"""Tests for the no-pipelining list-scheduling baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import list_schedule
+from repro.core import schedule_loop
+from repro.core.errors import SchedulingError
+from repro.ddg import Ddg
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.ddg.kernels import KERNELS, daxpy, motivating_example
+from repro.machine.presets import motivating_machine, powerpc604
+
+
+class TestBasics:
+    def test_daxpy(self):
+        machine = powerpc604()
+        result = list_schedule(daxpy(), machine)
+        assert result.makespan >= 2 + 3 + 3 + 1  # critical path ld-mul-add-st
+
+    def test_intra_iteration_deps_respected(self):
+        machine = powerpc604()
+        ddg = daxpy()
+        result = list_schedule(ddg, machine)
+        lat = ddg.latencies(machine)
+        for dep in ddg.deps:
+            if dep.distance == 0:
+                assert (
+                    result.starts[dep.dst]
+                    >= result.starts[dep.src] + lat[dep.src]
+                )
+
+    def test_no_structural_hazards_within_iteration(self):
+        machine = motivating_machine()
+        ddg = motivating_example()
+        result = list_schedule(ddg, machine)
+        # Rebuild occupancy and assert single-booking per unit cell.
+        cells = {}
+        for op in ddg.ops:
+            fu = machine.fu_type_of(op.op_class)
+            table = machine.reservation_for(op.op_class)
+            copy = result.colors[op.index]
+            for stage, cycle in table.usage_offsets():
+                key = (fu.name, copy, stage, result.starts[op.index] + cycle)
+                assert key not in cells, key
+                cells[key] = op.name
+
+    def test_loop_carried_stretch(self):
+        """A value produced late and consumed early next iteration
+        stretches the effective II beyond the makespan."""
+        machine = powerpc604()
+        g = Ddg("carried")
+        a = g.add_op("a", "fadd")
+        g.add_dep(a, a, distance=1)
+        result = list_schedule(g, machine)
+        assert result.effective_ii >= 3
+
+    def test_intra_cycle_rejected(self):
+        machine = powerpc604()
+        g = Ddg("bad")
+        g.add_op("a", "add")
+        g.add_op("b", "add")
+        g.add_dep("a", "b")
+        g.add_dep("b", "a")  # 0-distance cycle
+        with pytest.raises(SchedulingError, match="cycle"):
+            list_schedule(g, machine)
+
+
+class TestAsBaseline:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_pipelining_never_slower(self, name):
+        """The rate-optimal T never exceeds the sequential II."""
+        machine = powerpc604()
+        ddg = KERNELS[name]()
+        pipelined = schedule_loop(ddg, machine)
+        sequential = list_schedule(ddg, machine)
+        assert pipelined.achieved_t <= sequential.effective_ii
+
+    def test_speedup_on_parallel_loop(self):
+        """daxpy has no recurrence: pipelining must win clearly."""
+        machine = powerpc604()
+        pipelined = schedule_loop(daxpy(), machine)
+        sequential = list_schedule(daxpy(), machine)
+        assert sequential.effective_ii / pipelined.achieved_t >= 2.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_sequential_ii_upper_bounds_optimal(seed):
+    machine = powerpc604()
+    ddg = random_ddg(
+        random.Random(seed), machine, GeneratorConfig(min_ops=2, max_ops=8)
+    )
+    sequential = list_schedule(ddg, machine)
+    pipelined = schedule_loop(ddg, machine, max_extra=30)
+    if pipelined.achieved_t is not None:
+        assert pipelined.achieved_t <= sequential.effective_ii

@@ -1,0 +1,72 @@
+"""Tests for the iterative-modulo-scheduling baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import iterative_modulo_schedule
+from repro.core import schedule_loop, verify_schedule
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.ddg.kernels import KERNELS, motivating_example
+from repro.machine.presets import motivating_machine, powerpc604
+
+
+class TestOnKernels:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_schedules_and_verifies(self, name):
+        machine = powerpc604()
+        result = iterative_modulo_schedule(KERNELS[name](), machine)
+        assert result.schedule is not None
+        verify_schedule(result.schedule)
+
+    def test_motivating_needs_t4_or_more(self):
+        """The heuristic must also respect the mapping obstruction."""
+        result = iterative_modulo_schedule(
+            motivating_example(), motivating_machine()
+        )
+        assert result.schedule is not None
+        assert result.achieved_ii >= 4
+        verify_schedule(result.schedule)
+
+    def test_mii_equals_t_lb(self):
+        result = iterative_modulo_schedule(
+            motivating_example(), motivating_machine()
+        )
+        assert result.mii == 3
+        assert result.delta_from_mii == result.achieved_ii - 3
+
+    def test_tried_iis_recorded(self):
+        result = iterative_modulo_schedule(
+            motivating_example(), motivating_machine()
+        )
+        assert result.tried_iis[0] == 3
+        assert result.tried_iis[-1] == result.achieved_ii
+
+
+class TestDominanceByIlp:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_ilp_never_worse(self, name):
+        """Rate-optimality: the ILP's T lower-bounds the heuristic's II."""
+        machine = powerpc604()
+        ddg = KERNELS[name]()
+        ilp = schedule_loop(ddg, machine)
+        heuristic = iterative_modulo_schedule(ddg, machine)
+        assert ilp.achieved_t is not None
+        assert heuristic.achieved_ii is not None
+        assert ilp.achieved_t <= heuristic.achieved_ii
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_heuristic_schedules_verify(seed):
+    """Property: every heuristic schedule passes independent verification."""
+    machine = powerpc604()
+    ddg = random_ddg(
+        random.Random(seed), machine, GeneratorConfig(min_ops=2, max_ops=9)
+    )
+    result = iterative_modulo_schedule(ddg, machine)
+    if result.schedule is not None:
+        verify_schedule(result.schedule)
+        assert result.achieved_ii >= result.mii

@@ -1,0 +1,83 @@
+"""Tests for the slack-based (Huff) modulo scheduler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import slack_modulo_schedule
+from repro.core import schedule_loop, verify_schedule
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.ddg.kernels import KERNELS, motivating_example
+from repro.machine.presets import motivating_machine, powerpc604
+
+
+class TestOnKernels:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_schedules_and_verifies(self, name):
+        machine = powerpc604()
+        result = slack_modulo_schedule(KERNELS[name](), machine)
+        assert result.schedule is not None, name
+        verify_schedule(result.schedule)
+
+    def test_motivating_respects_mapping_obstruction(self):
+        result = slack_modulo_schedule(
+            motivating_example(), motivating_machine()
+        )
+        assert result.schedule is not None
+        assert result.achieved_ii >= 4
+        verify_schedule(result.schedule)
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_ilp_never_worse(self, name):
+        machine = powerpc604()
+        ddg = KERNELS[name]()
+        ilp = schedule_loop(ddg, machine)
+        heuristic = slack_modulo_schedule(ddg, machine)
+        assert heuristic.achieved_ii is not None
+        assert ilp.achieved_t <= heuristic.achieved_ii
+
+    def test_recurrence_bound_kernels_hit_mii(self):
+        """On pure recurrence-bound loops the heuristic should reach
+        MII (slack placement keeps the critical cycle tight)."""
+        machine = powerpc604()
+        for name in ("dotprod", "ll11"):
+            result = slack_modulo_schedule(KERNELS[name](), machine)
+            assert result.achieved_ii == result.mii, name
+
+
+class TestLifetimeSensitivity:
+    def test_buffers_not_catastrophic(self):
+        """Slack placement should keep buffer totals in the same league
+        as the ILP's min_buffers schedules (within 3x on kernels)."""
+        from repro.core import Formulation, FormulationOptions
+        from repro.registers import total_buffers
+
+        machine = powerpc604()
+        for name in ("dotprod", "daxpy", "ll5"):
+            ddg = KERNELS[name]()
+            heuristic = slack_modulo_schedule(ddg, machine)
+            assert heuristic.schedule is not None
+            tuned = Formulation(
+                ddg, machine, heuristic.achieved_ii,
+                FormulationOptions(objective="min_buffers"),
+            )
+            optimum = tuned.extract(tuned.solve())
+            assert (
+                total_buffers(heuristic.schedule)
+                <= 3 * total_buffers(optimum)
+            ), name
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_slack_schedules_verify(seed):
+    machine = powerpc604()
+    ddg = random_ddg(
+        random.Random(seed), machine, GeneratorConfig(min_ops=2, max_ops=9)
+    )
+    result = slack_modulo_schedule(ddg, machine)
+    if result.schedule is not None:
+        verify_schedule(result.schedule)
+        assert result.achieved_ii >= result.mii

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.ddg.kernels import motivating_example
+from repro.machine.presets import (
+    clean_machine,
+    motivating_machine,
+    nonpipelined_machine,
+    powerpc604,
+    unclean_demo_machine,
+)
+
+
+@pytest.fixture
+def motivating():
+    return motivating_machine()
+
+
+@pytest.fixture
+def clean():
+    return clean_machine()
+
+@pytest.fixture
+def nonpipelined():
+    return nonpipelined_machine()
+
+
+@pytest.fixture
+def ppc604():
+    return powerpc604()
+
+
+@pytest.fixture
+def unclean_demo():
+    return unclean_demo_machine()
+
+
+@pytest.fixture
+def motivating_ddg():
+    return motivating_example()
+
+
+@pytest.fixture
+def small_corpus(ppc604):
+    """Ten small reproducible loops on the PowerPC-604 model."""
+    rng = random.Random(42)
+    config = GeneratorConfig(min_ops=2, max_ops=10)
+    return [
+        random_ddg(rng, ppc604, config, name=f"t{i}") for i in range(10)
+    ]

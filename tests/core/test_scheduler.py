@@ -1,0 +1,157 @@
+"""Tests for the rate-optimal scheduling driver."""
+
+import pytest
+
+from repro.core import schedule_loop, verify_schedule
+from repro.core.scheduler import ScheduleAttempt, SchedulingResult
+from repro.core.bounds import LowerBounds
+from repro.ddg import Ddg
+from repro.ddg.kernels import KERNELS, motivating_example
+from repro.machine.presets import (
+    motivating_machine,
+    nonpipelined_machine,
+    powerpc604,
+)
+
+
+class TestMotivatingEndToEnd:
+    def test_finds_t4(self):
+        result = schedule_loop(motivating_example(), motivating_machine())
+        assert result.achieved_t == 4
+        assert result.bounds == LowerBounds(t_dep=2, t_res=3)
+        assert result.delta_from_lb == 1
+
+    def test_rate_optimality_proven(self):
+        result = schedule_loop(motivating_example(), motivating_machine())
+        assert result.is_rate_optimal_proven
+        t3 = [a for a in result.attempts if a.t_period == 3]
+        assert t3 and t3[0].status == "infeasible"
+
+    def test_schedule_verifies(self):
+        result = schedule_loop(motivating_example(), motivating_machine())
+        verify_schedule(result.schedule)
+
+    def test_summary_text(self):
+        result = schedule_loop(motivating_example(), motivating_machine())
+        text = result.summary()
+        assert "T_lb=3" in text and "-> T=4" in text
+
+
+class TestDriverBehaviour:
+    def test_counting_only_mode(self):
+        result = schedule_loop(
+            motivating_example(), motivating_machine(), mapping=False
+        )
+        assert result.achieved_t == 3  # aggregate-feasible at T_lb
+        assert not result.schedule.has_complete_mapping
+
+    def test_max_extra_zero_gives_up(self):
+        result = schedule_loop(
+            motivating_example(), motivating_machine(), max_extra=0
+        )
+        assert result.schedule is None
+        assert result.achieved_t is None
+        assert result.delta_from_lb is None
+
+    def test_modulo_infeasible_periods_recorded(self):
+        machine = nonpipelined_machine(div_units=1, div_time=4)
+        g = Ddg("divs")
+        g.add_op("d0", "div")
+        g.add_op("d1", "div")
+        g.add_dep("d0", "d1")
+        result = schedule_loop(g, machine)
+        # T_res = 8; all admissible, so scheduled at 8 directly.
+        assert result.achieved_t == 8
+        verify_schedule(result.schedule)
+
+    def test_modulo_skips_show_in_attempts(self):
+        machine = nonpipelined_machine(div_units=2, div_time=4)
+        g = Ddg("one-div")
+        g.add_op("d0", "div")
+        g.add_op("d1", "div")
+        # T_lb = ceil(8/2) = 4; fine.  Force a skip by making T_lb small:
+        g2 = Ddg("single")
+        g2.add_op("d", "div")
+        result = schedule_loop(g2, machine)
+        skipped = [
+            a.t_period for a in result.attempts
+            if a.status == "modulo_infeasible"
+        ]
+        assert skipped == [2, 3]  # T_lb=2, but only T=4 admissible
+        assert result.achieved_t == 4
+
+    def test_attempts_record_model_stats(self):
+        result = schedule_loop(motivating_example(), motivating_machine())
+        solved = [a for a in result.attempts if a.status != "modulo_infeasible"]
+        assert all(a.model_stats["variables"] > 0 for a in solved)
+
+    def test_objectives_pass_through(self):
+        result = schedule_loop(
+            motivating_example(), motivating_machine(),
+            objective="min_sum_t",
+        )
+        assert sum(result.schedule.starts) == 26
+
+    def test_bnb_backend_matches_highs(self):
+        highs = schedule_loop(
+            motivating_example(), motivating_machine(), backend="highs"
+        )
+        bnb = schedule_loop(
+            motivating_example(), motivating_machine(), backend="bnb"
+        )
+        assert highs.achieved_t == bnb.achieved_t == 4
+        verify_schedule(bnb.schedule)
+
+
+class TestKernelsOnPpc604:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_every_kernel_schedules_and_verifies(self, name):
+        machine = powerpc604()
+        result = schedule_loop(KERNELS[name](), machine)
+        assert result.schedule is not None
+        verify_schedule(result.schedule)
+
+    @pytest.mark.parametrize("name", ["dotprod", "ll11"])
+    def test_recurrence_bound_achieved(self, name):
+        """These kernels are recurrence-bound: T should equal T_dep."""
+        machine = powerpc604()
+        result = schedule_loop(KERNELS[name](), machine)
+        assert result.achieved_t == result.bounds.t_dep
+
+
+class TestResultProperties:
+    def test_not_proven_when_smaller_t_unresolved(self):
+        from repro.core.schedule import Schedule
+
+        ddg = motivating_example()
+        machine = motivating_machine()
+        schedule = Schedule(ddg=ddg, machine=machine, t_period=4,
+                            starts=[0, 1, 3, 5, 7, 11], colors={})
+        result = SchedulingResult(
+            loop_name="x",
+            bounds=LowerBounds(t_dep=2, t_res=3),
+            attempts=[
+                ScheduleAttempt(t_period=3, status="time_limit"),
+                ScheduleAttempt(t_period=4, status="optimal"),
+            ],
+            schedule=schedule,
+        )
+        assert not result.is_rate_optimal_proven
+
+    def test_proven_when_smaller_t_modulo_skipped(self):
+        from repro.core.schedule import Schedule
+
+        ddg = motivating_example()
+        machine = motivating_machine()
+        schedule = Schedule(ddg=ddg, machine=machine, t_period=4,
+                            starts=[0, 1, 3, 5, 7, 11], colors={})
+        result = SchedulingResult(
+            loop_name="x",
+            bounds=LowerBounds(t_dep=2, t_res=3),
+            attempts=[
+                ScheduleAttempt(t_period=3, status="modulo_infeasible"),
+                ScheduleAttempt(t_period=4, status="optimal"),
+            ],
+            schedule=schedule,
+        )
+        assert result.is_rate_optimal_proven

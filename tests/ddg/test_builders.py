@@ -1,0 +1,85 @@
+"""Tests for the DDG text format."""
+
+import pytest
+
+from repro.ddg import DdgError
+from repro.ddg.builders import parse_ddg, serialize_ddg
+from repro.ddg.kernels import KERNELS
+
+
+EXAMPLE = """
+# dot product
+loop dotprod
+op i0 load
+op i1 load
+op i2 fmul
+op i3 fadd
+dep i0 i2
+dep i1 i2 0
+dep i2 i3 0 flow
+dep i3 i3 1 flow
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        g = parse_ddg(EXAMPLE)
+        assert g.name == "dotprod"
+        assert g.num_ops == 4
+        assert g.num_deps == 4
+
+    def test_default_distance_zero(self):
+        g = parse_ddg(EXAMPLE)
+        assert g.deps[0].distance == 0
+
+    def test_comments_and_blanks_ignored(self):
+        g = parse_ddg("op a load\n\n# note\nop b fadd # trailing\ndep a b\n")
+        assert g.num_ops == 2
+
+    def test_unknown_directive(self):
+        with pytest.raises(DdgError, match="line 1.*unknown directive"):
+            parse_ddg("node a load")
+
+    def test_op_arity_error(self):
+        with pytest.raises(DdgError, match="line 1"):
+            parse_ddg("op a")
+
+    def test_dep_bad_distance(self):
+        with pytest.raises(DdgError, match="line 3"):
+            parse_ddg("op a load\nop b load\ndep a b one")
+
+    def test_dep_unknown_op(self):
+        with pytest.raises(DdgError, match="unknown op name"):
+            parse_ddg("op a load\ndep a zz")
+
+    def test_duplicate_loop_directive(self):
+        with pytest.raises(DdgError, match="duplicate 'loop'"):
+            parse_ddg("loop a\nloop b\nop x load")
+
+    def test_empty_input(self):
+        with pytest.raises(DdgError, match="no ops"):
+            parse_ddg("# nothing\n")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(DdgError, match="line 4"):
+            parse_ddg("loop l\nop a load\nop b load\ndep a b -1")
+
+
+class TestRoundTrip:
+    def test_serialize_parse_identity(self):
+        original = parse_ddg(EXAMPLE)
+        rebuilt = parse_ddg(serialize_ddg(original))
+        assert rebuilt.name == original.name
+        assert [(o.name, o.op_class) for o in rebuilt.ops] == [
+            (o.name, o.op_class) for o in original.ops
+        ]
+        assert [
+            (d.src, d.dst, d.distance, d.kind) for d in rebuilt.deps
+        ] == [(d.src, d.dst, d.distance, d.kind) for d in original.deps]
+
+    @pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+    def test_all_kernels_round_trip(self, kernel_name):
+        original = KERNELS[kernel_name]()
+        rebuilt = parse_ddg(serialize_ddg(original))
+        assert rebuilt.num_ops == original.num_ops
+        assert rebuilt.num_deps == original.num_deps

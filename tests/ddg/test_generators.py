@@ -1,0 +1,132 @@
+"""Tests for the synthetic loop generators."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ddg import DdgError
+from repro.ddg.analysis import t_dep
+from repro.ddg.generators import (
+    DEFAULT_WEIGHTS,
+    GeneratorConfig,
+    random_ddg,
+    suite,
+    suite1066,
+)
+from repro.machine.presets import powerpc604
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return powerpc604()
+
+
+class TestRandomDdg:
+    def test_deterministic_for_seed(self, machine):
+        a = random_ddg(random.Random(7), machine)
+        b = random_ddg(random.Random(7), machine)
+        assert [(o.name, o.op_class) for o in a.ops] == [
+            (o.name, o.op_class) for o in b.ops
+        ]
+        assert [(d.src, d.dst, d.distance) for d in a.deps] == [
+            (d.src, d.dst, d.distance) for d in b.deps
+        ]
+
+    def test_size_bounds_respected(self, machine):
+        config = GeneratorConfig(min_ops=3, max_ops=6)
+        rng = random.Random(1)
+        for _ in range(50):
+            g = random_ddg(rng, machine, config)
+            assert 3 <= g.num_ops <= 6
+
+    def test_explicit_num_ops(self, machine):
+        g = random_ddg(random.Random(0), machine, num_ops=12)
+        assert g.num_ops == 12
+
+    def test_connected(self, machine):
+        rng = random.Random(3)
+        for _ in range(20):
+            g = random_ddg(rng, machine)
+            undirected = g.to_networkx().to_undirected()
+            assert nx.is_connected(undirected)
+
+    def test_classes_valid_on_machine(self, machine):
+        rng = random.Random(5)
+        g = random_ddg(rng, machine, num_ops=20)
+        g.validate_against(machine)
+
+    def test_always_schedulable(self, machine):
+        """Every generated loop must admit some periodic schedule."""
+        rng = random.Random(11)
+        for _ in range(30):
+            g = random_ddg(rng, machine)
+            assert t_dep(g, machine) >= 1  # raises on 0-distance cycles
+
+    def test_rejects_bad_num_ops(self, machine):
+        with pytest.raises(DdgError):
+            random_ddg(random.Random(0), machine, num_ops=0)
+
+    def test_rejects_unusable_weights(self, machine):
+        config = GeneratorConfig(class_weights={"vectorfma": 1.0})
+        with pytest.raises(DdgError, match="none of the configured"):
+            random_ddg(random.Random(0), machine, config)
+
+    def test_weights_filtered_to_machine(self):
+        from repro.machine.presets import motivating_machine
+
+        machine = motivating_machine()
+        rng = random.Random(2)
+        g = random_ddg(rng, machine, num_ops=15)
+        used = set(g.classes_used())
+        assert used <= {"load", "store", "fadd", "fmul"}
+
+
+class TestSuite:
+    def test_suite_count_and_names(self, machine):
+        loops = suite(25, machine, seed=9)
+        assert len(loops) == 25
+        assert loops[0].name == "loop0000"
+        assert loops[24].name == "loop0024"
+
+    def test_suite_reproducible(self, machine):
+        a = suite(10, machine, seed=3)
+        b = suite(10, machine, seed=3)
+        assert all(
+            x.num_ops == y.num_ops and x.num_deps == y.num_deps
+            for x, y in zip(a, b)
+        )
+
+    def test_different_seeds_differ(self, machine):
+        a = suite(10, machine, seed=1)
+        b = suite(10, machine, seed=2)
+        assert any(x.num_ops != y.num_ops for x, y in zip(a, b))
+
+    def test_suite1066_size(self, machine):
+        loops = suite1066(machine)
+        assert len(loops) == 1066
+
+    def test_suite1066_size_distribution(self, machine):
+        """Mean size should sit in the paper's small-loop regime (~6)."""
+        loops = suite1066(machine)
+        mean = sum(g.num_ops for g in loops) / len(loops)
+        assert 4.0 <= mean <= 10.0
+
+    def test_default_weights_sum_close_to_one(self):
+        assert abs(sum(DEFAULT_WEIGHTS.values()) - 1.0) < 0.05
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100000))
+def test_property_no_zero_distance_cycles(seed):
+    """Property: generated DDGs never contain a 0-distance cycle."""
+    machine = powerpc604()
+    g = random_ddg(random.Random(seed), machine)
+    intra = nx.DiGraph()
+    intra.add_nodes_from(range(g.num_ops))
+    intra.add_edges_from(
+        (d.src, d.dst) for d in g.deps if d.distance == 0
+    )
+    assert nx.is_directed_acyclic_graph(intra)

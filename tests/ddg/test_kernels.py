@@ -1,0 +1,135 @@
+"""Tests for the hand-built kernels."""
+
+import pytest
+
+from repro.ddg import analysis
+from repro.ddg.kernels import (
+    KERNELS,
+    all_kernels,
+    by_name,
+    dot_product,
+    livermore_kernel5,
+    livermore_kernel11,
+    motivating_example,
+)
+from repro.machine.presets import motivating_machine, powerpc604
+
+
+class TestRegistry:
+    def test_by_name(self):
+        assert by_name("dotprod").name == "dotprod"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            by_name("fft")
+
+    def test_all_kernels_nonempty(self):
+        kernels = all_kernels()
+        assert len(kernels) == len(KERNELS)
+        assert all(k.num_ops >= 3 for k in kernels)
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_valid_on_ppc604(self, name):
+        KERNELS[name]().validate_against(powerpc604())
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_schedulable(self, name):
+        machine = powerpc604()
+        ddg = KERNELS[name]()
+        assert analysis.t_dep(ddg, machine) >= 1
+
+
+class TestMotivatingExample:
+    def test_shape(self):
+        g = motivating_example()
+        assert g.num_ops == 6
+        assert g.num_deps == 6
+        assert [op.name for op in g.ops] == [f"i{i}" for i in range(6)]
+
+    def test_self_loop_on_i2(self):
+        g = motivating_example()
+        self_loops = [d for d in g.deps if d.src == d.dst]
+        assert len(self_loops) == 1
+        assert self_loops[0].src == 2
+        assert self_loops[0].distance == 1
+
+    def test_t_dep_matches_paper(self):
+        assert analysis.t_dep(
+            motivating_example(), motivating_machine()
+        ) == 2
+
+    def test_published_schedule_b_satisfies_dependences(self):
+        """The paper's T=[0,1,3,5,7,11] at T=4 respects every edge."""
+        g = motivating_example()
+        machine = motivating_machine()
+        starts = [0, 1, 3, 5, 7, 11]
+        lat = g.latencies(machine)
+        for dep in g.deps:
+            assert (
+                starts[dep.dst] - starts[dep.src]
+                >= lat[dep.src] - 4 * dep.distance
+            )
+
+
+class TestRecurrences:
+    def test_dotprod_reduction(self):
+        machine = powerpc604()
+        # fadd latency 3, self-loop distance 1 -> T_dep = 3.
+        assert analysis.t_dep(dot_product(), machine) == 3
+
+    def test_ll5_recurrence_bound(self):
+        machine = powerpc604()
+        # sub (3) -> mul (3) -> sub, distance 1 -> T_dep = 6.
+        assert analysis.t_dep(livermore_kernel5(), machine) == 6
+
+    def test_ll11_prefix_sum(self):
+        machine = powerpc604()
+        assert analysis.t_dep(livermore_kernel11(), machine) == 3
+
+    def test_newton_divide_recurrence(self):
+        """f(3) -> div(18) -> upd(3) -> f at distance 1: T_dep = 24."""
+        from repro.ddg.kernels import newton_step
+
+        machine = powerpc604()
+        assert analysis.t_dep(newton_step(), machine) == 24
+
+    def test_matmul_address_recurrences_are_cheap(self):
+        """The address adds self-loop at latency 1; the fadd reduction
+        dominates: T_dep = 3."""
+        from repro.ddg.kernels import matmul_inner
+
+        machine = powerpc604()
+        assert analysis.t_dep(matmul_inner(), machine) == 3
+
+
+class TestStreamingKernels:
+    def test_ll12_is_acyclic(self):
+        from repro.ddg.kernels import livermore_kernel12
+
+        machine = powerpc604()
+        assert analysis.t_dep(livermore_kernel12(), machine) == 1
+        assert not analysis.has_recurrence(livermore_kernel12())
+
+    def test_fir_tap_count_scales_ops(self):
+        from repro.ddg.kernels import fir_filter
+
+        assert fir_filter(taps=2).num_ops == 2 * 2 + 1 + 1
+        assert fir_filter(taps=6).num_ops == 6 * 2 + 5 + 1
+
+    def test_fir_resource_bound(self):
+        """4-tap FIR: 4 muls + 3 adds on one FPU -> T_res = 7."""
+        from repro.core.bounds import lower_bounds
+        from repro.ddg.kernels import fir_filter
+
+        machine = powerpc604()
+        bounds = lower_bounds(fir_filter(4), machine)
+        assert bounds.t_res == 7
+
+    def test_ll2_anti_dependence_present(self):
+        from repro.ddg.kernels import livermore_kernel2
+
+        g = livermore_kernel2()
+        anti = [d for d in g.deps if d.kind == "mem-anti"]
+        assert len(anti) == 1
+        assert anti[0].latency == 1
+        assert anti[0].distance == 1

@@ -1,0 +1,46 @@
+"""Tests for DDG text renderings."""
+
+from repro.ddg.kernels import motivating_example
+from repro.ddg.render import ascii_ddg, to_dot
+from repro.machine.presets import motivating_machine
+
+
+class TestAscii:
+    def test_mentions_every_op(self):
+        g = motivating_example()
+        text = ascii_ddg(g)
+        for op in g.ops:
+            assert op.name in text
+
+    def test_latencies_with_machine(self):
+        text = ascii_ddg(motivating_example(), motivating_machine())
+        assert "(lat 3)" in text and "(lat 2)" in text
+
+    def test_distances_annotated(self):
+        text = ascii_ddg(motivating_example())
+        assert "i2[m=1]" in text
+
+    def test_header_counts(self):
+        text = ascii_ddg(motivating_example())
+        assert "(6 ops, 6 deps)" in text
+
+
+class TestDot:
+    def test_valid_digraph_structure(self):
+        dot = to_dot(motivating_example())
+        assert dot.startswith('digraph "motivating"')
+        assert dot.rstrip().endswith("}")
+
+    def test_carried_edges_dashed(self):
+        dot = to_dot(motivating_example())
+        assert "style=dashed" in dot
+        assert 'label="m=1"' in dot
+
+    def test_latency_labels_with_machine(self):
+        dot = to_dot(motivating_example(), motivating_machine())
+        assert "(d=3)" in dot
+
+    def test_edge_count(self):
+        g = motivating_example()
+        dot = to_dot(g)
+        assert dot.count("->") == g.num_deps

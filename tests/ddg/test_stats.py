@@ -1,0 +1,72 @@
+"""Tests for corpus statistics."""
+
+import pytest
+
+from repro.ddg import Ddg
+from repro.ddg.generators import suite
+from repro.ddg.kernels import all_kernels
+from repro.ddg.stats import corpus_stats, size_percentiles
+from repro.machine.presets import powerpc604
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return suite(60, powerpc604(), seed=4)
+
+
+class TestCorpusStats:
+    def test_counts(self, corpus):
+        stats = corpus_stats(corpus)
+        assert stats.count == 60
+        assert stats.min_ops <= stats.mean_ops <= stats.max_ops
+
+    def test_histogram_partitions(self, corpus):
+        stats = corpus_stats(corpus)
+        assert sum(stats.size_histogram.values()) == 60
+
+    def test_class_mix_sums_to_one(self, corpus):
+        stats = corpus_stats(corpus)
+        assert sum(stats.class_mix.values()) == pytest.approx(1.0)
+
+    def test_recurrence_fraction_in_range(self, corpus):
+        stats = corpus_stats(corpus)
+        assert 0.0 <= stats.recurrence_fraction <= 1.0
+        # The generator plants ~1 recurrence per loop: most have one.
+        assert stats.recurrence_fraction >= 0.5
+
+    def test_render(self, corpus):
+        text = corpus_stats(corpus).render()
+        assert "size histogram" in text
+        assert "class mix" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_stats([])
+
+    def test_kernels_stats(self):
+        stats = corpus_stats(all_kernels())
+        assert stats.count == 15
+        assert stats.recurrence_fraction > 0.4
+
+    def test_single_loop(self):
+        g = Ddg("one")
+        g.add_op("a", "load")
+        stats = corpus_stats([g])
+        assert stats.mean_ops == 1.0
+        assert stats.class_mix == {"load": 1.0}
+
+
+class TestPercentiles:
+    def test_monotone(self, corpus):
+        p50, p90, p99 = size_percentiles(corpus)
+        assert p50 <= p90 <= p99
+
+    def test_paper_regime(self):
+        """The 1066-loop stand-in stays in the small-loop regime the
+        paper reports (median well under 10 ops)."""
+        from repro.ddg.generators import suite1066
+
+        corpus = suite1066(powerpc604())
+        p50, p90, _ = size_percentiles(corpus)
+        assert p50 <= 8
+        assert p90 <= 20

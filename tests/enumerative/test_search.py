@@ -1,0 +1,90 @@
+"""Tests for the exhaustive scheduling+mapping search."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import schedule_loop, verify_schedule
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.ddg.kernels import KERNELS, motivating_example
+from repro.enumerative import enumerative_schedule_loop, search_at_period
+from repro.machine.presets import motivating_machine, powerpc604
+
+
+class TestMotivatingExample:
+    def test_t3_proven_infeasible(self):
+        outcome = search_at_period(
+            motivating_example(), motivating_machine(), 3
+        )
+        assert outcome.feasible is False
+        assert outcome.nodes > 0
+
+    def test_t4_feasible_and_verified(self):
+        outcome = search_at_period(
+            motivating_example(), motivating_machine(), 4
+        )
+        assert outcome.feasible is True
+        assert outcome.schedule.t_period == 4
+
+    def test_driver_matches_ilp(self):
+        enumerated = enumerative_schedule_loop(
+            motivating_example(), motivating_machine()
+        )
+        assert enumerated.achieved_t == 4
+        assert enumerated.proven
+        assert enumerated.delta_from_lb == 1
+
+
+class TestOnKernels:
+    @pytest.mark.parametrize(
+        "name", [k for k in sorted(KERNELS) if k not in ("spice", "ll1")]
+    )
+    def test_agrees_with_ilp(self, name):
+        """The two exact methods must find the same optimal T."""
+        machine = powerpc604()
+        ddg = KERNELS[name]()
+        ilp = schedule_loop(ddg, machine)
+        enumerated = enumerative_schedule_loop(
+            ddg, machine, time_limit_per_t=20.0
+        )
+        assert enumerated.achieved_t == ilp.achieved_t
+        verify_schedule(enumerated.schedule)
+
+
+class TestBudget:
+    def test_timeout_reported_not_infeasible(self):
+        """An absurdly small budget must not claim infeasibility."""
+        machine = powerpc604()
+        ddg = KERNELS["spice"]()
+        outcome = search_at_period(ddg, machine, 5, time_limit=0.0)
+        assert outcome.feasible is None
+
+    def test_driver_not_proven_after_timeout(self):
+        machine = powerpc604()
+        ddg = KERNELS["spice"]()
+        result = enumerative_schedule_loop(
+            ddg, machine, time_limit_per_t=0.0, max_extra=1
+        )
+        assert result.achieved_t is None
+        assert not result.proven
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_enumeration_matches_ilp(seed):
+    """Property: on random small loops the search and the ILP agree on
+    the optimal initiation interval (both exact methods)."""
+    machine = powerpc604()
+    ddg = random_ddg(
+        random.Random(seed), machine,
+        GeneratorConfig(min_ops=2, max_ops=6),
+    )
+    ilp = schedule_loop(ddg, machine, max_extra=6)
+    enumerated = enumerative_schedule_loop(
+        ddg, machine, time_limit_per_t=10.0, max_extra=6
+    )
+    assert enumerated.achieved_t == ilp.achieved_t
+    if enumerated.schedule is not None:
+        verify_schedule(enumerated.schedule)

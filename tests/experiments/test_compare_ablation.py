@@ -1,0 +1,86 @@
+"""Tests for the E10 comparison and E11/E12 ablation harnesses."""
+
+import pytest
+
+from repro.ddg.generators import suite
+from repro.ddg.kernels import motivating_example
+from repro.experiments.ablation import (
+    cleaned_variant,
+    counting_vs_coloring,
+    hazard_ablation,
+)
+from repro.experiments.compare import run_compare
+from repro.machine.presets import motivating_machine, powerpc604
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return suite(12, powerpc604(), seed=13)
+
+
+class TestCompare:
+    def test_ilp_dominates(self, corpus):
+        comparison = run_compare(corpus, powerpc604(), time_limit_per_t=5.0)
+        assert comparison.ilp_never_worse
+
+    def test_speedup_positive(self, corpus):
+        comparison = run_compare(corpus, powerpc604(), time_limit_per_t=5.0)
+        assert comparison.mean_speedup_vs_sequential >= 1.0
+
+    def test_render(self, corpus):
+        comparison = run_compare(
+            corpus[:4], powerpc604(), time_limit_per_t=5.0
+        )
+        text = comparison.render()
+        assert "ILP never worse" in text
+
+
+class TestCountingVsColoring:
+    def test_motivating_gap_witnessed(self):
+        rows = counting_vs_coloring(
+            [motivating_example()], motivating_machine()
+        )
+        row = rows[0]
+        assert row.t_counting == 3
+        assert row.t_full == 4
+        assert row.has_gap
+        assert row.gap_witnessed
+
+    def test_no_false_gaps_on_corpus(self, corpus):
+        """Whenever a gap is reported, the witness must confirm it."""
+        machine = powerpc604()
+        rows = counting_vs_coloring(corpus, machine, time_limit_per_t=5.0)
+        for row in rows:
+            if row.has_gap:
+                assert row.gap_witnessed
+            if row.t_counting is not None and row.t_full is not None:
+                assert row.t_full >= row.t_counting
+
+
+class TestHazardAblation:
+    def test_cleaned_variant_is_clean(self):
+        idealized = cleaned_variant(motivating_machine())
+        assert idealized.is_clean
+        # Same counts and latencies.
+        assert idealized.fu_type("FP").count == 2
+        assert idealized.latency("fadd") == 2
+
+    def test_motivating_hazard_costs_a_cycle(self):
+        summary = hazard_ablation(
+            [motivating_example()], motivating_machine()
+        )
+        row = summary.rows[0]
+        # Unclean: T=4.  Idealized clean FP pipeline: T=3 becomes valid.
+        assert row.t_unclean == 4
+        assert row.t_clean == 3
+        assert row.hazard_cost == 1
+
+    def test_hazards_never_help(self, corpus):
+        summary = hazard_ablation(corpus, powerpc604(), time_limit_per_t=5.0)
+        assert summary.never_negative
+
+    def test_render(self):
+        summary = hazard_ablation(
+            [motivating_example()], motivating_machine()
+        )
+        assert "hazard cost" in summary.render()

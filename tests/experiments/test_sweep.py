@@ -1,0 +1,59 @@
+"""Unit tests for the machine-sensitivity sweep harness."""
+
+import random
+
+import pytest
+
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.experiments.sweep import SweepPoint, SweepResult, fp_mem_sweep
+from repro.machine.presets import motivating_machine
+
+
+@pytest.fixture(scope="module")
+def loops():
+    rng = random.Random(5)
+    machine = motivating_machine()
+    config = GeneratorConfig(
+        min_ops=2, max_ops=5,
+        class_weights={"fadd": 0.4, "load": 0.35, "store": 0.25},
+    )
+    return [random_ddg(rng, machine, config, name=f"s{i}")
+            for i in range(6)]
+
+
+class TestSweep:
+    def test_grid_covered(self, loops):
+        result = fp_mem_sweep(loops, fp_range=(1, 2), mem_range=(1,),
+                              max_extra=20)
+        assert len(result.points) == 2
+        assert result.point(1, 1).fp_units == 1
+        with pytest.raises(KeyError):
+            result.point(9, 9)
+
+    def test_all_scheduled_with_generous_budget(self, loops):
+        result = fp_mem_sweep(loops, fp_range=(1, 2), mem_range=(1,),
+                              max_extra=20)
+        assert all(p.scheduled == len(loops) for p in result.points)
+
+    def test_monotone(self, loops):
+        result = fp_mem_sweep(loops, fp_range=(1, 2, 3), mem_range=(1,),
+                              max_extra=20)
+        assert result.monotone_in_fp()
+
+    def test_monotone_detects_violations(self):
+        result = SweepResult(points=[
+            SweepPoint(1, 1, 5, mean_t=3.0, mean_t_lb=3.0),
+            SweepPoint(2, 1, 5, mean_t=4.0, mean_t_lb=3.0),
+        ])
+        assert not result.monotone_in_fp()
+
+    def test_render(self, loops):
+        result = fp_mem_sweep(loops, fp_range=(1,), mem_range=(1,),
+                              max_extra=20)
+        text = result.render()
+        assert "mean T" in text
+        assert "E19" in text
+
+    def test_gap_property(self):
+        point = SweepPoint(1, 1, 5, mean_t=4.5, mean_t_lb=4.0)
+        assert point.mean_gap == pytest.approx(0.5)

@@ -1,0 +1,85 @@
+"""Tests for the Table 4 / Table 5 harnesses on a small corpus."""
+
+import pytest
+
+from repro.ddg.generators import suite
+from repro.experiments.table4 import PAPER_TABLE4, run_table4
+from repro.experiments.table5 import run_table5
+from repro.machine.presets import powerpc604
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return suite(30, powerpc604(), seed=7)
+
+
+@pytest.fixture(scope="module")
+def table4(corpus):
+    return run_table4(corpus, powerpc604(), time_limit_per_t=5.0)
+
+
+class TestTable4:
+    def test_every_loop_accounted(self, table4, corpus):
+        assert table4.scheduled + table4.unscheduled == len(corpus)
+
+    def test_majority_at_t_lb(self, table4):
+        """The paper's headline shape: ~96% of scheduled loops at T_lb."""
+        assert table4.fraction_at_t_lb >= 0.8
+
+    def test_bucket_arithmetic(self, table4):
+        for bucket in table4.buckets.values():
+            assert bucket.loops >= 1
+            assert bucket.mean_nodes > 0
+
+    def test_render_mentions_t_lb(self, table4):
+        text = table4.render()
+        assert "T = T_lb" in text
+        assert "paper: 96.0%" in text
+
+    def test_paper_reference_rows(self):
+        assert PAPER_TABLE4[0] == (735, 6)
+        assert PAPER_TABLE4[2] == (20, 16)
+        assert PAPER_TABLE4[4] == (11, 17)
+
+    def test_results_retained(self, table4, corpus):
+        assert len(table4.results) == len(corpus)
+
+    def test_unscheduled_bucket_rendering(self):
+        from repro.core.bounds import LowerBounds
+        from repro.core.scheduler import SchedulingResult
+        from repro.experiments.table4 import Table4
+
+        table = Table4()
+        table.add(
+            SchedulingResult(
+                loop_name="stuck", bounds=LowerBounds(2, 2),
+                attempts=[], schedule=None,
+            ),
+            num_nodes=12,
+        )
+        assert table.unscheduled == 1
+        assert table.scheduled == 0
+        assert table.fraction_at_t_lb == 0.0
+        assert "(not within budget)" in table.render()
+
+
+class TestTable5:
+    def test_counts(self, table4, corpus):
+        table5 = run_table5(table4.results)
+        assert table5.total_loops == len(corpus)
+        assert table5.scheduled == table4.scheduled
+
+    def test_budget_buckets_monotone(self, table4):
+        table5 = run_table5(table4.results)
+        within10 = table5.solved_within.get(10.0, 0)
+        within30 = table5.solved_within.get(30.0, 0)
+        assert within10 <= within30
+
+    def test_histogram_partitions(self, table4, corpus):
+        table5 = run_table5(table4.results)
+        assert sum(table5.histogram.values()) == len(corpus)
+
+    def test_render(self, table4):
+        text = run_table5(table4.results).render()
+        assert "solved within" in text
+        assert "histogram" in text

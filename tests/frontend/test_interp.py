@@ -1,0 +1,96 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.interp import run_loop
+from repro.frontend.parser import parse_loop
+
+
+def _run(source, arrays=None, scalars=None, iterations=4):
+    arrays = {k: list(v) for k, v in (arrays or {}).items()}
+    scalars = dict(scalars or {})
+    run_loop(parse_loop(source), arrays, scalars, iterations)
+    return arrays, scalars
+
+
+class TestArithmetic:
+    def test_constant_store(self):
+        arrays, _ = _run("for i:\n    a[i] = 2 + 3\n",
+                         {"a": [0.0] * 6})
+        assert arrays["a"][:4] == [5.0] * 4
+
+    def test_precedence(self):
+        _, scalars = _run("for i:\n    x = 2 + 3 * 4\n", iterations=1)
+        assert scalars["x"] == 14.0
+
+    def test_division_by_zero_is_zero(self):
+        _, scalars = _run("for i:\n    x = 1 / 0\n", iterations=1)
+        assert scalars["x"] == 0.0
+
+    def test_unary_minus(self):
+        _, scalars = _run("for i:\n    x = -3 + 1\n", iterations=1)
+        assert scalars["x"] == -2.0
+
+
+class TestScalars:
+    def test_reduction(self):
+        _, scalars = _run(
+            "for i:\n    s = s + a[i]\n",
+            {"a": [1.0, 2.0, 3.0, 4.0]},
+            {"s": 0.0},
+        )
+        assert scalars["s"] == 10.0
+
+    def test_uninitialized_scalar_raises(self):
+        with pytest.raises(FrontendError, match="before initialization"):
+            _run("for i:\n    x = y + 1\n")
+
+    def test_copy_semantics(self):
+        _, scalars = _run(
+            "for i:\n    x = s\n    s = s + 1\n",
+            scalars={"s": 0.0}, iterations=3,
+        )
+        # After 3 iterations: x holds s before the last increment.
+        assert scalars["s"] == 3.0
+        assert scalars["x"] == 2.0
+
+
+class TestArrays:
+    def test_offsets(self):
+        arrays, _ = _run(
+            "for i:\n    b[i] = a[i+1]\n",
+            {"a": [10.0, 20.0, 30.0, 40.0, 50.0],
+             "b": [0.0] * 5},
+        )
+        assert arrays["b"][:4] == [20.0, 30.0, 40.0, 50.0]
+
+    def test_out_of_range_reads_zero(self):
+        arrays, _ = _run(
+            "for i:\n    b[i] = a[i-2]\n",
+            {"a": [7.0] * 4, "b": [1.0] * 4},
+        )
+        assert arrays["b"][:2] == [0.0, 0.0]
+        assert arrays["b"][2:4] == [7.0, 7.0]
+
+    def test_out_of_range_writes_ignored(self):
+        arrays, _ = _run(
+            "for i:\n    a[i+3] = 1\n",
+            {"a": [0.0, 0.0]}, iterations=2,
+        )
+        assert arrays["a"] == [0.0, 0.0]
+
+    def test_memory_recurrence(self):
+        arrays, _ = _run(
+            "for i:\n    d[i+1] = d[i] * 2\n",
+            {"d": [1.0, 0.0, 0.0, 0.0, 0.0]},
+        )
+        assert arrays["d"] == [1.0, 2.0, 4.0, 8.0, 16.0]
+
+    def test_same_iteration_store_then_load(self):
+        arrays, _ = _run(
+            "for i:\n    a[i] = b[i] + 1\n    c[i] = a[i] * 2\n",
+            {"a": [0.0] * 4, "b": [1.0, 2.0, 3.0, 4.0],
+             "c": [0.0] * 4},
+        )
+        assert arrays["c"] == [4.0, 6.0, 8.0, 10.0]

@@ -1,0 +1,58 @@
+"""Tests for the loop DSL tokenizer."""
+
+import pytest
+
+from repro.frontend.errors import FrontendError
+from repro.frontend import lexer
+
+
+def kinds(source):
+    return [t.kind for t in lexer.tokenize(source) if t.kind != lexer.END]
+
+
+class TestTokens:
+    def test_header(self):
+        assert kinds("for i:") == [
+            lexer.FOR, lexer.NAME, lexer.COLON, lexer.NEWLINE,
+        ]
+
+    def test_assignment(self):
+        tokens = lexer.tokenize("x = a[i] + 2.5")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["x", "=", "a", "[", "i", "]", "+", "2.5", "\n"]
+
+    def test_operators(self):
+        ops = [t for t in lexer.tokenize("a*b/c-d+e") if t.kind == lexer.OP]
+        assert [t.text for t in ops] == ["*", "/", "-", "+"]
+
+    def test_comments_stripped(self):
+        assert kinds("x = 1 # note") == [
+            lexer.NAME, lexer.EQUALS, lexer.NUMBER, lexer.NEWLINE,
+        ]
+
+    def test_underscore_names(self):
+        token = lexer.tokenize("_tmp_1 = 0")[0]
+        assert token.kind == lexer.NAME
+        assert token.text == "_tmp_1"
+
+    def test_for_keyword_only_exact(self):
+        token = lexer.tokenize("fortune = 1")[0]
+        assert token.kind == lexer.NAME
+
+    def test_numbers(self):
+        tokens = [t for t in lexer.tokenize("a = 12 + 3.75")
+                  if t.kind == lexer.NUMBER]
+        assert [t.text for t in tokens] == ["12", "3.75"]
+
+    def test_line_and_column_tracked(self):
+        tokens = lexer.tokenize("a = 1\nbb = 2")
+        second_line = [t for t in tokens if t.line == 2]
+        assert second_line[0].text == "bb"
+        assert second_line[0].column == 1
+
+    def test_bad_character(self):
+        with pytest.raises(FrontendError, match="line 1.*'@'"):
+            lexer.tokenize("x = a @ b")
+
+    def test_blank_lines_produce_no_tokens(self):
+        assert kinds("\n\n") == []

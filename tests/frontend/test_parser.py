@@ -1,0 +1,109 @@
+"""Tests for the loop DSL parser."""
+
+import pytest
+
+from repro.frontend.ast_nodes import ArrayRef, BinOp, Const, ScalarRef
+from repro.frontend.errors import FrontendError
+from repro.frontend.parser import parse_loop
+
+
+class TestStructure:
+    def test_header_and_body(self):
+        ast = parse_loop("for i:\n    x = 1\n    y = 2\n", name="demo")
+        assert ast.induction == "i"
+        assert ast.name == "demo"
+        assert len(ast.body) == 2
+
+    def test_missing_for(self):
+        with pytest.raises(FrontendError, match="expected 'for'"):
+            parse_loop("x = 1")
+
+    def test_missing_colon(self):
+        with pytest.raises(FrontendError, match="expected ':'"):
+            parse_loop("for i\n x = 1")
+
+    def test_empty_body(self):
+        with pytest.raises(FrontendError, match="empty"):
+            parse_loop("for i:\n")
+
+    def test_lines_tracked(self):
+        ast = parse_loop("for i:\n\n    x = 1\n")
+        assert ast.body[0].line == 3
+
+
+class TestTargets:
+    def test_scalar_target(self):
+        ast = parse_loop("for i:\n x = 1")
+        assert ast.body[0].target == ScalarRef("x")
+
+    def test_array_target(self):
+        ast = parse_loop("for i:\n a[i+2] = 1")
+        assert ast.body[0].target == ArrayRef("a", 2)
+
+    def test_negative_offset(self):
+        ast = parse_loop("for i:\n a[i-3] = 1")
+        assert ast.body[0].target == ArrayRef("a", -3)
+
+    def test_plain_induction_index(self):
+        ast = parse_loop("for i:\n a[i] = 1")
+        assert ast.body[0].target == ArrayRef("a", 0)
+
+    def test_wrong_index_variable(self):
+        with pytest.raises(FrontendError, match="induction variable"):
+            parse_loop("for i:\n a[j] = 1")
+
+    def test_constant_index_rejected(self):
+        with pytest.raises(FrontendError, match="affine"):
+            parse_loop("for i:\n a[3] = 1")
+
+    def test_fractional_offset_rejected(self):
+        with pytest.raises(FrontendError, match="integral"):
+            parse_loop("for i:\n a[i+1.5] = 1")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        ast = parse_loop("for i:\n x = a + b * c")
+        expr = ast.body[0].expr
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        ast = parse_loop("for i:\n x = a - b - c")
+        expr = ast.body[0].expr
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp)
+        assert expr.left.op == "-"
+
+    def test_parentheses(self):
+        ast = parse_loop("for i:\n x = (a + b) * c")
+        expr = ast.body[0].expr
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "+"
+
+    def test_unary_minus_constant_folds(self):
+        ast = parse_loop("for i:\n x = -2")
+        assert ast.body[0].expr == Const(-2.0)
+
+    def test_unary_minus_expression(self):
+        ast = parse_loop("for i:\n x = -y")
+        expr = ast.body[0].expr
+        assert expr.op == "-" and expr.left == Const(0.0)
+
+    def test_array_reads_in_expr(self):
+        ast = parse_loop("for i:\n x = a[i-1] / b[i+1]")
+        expr = ast.body[0].expr
+        assert expr.left == ArrayRef("a", -1)
+        assert expr.right == ArrayRef("b", 1)
+
+    def test_garbage_in_expression(self):
+        with pytest.raises(FrontendError, match="unexpected"):
+            parse_loop("for i:\n x = + )")
+
+    def test_missing_rparen(self):
+        with pytest.raises(FrontendError, match="'\\)'"):
+            parse_loop("for i:\n x = (a + b")
+
+    def test_str_roundtrips_readably(self):
+        ast = parse_loop("for i:\n x = a[i+1] * 2")
+        assert str(ast.body[0]) == "x = (a[i+1] * 2)"

@@ -1,0 +1,154 @@
+"""Tests for the branch-and-bound MILP solver (vs HiGHS as oracle)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import Model, SolveStatus
+
+
+def _solve_both(model):
+    return (
+        model.solve(backend="bnb"),
+        model.solve(backend="highs"),
+    )
+
+
+class TestKnownInstances:
+    def test_small_integer_program(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        y = m.add_var("y", lb=0, ub=10, integer=True)
+        m.add(2 * x + 3 * y >= 12)
+        m.add(x - y <= 2)
+        m.minimize(x + y)
+        ours, ref = _solve_both(m)
+        assert ours.status == SolveStatus.OPTIMAL
+        assert ours.objective == pytest.approx(ref.objective)
+
+    def test_knapsack(self):
+        values = [10, 13, 18, 31, 7, 15]
+        weights = [2, 3, 4, 5, 1, 4]
+        m = Model("knapsack")
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add(sum((w * x for w, x in zip(weights, xs)), start=0 * xs[0]) <= 10)
+        m.maximize(sum((v * x for v, x in zip(values, xs)), start=0 * xs[0]))
+        ours = m.solve(backend="bnb")
+        ref = m.solve(backend="highs")
+        assert ours.status == SolveStatus.OPTIMAL
+        # Optimum packs weights 5+4+1 for value 31+18+7.
+        assert ours.objective == pytest.approx(56.0)
+        assert ref.objective == pytest.approx(56.0)
+
+    def test_integrality_matters(self):
+        # LP relaxation gives 2.5; integral optimum is 3.
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        m.add(2 * x >= 5)
+        m.minimize(x)
+        ours = m.solve(backend="bnb")
+        assert ours.objective == pytest.approx(3.0)
+        assert ours.int_value(x) == 3
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add(x >= 2)
+        assert m.solve(backend="bnb").status == SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_var("x", lb=0, integer=True)
+        m.minimize(-1 * x)
+        assert m.solve(backend="bnb").status == SolveStatus.UNBOUNDED
+
+    def test_equality_with_integers(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=20, integer=True)
+        y = m.add_var("y", lb=0, ub=20, integer=True)
+        m.add(3 * x + 5 * y == 19)
+        m.minimize(x + y)
+        ours = m.solve(backend="bnb")
+        assert ours.status == SolveStatus.OPTIMAL
+        # 3*3 + 5*2 = 19 -> objective 5
+        assert ours.objective == pytest.approx(5.0)
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        y = m.add_var("y", lb=0, ub=10)
+        m.add(x + y >= 4.5)
+        m.minimize(3 * x + y)
+        ours, ref = _solve_both(m)
+        assert ours.objective == pytest.approx(ref.objective)
+
+    def test_feasibility_only_objective(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add(x + y == 1)
+        ours = m.solve(backend="bnb")
+        assert ours.status == SolveStatus.OPTIMAL
+        assert ours.int_value(x) + ours.int_value(y) == 1
+
+    def test_values_are_integral(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=9, integer=True)
+        m.add(2 * x >= 7)
+        m.minimize(x)
+        sol = m.solve(backend="bnb")
+        assert sol.values[x] == int(sol.values[x])
+
+    def test_solution_getitem_and_value(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=4, integer=True)
+        m.add(x >= 2)
+        m.minimize(x)
+        sol = m.solve(backend="bnb")
+        assert sol[x] == 2.0
+        assert sol.value(2 * x + 1) == 5.0
+
+    def test_node_count_reported(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add(sum((x for x in xs), start=0 * xs[0]) >= 3)
+        m.minimize(sum(((i + 1) * x for i, x in enumerate(xs)),
+                       start=0 * xs[0]))
+        sol = m.solve(backend="bnb")
+        assert sol.nodes >= 1
+        assert sol.backend == "bnb"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_randomized_agreement_with_highs(data):
+    """B&B and HiGHS must agree on status and optimal objective."""
+    n = 3
+    c = data.draw(st.lists(st.integers(-4, 4), min_size=n, max_size=n))
+    rows = data.draw(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(-3, 3), min_size=n, max_size=n),
+                st.integers(-2, 8),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    m = Model("rand-milp")
+    xs = [m.add_var(f"x{i}", lb=0, ub=5, integer=True) for i in range(n)]
+    for coeffs, rhs in rows:
+        m.add(
+            sum((float(a) * x for a, x in zip(coeffs, xs)), start=0 * xs[0])
+            <= float(rhs)
+        )
+    m.minimize(
+        sum((float(ci) * x for ci, x in zip(c, xs)), start=0 * xs[0])
+    )
+    ours = m.solve(backend="bnb")
+    ref = m.solve(backend="highs")
+    assert (ours.status == SolveStatus.INFEASIBLE) == (
+        ref.status == SolveStatus.INFEASIBLE
+    )
+    if ours.status.has_solution and ref.status.has_solution:
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)

@@ -1,0 +1,85 @@
+"""Tests for the HiGHS backend adapter and the dispatcher."""
+
+import pytest
+
+from repro.ilp import Model, SolverError, SolveStatus
+
+
+class TestHighsBackend:
+    def test_optimal(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        m.add(3 * x >= 7)
+        m.minimize(x)
+        sol = m.solve(backend="highs")
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.backend == "highs"
+        assert sol.int_value(x) == 3
+
+    def test_maximize_objective_mapped_back(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=7, integer=True)
+        m.add(x <= 5)
+        m.maximize(2 * x)
+        sol = m.solve(backend="highs")
+        assert sol.objective == pytest.approx(10.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add(x >= 2)
+        assert m.solve(backend="highs").status == SolveStatus.INFEASIBLE
+
+    def test_no_constraints(self):
+        m = Model()
+        x = m.add_var("x", lb=1, ub=4, integer=True)
+        m.minimize(x)
+        sol = m.solve(backend="highs")
+        assert sol.objective == pytest.approx(1.0)
+
+    def test_objective_constant_preserved(self):
+        m = Model()
+        x = m.add_var("x", lb=2, ub=8)
+        m.minimize(x + 100)
+        sol = m.solve(backend="highs")
+        assert sol.objective == pytest.approx(102.0)
+
+    def test_solve_seconds_recorded(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.minimize(x)
+        sol = m.solve(backend="highs")
+        assert sol.solve_seconds >= 0.0
+
+    def test_int_value_rejects_fractional(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=5)  # continuous
+        m.add(2 * x >= 5)
+        m.minimize(x)
+        sol = m.solve(backend="highs")
+        with pytest.raises(ValueError, match="non-integral"):
+            sol.int_value(x)
+
+
+class TestDispatch:
+    def test_unknown_backend_rejected(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(SolverError, match="unknown backend"):
+            m.solve(backend="cplex")
+
+    def test_auto_prefers_highs(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.minimize(x)
+        assert m.solve(backend="auto").backend == "highs"
+
+    def test_bool_of_solution(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add(x >= 2)
+        assert not m.solve()
+        m2 = Model()
+        y = m2.add_binary("y")
+        m2.minimize(y)
+        assert m2.solve()

@@ -1,0 +1,239 @@
+"""Unit tests for the ILP modeling layer."""
+
+import math
+
+import pytest
+
+from repro.ilp import LinExpr, Model, ModelError, lin_sum
+from repro.ilp.model import EQ, GE, LE
+
+
+@pytest.fixture
+def model():
+    return Model("test")
+
+
+class TestVariable:
+    def test_defaults(self, model):
+        x = model.add_var("x")
+        assert x.lb == 0.0
+        assert x.ub == math.inf
+        assert not x.integer
+
+    def test_bounds_and_integrality(self, model):
+        x = model.add_var("x", lb=-2, ub=7, integer=True)
+        assert (x.lb, x.ub, x.integer) == (-2.0, 7.0, True)
+
+    def test_binary_shorthand(self, model):
+        b = model.add_binary("b")
+        assert (b.lb, b.ub, b.integer) == (0.0, 1.0, True)
+
+    def test_infinite_lower_bound_rejected(self, model):
+        with pytest.raises(ModelError, match="finite lower bound"):
+            model.add_var("x", lb=-math.inf)
+
+    def test_inverted_bounds_rejected(self, model):
+        with pytest.raises(ModelError, match="ub"):
+            model.add_var("x", lb=5, ub=2)
+
+    def test_indices_are_sequential(self, model):
+        names = [model.add_var(f"v{i}").index for i in range(5)]
+        assert names == [0, 1, 2, 3, 4]
+
+    def test_repr_mentions_kind(self, model):
+        assert "int" in repr(model.add_var("x", integer=True))
+
+
+class TestLinExpr:
+    def test_addition_merges_terms(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        expr = x + y + x
+        assert expr.terms[x] == 2.0
+        assert expr.terms[y] == 1.0
+
+    def test_subtraction_cancels(self, model):
+        x = model.add_var("x")
+        expr = (x + 3) - x
+        assert x not in expr.terms
+        assert expr.const == 3.0
+
+    def test_scalar_multiplication(self, model):
+        x = model.add_var("x")
+        expr = 3 * (2 * x + 1)
+        assert expr.terms[x] == 6.0
+        assert expr.const == 3.0
+
+    def test_multiply_by_zero_empties(self, model):
+        x = model.add_var("x")
+        expr = (x + 5) * 0
+        assert not expr.terms
+        assert expr.const == 0.0
+
+    def test_negation(self, model):
+        x = model.add_var("x")
+        expr = -(x + 1)
+        assert expr.terms[x] == -1.0
+        assert expr.const == -1.0
+
+    def test_rsub(self, model):
+        x = model.add_var("x")
+        expr = 10 - x
+        assert expr.terms[x] == -1.0
+        assert expr.const == 10.0
+
+    def test_value_evaluation(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        expr = 2 * x - y + 4
+        assert expr.value({x: 3, y: 1}) == 9.0
+
+    def test_multiplying_two_exprs_rejected(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        with pytest.raises(TypeError):
+            (x + 1) * (y + 1)  # type: ignore[operator]
+
+    def test_coerce_number(self):
+        expr = LinExpr.coerce(4)
+        assert expr.const == 4.0 and not expr.terms
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(TypeError):
+            LinExpr.coerce("nope")  # type: ignore[arg-type]
+
+
+class TestLinSum:
+    def test_mixed_items(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        expr = lin_sum([x, 2 * y, 5, x + 1])
+        assert expr.terms[x] == 2.0
+        assert expr.terms[y] == 2.0
+        assert expr.const == 6.0
+
+    def test_empty(self):
+        expr = lin_sum([])
+        assert not expr.terms and expr.const == 0.0
+
+    def test_cancellation_drops_entries(self, model):
+        x = model.add_var("x")
+        expr = lin_sum([x, -1 * x])
+        assert x not in expr.terms
+
+    def test_rejects_bad_items(self, model):
+        with pytest.raises(TypeError):
+            lin_sum(["bad"])  # type: ignore[list-item]
+
+    def test_matches_naive_sum(self, model):
+        xs = [model.add_var(f"x{i}") for i in range(10)]
+        fast = lin_sum(xs)
+        slow = sum(xs[1:], xs[0]._as_expr())
+        assert fast.terms == slow.terms
+
+
+class TestConstraint:
+    def test_le_sense(self, model):
+        x = model.add_var("x")
+        con = model.add(x + 1 <= 5)
+        assert con.sense == LE
+        assert con.rhs == 4.0
+
+    def test_ge_sense(self, model):
+        x = model.add_var("x")
+        con = model.add(x >= 3)
+        assert con.sense == GE
+        assert con.rhs == 3.0
+
+    def test_eq_sense(self, model):
+        x = model.add_var("x")
+        con = model.add(x == 2)
+        assert con.sense == EQ
+        assert con.rhs == 2.0
+
+    def test_expr_on_both_sides(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        con = model.add(x + 2 <= y - 1)
+        assert con.expr.terms[x] == 1.0
+        assert con.expr.terms[y] == -1.0
+        assert con.rhs == -3.0
+
+    def test_violation_le(self, model):
+        x = model.add_var("x")
+        con = model.add(x <= 5)
+        assert con.violation({x: 7}) == 2.0
+        assert con.violation({x: 4}) == 0.0
+
+    def test_violation_eq(self, model):
+        x = model.add_var("x")
+        con = model.add(x == 5)
+        assert con.violation({x: 3}) == 2.0
+
+    def test_auto_naming(self, model):
+        x = model.add_var("x")
+        con0 = model.add(x <= 1)
+        con1 = model.add(x <= 2)
+        assert con0.name == "c0" and con1.name == "c1"
+
+    def test_explicit_name(self, model):
+        x = model.add_var("x")
+        con = model.add(x <= 1, name="cap")
+        assert con.name == "cap"
+
+    def test_add_rejects_non_constraints(self, model):
+        with pytest.raises(ModelError):
+            model.add(True)  # type: ignore[arg-type]
+
+
+class TestModel:
+    def test_foreign_variable_rejected(self):
+        m1, m2 = Model("a"), Model("b")
+        x = m1.add_var("x")
+        with pytest.raises(ModelError, match="different model"):
+            m2.add(x <= 1)
+
+    def test_foreign_objective_rejected(self):
+        m1, m2 = Model("a"), Model("b")
+        x = m1.add_var("x")
+        with pytest.raises(ModelError, match="different model"):
+            m2.minimize(x)
+
+    def test_stats(self, model):
+        x = model.add_var("x", integer=True)
+        y = model.add_var("y")
+        model.add(x + y <= 3)
+        model.add(x >= 1)
+        stats = model.stats()
+        assert stats == {
+            "variables": 2,
+            "integer_variables": 1,
+            "constraints": 2,
+            "nonzeros": 3,
+        }
+
+    def test_maximize_sense(self, model):
+        x = model.add_var("x")
+        model.maximize(x)
+        assert not model.sense_minimize
+
+    def test_repr(self, model):
+        model.add_var("x")
+        assert "vars=1" in repr(model)
+
+    def test_render_shows_objective_and_rows(self, model):
+        x = model.add_var("x", integer=True)
+        model.add(x <= 5, name="cap")
+        model.minimize(2 * x)
+        text = model.render()
+        assert "1 integer" in text
+        assert "min" in text
+        assert "cap:" in text
+
+    def test_render_truncates(self, model):
+        x = model.add_var("x")
+        for i in range(10):
+            model.add(x <= i)
+        text = model.render(max_rows=3)
+        assert "... 7 more row(s)" in text
+
+    def test_render_full(self, model):
+        x = model.add_var("x")
+        for i in range(10):
+            model.add(x <= i)
+        assert "more row" not in model.render(max_rows=None)

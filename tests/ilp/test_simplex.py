@@ -1,0 +1,162 @@
+"""Tests for the pure-python simplex LP solver.
+
+Cross-checked against scipy's HiGHS ``linprog`` on randomized instances —
+the simplex engine must agree on status and optimal value.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.ilp import Model
+from repro.ilp.simplex import solve_lp
+from repro.ilp.standard import to_arrays
+
+
+def _lp(build):
+    model = Model("lp")
+    build(model)
+    return to_arrays(model)
+
+
+class TestBasics:
+    def test_simple_minimum(self):
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=0, ub=10)),
+            (y := m.add_var("y", lb=0, ub=10)),
+            m.add(x + y >= 4),
+            m.minimize(2 * x + 3 * y),
+        ))
+        result = solve_lp(form)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(8.0)
+        assert result.x[0] == pytest.approx(4.0)
+
+    def test_equality_constraint(self):
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=0)),
+            (y := m.add_var("y", lb=0)),
+            m.add(x + y == 5),
+            m.minimize(x - y),
+        ))
+        result = solve_lp(form)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-5.0)
+
+    def test_infeasible(self):
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=0, ub=1)),
+            m.add(x >= 3),
+            m.minimize(x),
+        ))
+        assert solve_lp(form).status == "infeasible"
+
+    def test_unbounded(self):
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=0)),
+            m.minimize(-1 * x),
+        ))
+        assert solve_lp(form).status == "unbounded"
+
+    def test_empty_feasible_model(self):
+        form = _lp(lambda m: None)
+        result = solve_lp(form)
+        assert result.is_optimal
+        assert result.objective == 0.0
+
+    def test_objective_constant_included(self):
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=2, ub=9)),
+            m.minimize(x + 10),
+        ))
+        result = solve_lp(form)
+        assert result.objective == pytest.approx(12.0)
+
+    def test_shifted_lower_bounds(self):
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=3, ub=8)),
+            (y := m.add_var("y", lb=1)),
+            m.add(x + y <= 10),
+            m.minimize(-1 * x - y),
+        ))
+        result = solve_lp(form)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-10.0)
+        assert result.x[0] >= 3 - 1e-9
+
+    def test_maximize_flips(self):
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=0, ub=4)),
+            m.maximize(5 * x),
+        ))
+        result = solve_lp(form)
+        # ArrayForm stores minimize(-5x); user objective maps back.
+        assert form.user_objective(result.objective) == pytest.approx(20.0)
+
+    def test_degenerate_pivots_terminate(self):
+        # Classic degeneracy: many redundant constraints through a vertex.
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=0)),
+            (y := m.add_var("y", lb=0)),
+            m.add(x + y <= 1),
+            m.add(x + y <= 1),
+            m.add(2 * x + 2 * y <= 2),
+            m.add(x <= 1),
+            m.minimize(-1 * x - y),
+        ))
+        result = solve_lp(form)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-1.0)
+
+    def test_bound_override(self):
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=0, ub=10)),
+            m.minimize(x),
+        ))
+        result = solve_lp(form, lb=np.array([4.0]), ub=np.array([10.0]))
+        assert result.objective == pytest.approx(4.0)
+
+    def test_bound_override_infeasible(self):
+        form = _lp(lambda m: (
+            (x := m.add_var("x", lb=0, ub=10)),
+            m.minimize(x),
+        ))
+        result = solve_lp(form, lb=np.array([5.0]), ub=np.array([4.0]))
+        assert result.status == "infeasible"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_randomized_agreement_with_highs(data):
+    """Status and optimal value must match scipy's HiGHS LP solver."""
+    rng_vals = data.draw(
+        st.lists(st.integers(-5, 5), min_size=12, max_size=12)
+    )
+    n, m = 3, 3
+    c = np.array(rng_vals[:n], dtype=float)
+    a = np.array(rng_vals[n:n + m * n], dtype=float).reshape(m, n)
+    b = np.array(
+        data.draw(st.lists(st.integers(0, 10), min_size=m, max_size=m)),
+        dtype=float,
+    )
+    model = Model("rand")
+    xs = [model.add_var(f"x{i}", lb=0, ub=6) for i in range(n)]
+    for row, rhs in zip(a, b):
+        expr = sum((float(coef) * x for coef, x in zip(row, xs)),
+                   start=0 * xs[0])
+        model.add(expr <= float(rhs))
+    model.minimize(
+        sum((float(ci) * x for ci, x in zip(c, xs)), start=0 * xs[0])
+    )
+    form = to_arrays(model)
+    ours = solve_lp(form)
+    ref = linprog(
+        c, A_ub=a, b_ub=b, bounds=[(0, 6)] * n, method="highs"
+    )
+    if ref.status == 0:
+        assert ours.is_optimal
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+    elif ref.status == 2:
+        assert ours.status == "infeasible"

@@ -1,0 +1,116 @@
+"""Tests for the machine text format."""
+
+import pytest
+
+from repro.machine import MachineError
+from repro.machine.io import load_machine, parse_machine, serialize_machine
+from repro.machine.presets import motivating_machine, powerpc604
+
+EXAMPLE = """
+# a DSP-ish core
+machine dsp
+fu MAC count=2 cost=2.0
+  row 1 0 0 0
+  row 0 1 1 0
+  row 0 0 0 1
+fu AGU count=2 clean=2
+class mac  MAC latency=4
+class div  MAC latency=6 nonpipelined=6
+class load AGU latency=2
+class store AGU latency=1 row=1
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        machine = parse_machine(EXAMPLE)
+        assert machine.name == "dsp"
+        assert machine.fu_type("MAC").count == 2
+        assert machine.fu_type("MAC").cost == 2.0
+        assert machine.latency("mac") == 4
+
+    def test_explicit_rows(self):
+        machine = parse_machine(EXAMPLE)
+        table = machine.fu_type("MAC").table
+        assert table.matrix.tolist() == [
+            [1, 0, 0, 0], [0, 1, 1, 0], [0, 0, 0, 1],
+        ]
+        assert not table.is_clean  # stage 2 busy twice
+
+    def test_clean_shorthand(self):
+        machine = parse_machine(EXAMPLE)
+        assert machine.fu_type("AGU").table.is_clean
+
+    def test_class_overrides(self):
+        machine = parse_machine(EXAMPLE)
+        assert machine.reservation_for("div").length == 6
+        assert machine.reservation_for("store").length == 1
+        # mac uses the FU default table.
+        assert machine.reservation_for("mac").length == 4
+
+    def test_machine_schedules(self):
+        from repro.core import schedule_loop, verify_schedule
+        from repro.ddg import Ddg
+
+        machine = parse_machine(EXAMPLE)
+        g = Ddg("t")
+        g.add_op("a", "load")
+        g.add_op("b", "mac")
+        g.add_dep("a", "b")
+        result = schedule_loop(g, machine)
+        verify_schedule(result.schedule)
+
+    def test_missing_machine_directive(self):
+        with pytest.raises(MachineError, match="machine"):
+            parse_machine("fu X count=1 clean=1")
+
+    def test_fu_without_table(self):
+        with pytest.raises(MachineError, match="reservation table"):
+            parse_machine("machine m\nfu X count=1\nclass c X latency=1")
+
+    def test_unknown_option(self):
+        with pytest.raises(MachineError, match="unknown option"):
+            parse_machine("machine m\nfu X count=1 clean=1 widgets=3\n"
+                          "class c X latency=1")
+
+    def test_row_outside_fu(self):
+        with pytest.raises(MachineError, match="outside"):
+            parse_machine("machine m\nrow 1 0")
+
+    def test_bad_value(self):
+        with pytest.raises(MachineError, match="line 2"):
+            parse_machine("machine m\nfu X count=two clean=1")
+
+
+class TestRoundTrip:
+    def test_serialize_parse_identity(self):
+        original = parse_machine(EXAMPLE)
+        rebuilt = parse_machine(serialize_machine(original))
+        assert rebuilt.name == original.name
+        for name, fu in original.fu_types.items():
+            assert rebuilt.fu_type(name).count == fu.count
+            assert rebuilt.fu_type(name).table == fu.table
+        for name, cls in original.op_classes.items():
+            assert rebuilt.latency(name) == cls.latency
+            assert rebuilt.reservation_for(name) == (
+                original.reservation_for(name)
+            )
+
+    def test_presets_round_trip_when_expressible(self):
+        # motivating machine: no per-class override tables.
+        machine = motivating_machine()
+        rebuilt = parse_machine(serialize_machine(machine))
+        assert rebuilt.fu_type("FP").table == machine.fu_type("FP").table
+
+    def test_ppc604_round_trips(self):
+        """All 604 overrides are single-row (blocking) tables, which the
+        format expresses inline."""
+        machine = powerpc604()
+        rebuilt = parse_machine(serialize_machine(machine))
+        assert rebuilt.reservation_for("div").length == 20
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "m.machine"
+        path.write_text(EXAMPLE, encoding="utf-8")
+        machine = load_machine(path)
+        assert machine.name == "dsp"

@@ -1,0 +1,106 @@
+"""Tests for machine descriptions (FU types, op classes)."""
+
+import pytest
+
+from repro.machine import FuType, Machine, MachineError, OpClass, ReservationTable
+
+
+@pytest.fixture
+def machine():
+    m = Machine("toy")
+    m.add_fu_type("FP", count=2,
+                  table=ReservationTable.from_rows([1, 0], [0, 1]))
+    m.add_fu_type("MEM", count=1, table=ReservationTable.clean(3))
+    m.add_op_class("fadd", "FP", latency=2)
+    m.add_op_class("load", "MEM", latency=3)
+    return m
+
+
+class TestConstruction:
+    def test_duplicate_fu_type_rejected(self, machine):
+        with pytest.raises(MachineError, match="duplicate FU"):
+            machine.add_fu_type("FP", 1, ReservationTable.clean(1))
+
+    def test_duplicate_op_class_rejected(self, machine):
+        with pytest.raises(MachineError, match="duplicate op class"):
+            machine.add_op_class("fadd", "FP", 1)
+
+    def test_unknown_fu_type_rejected(self, machine):
+        with pytest.raises(MachineError, match="unknown FU type"):
+            machine.add_op_class("mul", "VEC", 2)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(MachineError, match="count >= 1"):
+            FuType("X", 0, ReservationTable.clean(1))
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(MachineError, match="latency >= 1"):
+            OpClass("x", "FU", 0)
+
+
+class TestLookups:
+    def test_latency(self, machine):
+        assert machine.latency("fadd") == 2
+        assert machine.latency("load") == 3
+
+    def test_unknown_class(self, machine):
+        with pytest.raises(MachineError, match="unknown op class"):
+            machine.op_class("div")
+
+    def test_unknown_fu(self, machine):
+        with pytest.raises(MachineError, match="unknown FU type"):
+            machine.fu_type("VEC")
+
+    def test_fu_type_of(self, machine):
+        assert machine.fu_type_of("fadd").name == "FP"
+        assert machine.fu_type_of("load").count == 1
+
+    def test_reservation_default_is_fu_table(self, machine):
+        assert machine.reservation_for("fadd") == machine.fu_type("FP").table
+
+    def test_reservation_per_class_override(self, machine):
+        override = ReservationTable.non_pipelined(5)
+        machine.add_op_class("fdiv", "FP", latency=5, table=override)
+        assert machine.reservation_for("fdiv") == override
+        # Other classes unaffected.
+        assert machine.reservation_for("fadd") == machine.fu_type("FP").table
+
+    def test_classes_on(self, machine):
+        assert [c.name for c in machine.classes_on("FP")] == ["fadd"]
+
+    def test_stage_count_union(self, machine):
+        machine.add_op_class(
+            "big", "MEM", latency=1,
+            table=ReservationTable.clean(5),
+        )
+        assert machine.stage_count("MEM") == 5
+        assert machine.stage_count("FP") == 2
+
+
+class TestProperties:
+    def test_is_clean_true(self, machine):
+        assert machine.is_clean
+
+    def test_is_clean_false_with_hazard(self, machine):
+        machine.add_op_class(
+            "fdiv", "FP", latency=4,
+            table=ReservationTable.non_pipelined(4),
+        )
+        assert not machine.is_clean
+
+    def test_validate_ok(self, machine):
+        machine.validate()
+
+    def test_validate_empty_machine(self):
+        with pytest.raises(MachineError, match="no FU types"):
+            Machine("empty").validate()
+
+    def test_validate_no_classes(self):
+        m = Machine("no-classes")
+        m.add_fu_type("X", 1, ReservationTable.clean(1))
+        with pytest.raises(MachineError, match="no op classes"):
+            m.validate()
+
+    def test_render_lists_everything(self, machine):
+        text = machine.render()
+        assert "FP" in text and "fadd" in text and "x2" in text

@@ -1,0 +1,142 @@
+"""Tests for the cyclic-interval register allocator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import VerificationError, schedule_loop
+from repro.core.schedule import Schedule, greedy_mapping
+from repro.ddg import Ddg
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.ddg.kernels import KERNELS, motivating_example
+from repro.machine.presets import motivating_machine, powerpc604
+from repro.registers import (
+    allocate_registers,
+    max_live,
+    unroll_factor,
+    validate_allocation,
+    value_ranges,
+)
+
+
+@pytest.fixture
+def schedule_b():
+    ddg = motivating_example()
+    machine = motivating_machine()
+    starts = [0, 1, 3, 5, 7, 11]
+    colors = greedy_mapping(ddg, machine, starts, 4)
+    return Schedule(ddg=ddg, machine=machine, t_period=4,
+                    starts=starts, colors=colors)
+
+
+class TestValueRanges:
+    def test_one_range_per_producing_op(self, schedule_b):
+        producers = {v.producer for v in value_ranges(schedule_b)}
+        # i5 (store) produces nothing; ops with zero-span values drop out.
+        assert 5 not in producers
+
+    def test_consumers_merge(self):
+        """One producer with two consumers yields one range ending at
+        the later consumer."""
+        machine = powerpc604()
+        g = Ddg("fan")
+        a = g.add_op("a", "fadd")
+        b = g.add_op("b", "fadd")
+        c = g.add_op("c", "fadd")
+        g.add_dep(a, b)
+        g.add_dep(a, c)
+        schedule = Schedule(ddg=g, machine=machine, t_period=3,
+                            starts=[0, 3, 8], colors={0: 0, 1: 0, 2: 0})
+        ranges = value_ranges(schedule)
+        mine = [v for v in ranges if v.producer == 0]
+        assert len(mine) == 1
+        assert mine[0].last_use == 8
+
+
+class TestAllocation:
+    def test_schedule_b_allocates(self, schedule_b):
+        allocation = allocate_registers(schedule_b)
+        assert allocation.num_registers >= max_live(schedule_b)
+        assert allocation.unroll == unroll_factor(schedule_b)
+
+    def test_within_twice_maxlive(self, schedule_b):
+        """First-fit circular-arc coloring stays under 2*MaxLive."""
+        allocation = allocate_registers(schedule_b)
+        assert allocation.num_registers <= max(1, 2 * max_live(schedule_b))
+
+    def test_long_lifetime_gets_rotated_copies(self):
+        machine = powerpc604()
+        g = Ddg("slack")
+        g.add_op("a", "add")
+        g.add_op("b", "add")
+        g.add_dep("a", "b")
+        schedule = Schedule(ddg=g, machine=machine, t_period=2,
+                            starts=[0, 9], colors={0: 0, 1: 0})
+        allocation = allocate_registers(schedule)
+        assert allocation.unroll == 4
+        # The four in-flight copies need four distinct registers.
+        registers = {
+            allocation.assignment[(0, copy)] for copy in range(4)
+        }
+        assert len(registers) == 4
+
+    def test_register_budget_enforced(self):
+        machine = powerpc604()
+        g = Ddg("slack")
+        g.add_op("a", "add")
+        g.add_op("b", "add")
+        g.add_dep("a", "b")
+        schedule = Schedule(ddg=g, machine=machine, t_period=2,
+                            starts=[0, 9], colors={0: 0, 1: 0})
+        with pytest.raises(VerificationError, match="available"):
+            allocate_registers(schedule, max_registers=2)
+
+    def test_render_lists_values(self, schedule_b):
+        allocation = allocate_registers(schedule_b)
+        text = allocation.render()
+        assert "register allocation" in text
+        assert "i2" in text
+
+    def test_register_names(self, schedule_b):
+        allocation = allocate_registers(schedule_b)
+        name = allocation.register_name(2, 0)
+        assert name.startswith("r")
+
+
+class TestValidator:
+    def test_catches_tampered_assignment(self, schedule_b):
+        allocation = allocate_registers(schedule_b)
+        if allocation.num_registers < 2:
+            pytest.skip("needs two registers to collide")
+        # Force every value into register 0.
+        for key in allocation.assignment:
+            allocation.assignment[key] = 0
+        with pytest.raises(VerificationError, match="holds two values"):
+            validate_allocation(allocation)
+
+
+class TestOnKernels:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_all_kernels_allocate(self, name):
+        machine = powerpc604()
+        result = schedule_loop(KERNELS[name](), machine)
+        allocation = allocate_registers(result.schedule)
+        assert allocation.num_registers >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_allocations_valid_and_bounded(seed):
+    """Property: allocation validates and sits in [MaxLive, 2*MaxLive]."""
+    machine = powerpc604()
+    ddg = random_ddg(
+        random.Random(seed), machine, GeneratorConfig(min_ops=2, max_ops=8)
+    )
+    result = schedule_loop(ddg, machine, max_extra=30)
+    if result.schedule is None:
+        return
+    allocation = allocate_registers(result.schedule)
+    lower = max_live(result.schedule)
+    assert lower <= allocation.num_registers <= max(1, 2 * lower)

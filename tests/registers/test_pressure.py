@@ -1,0 +1,131 @@
+"""Tests for register/buffer pressure analysis."""
+
+import pytest
+
+from repro.core import FormulationOptions, Formulation, schedule_loop
+from repro.core.schedule import Schedule, greedy_mapping
+from repro.ddg import Ddg
+from repro.ddg.kernels import motivating_example
+from repro.machine.presets import motivating_machine, powerpc604
+from repro.registers import (
+    buffer_requirements,
+    lifetimes,
+    max_live,
+    total_buffers,
+    unroll_factor,
+)
+
+
+@pytest.fixture
+def schedule_b():
+    ddg = motivating_example()
+    machine = motivating_machine()
+    starts = [0, 1, 3, 5, 7, 11]
+    colors = greedy_mapping(ddg, machine, starts, 4)
+    return Schedule(ddg=ddg, machine=machine, t_period=4,
+                    starts=starts, colors=colors)
+
+
+class TestLifetimes:
+    def test_count_matches_deps(self, schedule_b):
+        assert len(lifetimes(schedule_b)) == schedule_b.ddg.num_deps
+
+    def test_flow_edge_spans(self, schedule_b):
+        lives = {(l.producer, l.consumer): l for l in lifetimes(schedule_b)}
+        # i0 (load@0, lat 3) -> i2 (@3): defined at 3, used at 3.
+        assert lives[(0, 2)].span == 0
+        # i2 (fadd@3, lat 2) -> i3 (@5): defined at 5, used at 5.
+        assert lives[(2, 3)].span == 0
+        # i4 (@7, lat 2) -> i5 (@11): defined at 9, used at 11.
+        assert lives[(4, 5)].span == 2
+
+    def test_loop_carried_lifetime(self, schedule_b):
+        lives = {(l.producer, l.consumer, l.distance): l
+                 for l in lifetimes(schedule_b)}
+        # Self-loop on i2 (m=1): defined at 5, used at 3 + 4 = 7.
+        self_loop = lives[(2, 2, 1)]
+        assert self_loop.define_time == 5
+        assert self_loop.last_use == 7
+        assert self_loop.span == 2
+
+
+class TestBuffers:
+    def test_all_at_least_one(self, schedule_b):
+        assert all(v >= 1 for v in buffer_requirements(schedule_b).values())
+
+    def test_slack_edges_cost_more(self, schedule_b):
+        buffers = buffer_requirements(schedule_b)
+        # i1@1 -> i3@5: issue-to-use 4 cycles = exactly one period.
+        deps = schedule_b.ddg.deps
+        idx = next(i for i, d in enumerate(deps)
+                   if (d.src, d.dst) == (1, 3))
+        assert buffers[idx] == 1
+        # i4@7 -> i5@11: 4 cycles -> 1 buffer; self-loop i2: 4+... = 2?
+        self_idx = next(i for i, d in enumerate(deps) if d.src == d.dst)
+        # issue-to-use = t_i2 + T*1 - t_i2 = 4 -> ceil(4/4) = 1.
+        assert buffers[self_idx] == 1
+
+    def test_total(self, schedule_b):
+        assert total_buffers(schedule_b) == sum(
+            buffer_requirements(schedule_b).values()
+        )
+
+    def test_min_buffers_objective_not_worse(self):
+        """A min_buffers solution never uses more buffers than a
+        feasibility solution at the same T."""
+        ddg = motivating_example()
+        machine = motivating_machine()
+        plain = Formulation(ddg, machine, 4)
+        plain_schedule = plain.extract(plain.solve())
+        tuned = Formulation(
+            ddg, machine, 4, FormulationOptions(objective="min_buffers")
+        )
+        tuned_schedule = tuned.extract(tuned.solve())
+        assert total_buffers(tuned_schedule) <= total_buffers(plain_schedule)
+
+
+class TestMaxLive:
+    def test_nonnegative_and_bounded(self, schedule_b):
+        peak = max_live(schedule_b)
+        assert 0 <= peak <= schedule_b.ddg.num_deps * 3
+
+    def test_zero_span_values_dont_count(self):
+        machine = powerpc604()
+        g = Ddg("chain")
+        g.add_op("a", "add")
+        g.add_op("b", "add")
+        g.add_dep("a", "b")
+        schedule = Schedule(ddg=g, machine=machine, t_period=1,
+                            starts=[0, 1], colors={0: 0, 1: 0})
+        assert max_live(schedule) == 0
+
+    def test_long_lifetime_raises_pressure(self):
+        machine = powerpc604()
+        g = Ddg("slack")
+        g.add_op("a", "add")
+        g.add_op("b", "add")
+        g.add_dep("a", "b")
+        schedule = Schedule(ddg=g, machine=machine, t_period=2,
+                            starts=[0, 9], colors={0: 0, 1: 0})
+        # Value live [1, 9): 8 cycles over period 2 -> 4 copies in flight.
+        assert max_live(schedule) == 4
+
+
+class TestUnrollFactor:
+    def test_tight_schedule_needs_no_unroll(self, schedule_b):
+        assert unroll_factor(schedule_b) == 1
+
+    def test_stretched_schedule_needs_unroll(self):
+        machine = powerpc604()
+        g = Ddg("slack")
+        g.add_op("a", "add")
+        g.add_op("b", "add")
+        g.add_dep("a", "b")
+        schedule = Schedule(ddg=g, machine=machine, t_period=2,
+                            starts=[0, 9], colors={0: 0, 1: 0})
+        assert unroll_factor(schedule) == 4
+
+    def test_every_ilp_schedule_has_finite_factor(self):
+        machine = powerpc604()
+        result = schedule_loop(motivating_example(), machine)
+        assert unroll_factor(result.schedule) >= 1

@@ -1,0 +1,96 @@
+"""Unit tests for the functional (value-level) schedule executor."""
+
+import pytest
+
+from repro.core import schedule_loop
+from repro.frontend.errors import FrontendError
+from repro.frontend.lower import compile_loop_semantics
+from repro.machine.presets import powerpc604
+from repro.sim.functional import execute_dataflow
+
+
+def _compile_and_schedule(source, name="f"):
+    compiled = compile_loop_semantics(source, name=name)
+    result = schedule_loop(compiled.ddg, powerpc604(), max_extra=30)
+    assert result.schedule is not None
+    return compiled, result.schedule
+
+
+class TestOperandResolution:
+    def test_recurrence_seed_used_before_warmup(self):
+        """s = s + 1 reads the seed on iteration 0, then op results."""
+        compiled, schedule = _compile_and_schedule(
+            "for i:\n    s = s + 1\n    out[i] = s\n"
+        )
+        outcome = execute_dataflow(
+            compiled, schedule, {"out": [0.0] * 6}, {"s": 10.0}, 4
+        )
+        assert outcome.arrays["out"][:4] == [11.0, 12.0, 13.0, 14.0]
+
+    def test_invariant_scalar(self):
+        compiled, schedule = _compile_and_schedule(
+            "for i:\n    out[i] = x[i] * alpha\n"
+        )
+        outcome = execute_dataflow(
+            compiled, schedule,
+            {"x": [1.0, 2.0, 3.0, 4.0, 5.0], "out": [0.0] * 5},
+            {"alpha": 3.0}, 4,
+        )
+        assert outcome.arrays["out"][:4] == [3.0, 6.0, 9.0, 12.0]
+
+    def test_missing_invariant_raises(self):
+        compiled, schedule = _compile_and_schedule(
+            "for i:\n    out[i] = x[i] * alpha\n"
+        )
+        with pytest.raises(FrontendError, match="seed"):
+            execute_dataflow(
+                compiled, schedule, {"x": [1.0] * 5, "out": [0.0] * 5},
+                {}, 2,
+            )
+
+    def test_carried_const_seed_then_const(self):
+        """y reads prev-iteration x, where x is the constant 7: seed on
+        iteration 0, 7.0 afterwards."""
+        compiled, schedule = _compile_and_schedule(
+            "for i:\n    out[i] = x + a[i]\n    x = 7\n"
+        )
+        outcome = execute_dataflow(
+            compiled, schedule,
+            {"a": [0.0] * 6, "out": [0.0] * 6}, {"x": 100.0}, 3,
+        )
+        assert outcome.arrays["out"][:3] == [100.0, 7.0, 7.0]
+
+    def test_values_recorded_per_instance(self):
+        compiled, schedule = _compile_and_schedule(
+            "for i:\n    out[i] = a[i] + 1\n"
+        )
+        outcome = execute_dataflow(
+            compiled, schedule,
+            {"a": [5.0, 6.0, 7.0, 8.0], "out": [0.0] * 4}, {}, 3,
+        )
+        add_index = next(
+            i for i, op in enumerate(compiled.ddg.ops)
+            if op.op_class == "fadd"
+        )
+        assert outcome.values[(add_index, 1)] == 7.0
+
+
+class TestMemoryModel:
+    def test_out_of_range_writes_dropped(self):
+        compiled, schedule = _compile_and_schedule(
+            "for i:\n    a[i+2] = b[i]\n"
+        )
+        outcome = execute_dataflow(
+            compiled, schedule,
+            {"a": [0.0, 0.0], "b": [1.0, 2.0, 3.0]}, {}, 3,
+        )
+        assert outcome.arrays["a"] == [0.0, 0.0]
+
+    def test_input_arrays_not_mutated(self):
+        compiled, schedule = _compile_and_schedule(
+            "for i:\n    a[i] = a[i] + 1\n"
+        )
+        original = {"a": [1.0, 1.0, 1.0, 1.0, 1.0]}
+        outcome = execute_dataflow(compiled, schedule, original, {}, 3)
+        assert original["a"] == [1.0] * 5
+        assert outcome.arrays["a"][:3] == [2.0, 2.0, 2.0]

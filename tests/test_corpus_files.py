@@ -1,0 +1,44 @@
+"""Regression tests over the checked-in corpus/ directory."""
+
+import pathlib
+
+import pytest
+
+from repro.core import schedule_loop, verify_schedule
+from repro.ddg.builders import parse_ddg, serialize_ddg
+from repro.ddg.generators import suite
+from repro.machine.presets import powerpc604
+from repro.sim import simulate
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parent.parent / "corpus"
+FILES = sorted(CORPUS_DIR.glob("*.ddg"))
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return powerpc604()
+
+
+def test_corpus_present():
+    assert len(FILES) == 24
+
+
+def test_generator_reproduces_files_exactly(machine):
+    """Seed 1995 must regenerate the checked-in corpus byte-for-byte;
+    a mismatch means the generator's output silently changed."""
+    regenerated = suite(24, machine, seed=1995)
+    for path, ddg in zip(FILES, regenerated):
+        assert path.read_text(encoding="utf-8") == serialize_ddg(ddg), (
+            f"{path.name} drifted from the generator's output"
+        )
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_corpus_loop_schedules(path, machine):
+    ddg = parse_ddg(path.read_text(encoding="utf-8"))
+    result = schedule_loop(ddg, machine, time_limit_per_t=10.0,
+                           max_extra=30)
+    assert result.schedule is not None, path.name
+    verify_schedule(result.schedule)
+    report = simulate(result.schedule, iterations=6)
+    assert report.ok, (path.name, report.first_violation())

@@ -1,0 +1,72 @@
+"""Golden-output tests: key renderings are pinned exactly.
+
+These guard the user-visible artifacts (the §2 reconstruction and the
+Figure 2/3 displays) against accidental drift — any intentional change
+to schedules or formatting must update these strings consciously.
+"""
+
+from repro.core import periodic, schedule_loop
+from repro.ddg.kernels import motivating_example
+from repro.ddg.render import ascii_ddg
+from repro.machine.presets import motivating_machine
+
+
+def test_golden_motivating_ddg():
+    assert ascii_ddg(motivating_example(), motivating_machine()) == (
+        "loop motivating (6 ops, 6 deps)\n"
+        "  i0: load (lat 3) -> i2[m=0]\n"
+        "  i1: load (lat 3) -> i3[m=0]\n"
+        "  i2: fadd (lat 2) -> i3[m=0], i2[m=1]\n"
+        "  i3: fadd (lat 2) -> i4[m=0]\n"
+        "  i4: fadd (lat 2) -> i5[m=0]\n"
+        "  i5: store (lat 1)"
+    )
+
+
+def test_golden_fp_reservation_table():
+    table = motivating_machine().reservation_for("fadd")
+    assert table.render("FP") == (
+        "FP\n"
+        "          0  1  2\n"
+        "Stage  1  1  0  0\n"
+        "Stage  2  0  1  0\n"
+        "Stage  3  0  1  1"
+    )
+
+
+def test_golden_paper_tka():
+    """The published Schedule B vectors, rendered (Figure 3)."""
+    text = periodic.format_tka(
+        [0, 1, 3, 5, 7, 11], 4, [f"i{i}" for i in range(6)]
+    )
+    assert text == (
+        "T = [0, 1, 3, 5, 7, 11]'\n"
+        "K = [0, 0, 0, 1, 1, 2]'\n"
+        "A (4 x 6), columns = i0, i1, i2, i3, i4, i5:\n"
+        "  t=0: [1 0 0 0 0 0]\n"
+        "  t=1: [0 1 0 1 0 0]\n"
+        "  t=2: [0 0 0 0 0 0]\n"
+        "  t=3: [0 0 1 0 1 1]"
+    )
+
+
+def test_golden_min_sum_t_schedule_is_stable():
+    """HiGHS is deterministic: the min-sum-t Schedule B never moves."""
+    result = schedule_loop(
+        motivating_example(), motivating_machine(), objective="min_sum_t"
+    )
+    schedule = result.schedule
+    assert schedule.starts == [0, 1, 3, 5, 7, 10]
+    assert schedule.k_vector == [0, 0, 0, 1, 1, 2]
+    assert schedule.colors[2] != schedule.colors[4]
+
+
+def test_golden_kernel_rendering():
+    result = schedule_loop(
+        motivating_example(), motivating_machine(), objective="min_sum_t"
+    )
+    text = result.schedule.render_kernel()
+    assert text.splitlines()[0] == (
+        "kernel of 'motivating': T=4, span=11, stages=3"
+    )
+    assert "  slot 0: i0/MEM0(+0)" in text
