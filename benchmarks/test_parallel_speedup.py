@@ -1,0 +1,70 @@
+"""Parallel-vs-sequential wall-clock on the checked-in corpus.
+
+Records how long the 24-loop regression corpus takes (a) loop-by-loop
+through the sequential driver and (b) through the multiprocess batch
+runner, and prints the ratio.  On a multi-core box the batch runner
+should approach ``min(jobs, loops)``-way speedup since per-loop solves
+are independent; on a single core it documents the pool overhead
+instead.  No speedup is *asserted* — CI hardware varies — but the
+equivalence of results is.
+"""
+
+import os
+import pathlib
+import time
+
+from conftest import once
+
+from repro.core import schedule_loop
+from repro.ddg.builders import parse_ddg
+from repro.parallel import run_batch
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parent.parent / "corpus"
+FILES = sorted(CORPUS_DIR.glob("*.ddg"))
+TIME_LIMIT = 10.0
+MAX_EXTRA = 30
+
+
+def _run_sequential(machine):
+    results = []
+    for path in FILES:
+        ddg = parse_ddg(path.read_text(encoding="utf-8"))
+        results.append(
+            schedule_loop(ddg, machine, time_limit_per_t=TIME_LIMIT,
+                          max_extra=MAX_EXTRA)
+        )
+    return results
+
+
+def test_parallel_speedup(benchmark, ppc604):
+    jobs = max(2, os.cpu_count() or 1)
+
+    start = time.monotonic()
+    sequential = _run_sequential(ppc604)
+    seq_seconds = time.monotonic() - start
+
+    report = once(
+        benchmark,
+        lambda: run_batch(
+            FILES, ppc604, jobs=jobs, time_limit_per_t=TIME_LIMIT,
+            max_extra=MAX_EXTRA,
+        ),
+    )
+    par_seconds = report.total_seconds
+
+    print()
+    print(
+        f"corpus of {len(FILES)} loops: sequential {seq_seconds:.2f}s, "
+        f"batch ({jobs} jobs) {par_seconds:.2f}s, "
+        f"speedup {seq_seconds / par_seconds:.2f}x "
+        f"({os.cpu_count()} CPU(s) visible)"
+    )
+
+    # Semantics must not drift, whatever the clock says.
+    assert report.failed == 0
+    for seq_result, entry in zip(sequential, report.entries):
+        assert entry.result.achieved_t == seq_result.achieved_t
+        assert (
+            entry.result.is_rate_optimal_proven
+            == seq_result.is_rate_optimal_proven
+        )

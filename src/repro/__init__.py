@@ -25,6 +25,7 @@ Layout:
 * :mod:`repro.baselines` — iterative modulo scheduling, list scheduling
 * :mod:`repro.sim`       — cycle-accurate replay (hazard cross-check)
 * :mod:`repro.codegen`   — prolog/kernel/epilog emission
+* :mod:`repro.parallel`  — multiprocess period racing + corpus batch runs
 """
 
 from repro.core import (

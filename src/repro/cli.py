@@ -2,6 +2,7 @@
 
 Commands
     schedule     schedule one loop (named kernel or DDG text file)
+    batch        schedule a corpus of .ddg files across worker processes
     motivating   print the paper's §2 artifacts (Figures 1-4, Tables 1-2)
     suite        run a synthetic corpus and print Table 4-style buckets
     list         show available kernels and machine presets
@@ -125,6 +126,63 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.parallel import run_batch
+
+    machine = _machine_of(args)
+    try:
+        report = run_batch(
+            args.paths,
+            machine,
+            backend=args.backend,
+            time_limit_per_t=args.time_limit,
+            max_extra=args.max_extra,
+            jobs=args.jobs,
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"batch: {exc}")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote JSON report to {args.out}")
+    return 0 if report.failed == 0 else 1
+
+
+def _cmd_race(args) -> int:
+    from repro.parallel import race_periods
+
+    machine = _machine_of(args)
+    ddg = _load_ddg(args)
+    ddg.validate_against(machine)
+    from repro.core.errors import SchedulingError
+
+    try:
+        result = race_periods(
+            ddg,
+            machine,
+            backend=args.backend,
+            time_limit_per_t=args.time_limit,
+            max_extra=args.max_extra,
+            jobs=args.jobs,
+        )
+    except SchedulingError as exc:
+        raise SystemExit(f"race: {exc}")
+    print(result.summary())
+    for attempt in result.attempts:
+        print(f"  T={attempt.t_period}: {attempt.status} "
+              f"({attempt.seconds:.2f}s)")
+    if result.schedule is None:
+        print("no schedule found within the budget")
+        return 1
+    print()
+    print(result.schedule.render_kernel())
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.machine.collision import analyze
 
@@ -235,6 +293,49 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the ILP in CPLEX LP format")
     p_schedule.add_argument("--compare-heuristic", action="store_true")
     p_schedule.set_defaults(func=_cmd_schedule)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="schedule .ddg files/directories across worker processes",
+    )
+    p_batch.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help=".ddg files and/or directories of them",
+    )
+    p_batch.add_argument("--machine", default="powerpc604")
+    p_batch.add_argument("--machine-file", metavar="PATH",
+                         help="machine description file (overrides "
+                              "--machine)")
+    p_batch.add_argument("--backend", default="auto",
+                         choices=("auto", "highs", "bnb"))
+    p_batch.add_argument("--time-limit", type=float, default=10.0,
+                         help="per-period solver budget (seconds)")
+    p_batch.add_argument("--max-extra", type=int, default=10)
+    p_batch.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: CPU count)")
+    p_batch.add_argument("--out", metavar="PATH",
+                         help="write the JSON report to this file")
+    p_batch.add_argument("--json", action="store_true",
+                         help="print the JSON report instead of the table")
+    p_batch.set_defaults(func=_cmd_batch)
+
+    p_race = sub.add_parser(
+        "race", help="race candidate periods of one loop concurrently"
+    )
+    p_race.add_argument("--kernel", help="named kernel (see 'list')")
+    p_race.add_argument("--ddg", help="path to a DDG text file")
+    p_race.add_argument("--source",
+                        help="path to a loop-DSL source file")
+    p_race.add_argument("--classes", metavar="MAP",
+                        help="operator->op-class overrides for --source")
+    p_race.add_argument("--machine", default="motivating")
+    p_race.add_argument("--machine-file", metavar="PATH")
+    p_race.add_argument("--backend", default="auto",
+                        choices=("auto", "highs", "bnb"))
+    p_race.add_argument("--time-limit", type=float, default=30.0)
+    p_race.add_argument("--max-extra", type=int, default=10)
+    p_race.add_argument("--jobs", type=int, default=None)
+    p_race.set_defaults(func=_cmd_race)
 
     p_analyze = sub.add_parser(
         "analyze", help="pipeline-hazard analysis of a machine's FUs"

@@ -24,10 +24,20 @@ from repro.core.errors import (
 from repro.core.explain import Diagnosis, Reason, explain_infeasibility
 from repro.core.formulation import Formulation, FormulationOptions
 from repro.core.schedule import Schedule
-from repro.core.scheduler import ScheduleAttempt, SchedulingResult, schedule_loop
+from repro.core.scheduler import (
+    AttemptConfig,
+    AttemptOutcome,
+    ScheduleAttempt,
+    SchedulingResult,
+    attempt_period,
+    schedule_loop,
+)
 from repro.core.verify import verify_schedule
 
 __all__ = [
+    "AttemptConfig",
+    "AttemptOutcome",
+    "attempt_period",
     "CoreError",
     "Diagnosis",
     "Reason",

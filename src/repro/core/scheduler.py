@@ -6,6 +6,11 @@ and solving the unified ILP at each ``T`` under a per-period time budget.
 The first feasible period yields a rate-optimal schedule *for fixed FU
 assignment* — every smaller admissible period was proven infeasible.
 
+The per-attempt body lives in :func:`attempt_period`, a module-level
+function whose arguments and result are picklable, so the same code
+drives both this sequential sweep and the multiprocess period racer in
+:mod:`repro.parallel.race`.
+
 The per-attempt records feed the Table 4 / Table 5 experiment harness
 (how many loops schedule at ``T_lb``, ``T_lb + 2``, ... and how much
 solver time each took).
@@ -15,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.bounds import LowerBounds, lower_bounds, modulo_feasible_t
 from repro.core.errors import SchedulingError
@@ -86,6 +91,98 @@ class SchedulingResult:
         )
 
 
+@dataclass(frozen=True)
+class AttemptConfig:
+    """Per-attempt knobs shared by the sequential and parallel drivers.
+
+    Frozen and free of live objects so it pickles cleanly into worker
+    processes.
+    """
+
+    backend: str = "auto"
+    objective: str = "feasibility"
+    mapping: Optional[bool] = None
+    time_limit: Optional[float] = 30.0
+    verify: bool = True
+    repair_modulo: bool = False
+
+
+@dataclass
+class AttemptOutcome:
+    """What one call to :func:`attempt_period` produced."""
+
+    attempt: ScheduleAttempt
+    schedule: Optional[Schedule] = None
+
+
+def attempt_period(
+    ddg: Ddg,
+    machine: Machine,
+    t_period: int,
+    config: Optional[AttemptConfig] = None,
+    formulation_builder: Optional[
+        Callable[[Ddg, Machine, int, FormulationOptions], Formulation]
+    ] = None,
+) -> AttemptOutcome:
+    """Run the §6 procedure's body for one candidate period.
+
+    Checks the modulo scheduling constraint (optionally repairing via
+    delay insertion), builds and solves the unified ILP, and extracts +
+    verifies a schedule when the solve is feasible.  Both
+    :func:`schedule_loop` and :func:`repro.parallel.race.race_periods`
+    funnel through here, which is what keeps their results identical.
+
+    ``formulation_builder`` lets callers inject a memoized constructor
+    (see :mod:`repro.parallel.cache`); it is an in-process hook only and
+    never crosses a pickle boundary.
+    """
+    config = config or AttemptConfig()
+    attempt_machine = machine
+    repaired = False
+    if not modulo_feasible_t(ddg, machine, t_period):
+        patched = None
+        if config.repair_modulo:
+            from repro.machine.delays import delayed_machine
+
+            patched = delayed_machine(machine, t_period)
+        if patched is None:
+            return AttemptOutcome(
+                ScheduleAttempt(t_period=t_period, status="modulo_infeasible")
+            )
+        attempt_machine = patched
+        repaired = True
+    options = FormulationOptions(
+        mapping=config.mapping, objective=config.objective
+    )
+    if formulation_builder is not None and not repaired:
+        formulation = formulation_builder(
+            ddg, attempt_machine, t_period, options
+        )
+    else:
+        formulation = Formulation(ddg, attempt_machine, t_period, options)
+    formulation.build()
+    solution = formulation.solve(
+        backend=config.backend, time_limit=config.time_limit
+    )
+    attempt = ScheduleAttempt(
+        t_period=t_period,
+        status=solution.status.value,
+        seconds=solution.solve_seconds,
+        model_stats=formulation.model.stats(),
+        nodes=solution.nodes,
+        repaired=repaired,
+    )
+    schedule: Optional[Schedule] = None
+    if solution.status.has_solution:
+        require_mapping = config.mapping is not False
+        schedule = formulation.extract(
+            solution, require_mapping=require_mapping
+        )
+        if config.verify:
+            verify_schedule(schedule, check_mapping=require_mapping)
+    return AttemptOutcome(attempt=attempt, schedule=schedule)
+
+
 def schedule_loop(
     ddg: Ddg,
     machine: Machine,
@@ -114,48 +211,20 @@ def schedule_loop(
     bounds = lower_bounds(ddg, machine)
     attempts: List[ScheduleAttempt] = []
     schedule: Optional[Schedule] = None
+    config = AttemptConfig(
+        backend=backend,
+        objective=objective,
+        mapping=mapping,
+        time_limit=time_limit_per_t,
+        verify=verify,
+        repair_modulo=repair_modulo,
+    )
 
     for t_period in range(bounds.t_lb, bounds.t_lb + max_extra + 1):
-        attempt_machine = machine
-        repaired = False
-        if not modulo_feasible_t(ddg, machine, t_period):
-            patched = None
-            if repair_modulo:
-                from repro.machine.delays import delayed_machine
-
-                patched = delayed_machine(machine, t_period)
-            if patched is None:
-                attempts.append(
-                    ScheduleAttempt(
-                        t_period=t_period, status="modulo_infeasible"
-                    )
-                )
-                continue
-            attempt_machine = patched
-            repaired = True
-        options = FormulationOptions(mapping=mapping, objective=objective)
-        formulation = Formulation(ddg, attempt_machine, t_period, options)
-        formulation.build()
-        solution = formulation.solve(
-            backend=backend, time_limit=time_limit_per_t
-        )
-        attempts.append(
-            ScheduleAttempt(
-                t_period=t_period,
-                status=solution.status.value,
-                seconds=solution.solve_seconds,
-                model_stats=formulation.model.stats(),
-                nodes=solution.nodes,
-                repaired=repaired,
-            )
-        )
-        if solution.status.has_solution:
-            require_mapping = mapping is not False
-            schedule = formulation.extract(
-                solution, require_mapping=require_mapping
-            )
-            if verify:
-                verify_schedule(schedule, check_mapping=require_mapping)
+        outcome = attempt_period(ddg, machine, t_period, config)
+        attempts.append(outcome.attempt)
+        if outcome.schedule is not None:
+            schedule = outcome.schedule
             break
 
     if schedule is None and not attempts:

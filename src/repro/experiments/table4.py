@@ -103,9 +103,34 @@ def run_table4(
     time_limit_per_t: Optional[float] = 10.0,
     max_extra: int = 8,
     objective: str = "feasibility",
+    jobs: int = 1,
 ) -> Table4:
-    """Schedule every loop and bucket the outcomes."""
+    """Schedule every loop and bucket the outcomes.
+
+    ``jobs > 1`` fans the corpus out over the multiprocess batch runner
+    (:func:`repro.parallel.run_batch`); bucketing is identical either
+    way because both paths run the same per-attempt body.
+    """
     table = Table4()
+    if jobs > 1:
+        from repro.parallel import run_batch
+
+        report = run_batch(
+            loops,
+            machine,
+            backend=backend,
+            objective=objective,
+            time_limit_per_t=time_limit_per_t,
+            max_extra=max_extra,
+            jobs=jobs,
+        )
+        for entry in report.entries:
+            if entry.result is None:
+                raise RuntimeError(
+                    f"loop {entry.name!r} failed in batch: {entry.error}"
+                )
+            table.add(entry.result, entry.num_ops)
+        return table
     for ddg in loops:
         result = schedule_loop(
             ddg,

@@ -59,6 +59,18 @@ class Table5:
         return "\n".join(lines)
 
 
+def run_table5_from_batch(report) -> Table5:
+    """Build Table 5 from a :class:`repro.parallel.BatchReport`.
+
+    Loops that errored inside the batch are skipped (they have no
+    attempt records to aggregate).
+    """
+    return run_table5(
+        entry.result for entry in report.entries
+        if entry.result is not None
+    )
+
+
 def run_table5(results: Iterable[SchedulingResult]) -> Table5:
     """Summarize solver effort from per-loop scheduling results."""
     table = Table5()

@@ -1,7 +1,16 @@
-"""Backend dispatch for :meth:`repro.ilp.Model.solve`."""
+"""Backend dispatch for :meth:`repro.ilp.Model.solve`.
+
+Also owns the **per-process time budget**: worker processes spawned by
+:mod:`repro.parallel` call :func:`set_process_time_budget` once (via the
+pool initializer) and every subsequent solve in that process is capped at
+the budget, so a runaway solve cannot exceed the wall-clock its period
+attempt was granted — even if an individual call passes a larger (or no)
+``time_limit``.
+"""
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.ilp.errors import SolverError
@@ -9,6 +18,29 @@ from repro.ilp.model import Model
 from repro.ilp.solution import Solution
 
 _BACKENDS = ("auto", "highs", "bnb")
+
+#: Process-wide cap on any single solve's time limit (None = uncapped).
+_PROCESS_TIME_BUDGET: Optional[float] = None
+
+
+def set_process_time_budget(seconds: Optional[float]) -> None:
+    """Cap every solve in this process at ``seconds`` (None to uncap)."""
+    global _PROCESS_TIME_BUDGET
+    if seconds is not None:
+        _validate_time_limit(seconds, "process time budget")
+    _PROCESS_TIME_BUDGET = seconds
+
+
+def process_time_budget() -> Optional[float]:
+    """The current process-wide solve cap, if any."""
+    return _PROCESS_TIME_BUDGET
+
+
+def _validate_time_limit(value: float, label: str = "time_limit") -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SolverError(f"{label} must be a positive number, got {value!r}")
+    if math.isnan(value) or value <= 0:
+        raise SolverError(f"{label} must be > 0, got {value!r}")
 
 
 def solve(
@@ -21,10 +53,25 @@ def solve(
 
     ``auto`` prefers HiGHS (fast, production) and falls back to the
     built-in branch-and-bound when scipy's MILP interface is unavailable.
+    Bad parameters fail fast here with :class:`SolverError` instead of
+    surfacing as opaque backend errors (or, worse, being silently
+    accepted — scipy treats a negative time limit as "no limit").
     """
     if backend not in _BACKENDS:
         raise SolverError(
             f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    if time_limit is not None:
+        _validate_time_limit(time_limit)
+    if not isinstance(gap, (int, float)) or isinstance(gap, bool):
+        raise SolverError(f"gap must be a number >= 0, got {gap!r}")
+    if math.isnan(gap) or gap < 0:
+        raise SolverError(f"gap must be >= 0, got {gap!r}")
+    if _PROCESS_TIME_BUDGET is not None:
+        time_limit = (
+            _PROCESS_TIME_BUDGET
+            if time_limit is None
+            else min(time_limit, _PROCESS_TIME_BUDGET)
         )
     if backend in ("auto", "highs"):
         try:

@@ -1,0 +1,48 @@
+"""Multiprocess scheduling: period racing and corpus batch runs.
+
+The §6 driver's candidate-period solves are mutually independent ILPs,
+which makes them (a) raceable — :func:`race_periods` proves
+infeasibility of several small periods concurrently instead of one at a
+time — and (b) batchable — :func:`run_batch` spreads a whole corpus of
+loops across worker processes with deterministic result ordering and a
+JSON report.  :mod:`repro.parallel.cache` memoizes lower-bound and
+formulation construction per worker.
+
+Both entry points preserve the sequential driver's semantics exactly
+(same achieved ``T``, same ``is_rate_optimal_proven`` proof obligation);
+see ``docs/parallel.md`` for the argument.
+"""
+
+from repro.parallel.batch import (
+    BatchEntry,
+    BatchReport,
+    collect_sources,
+    run_batch,
+)
+from repro.parallel.cache import (
+    LruCache,
+    cache_stats,
+    cached_formulation,
+    cached_lower_bounds,
+    clear_caches,
+    ddg_digest,
+    machine_digest,
+)
+from repro.parallel.race import CANCELLED, default_jobs, race_periods
+
+__all__ = [
+    "BatchEntry",
+    "BatchReport",
+    "CANCELLED",
+    "LruCache",
+    "cache_stats",
+    "cached_formulation",
+    "cached_lower_bounds",
+    "clear_caches",
+    "collect_sources",
+    "ddg_digest",
+    "default_jobs",
+    "machine_digest",
+    "race_periods",
+    "run_batch",
+]

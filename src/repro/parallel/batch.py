@@ -1,0 +1,288 @@
+"""Corpus batch runner: many loops across worker processes.
+
+Schedules a whole directory (or any mix of ``.ddg`` paths, DDG text and
+in-memory :class:`~repro.ddg.graph.Ddg` objects) with one worker process
+per loop-task, and reports the outcome as a JSON document with a stable
+schema (see :meth:`BatchReport.to_json_dict`).  Guarantees:
+
+* **deterministic ordering** — entries come back in input order no
+  matter which worker finished first;
+* **per-loop fault isolation** — a loop whose scheduling raises is
+  reported with its error message; the rest of the batch is unaffected;
+* **warm caches** — each worker memoizes lower bounds and built
+  formulations (:mod:`repro.parallel.cache`), so corpora with repeated
+  loop shapes skip redundant construction work.
+
+The JSON report (one object per loop: name, ``T_lb``/``T_dep``/``T_res``,
+achieved ``T``, delta, proof flag, seconds, and the full per-period
+attempt log) is what ``repro batch`` emits and what the Table 4/5
+harnesses can consume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.scheduler import AttemptConfig, SchedulingResult, attempt_period
+from repro.ddg.builders import parse_ddg, serialize_ddg
+from repro.ddg.graph import Ddg
+from repro.machine import Machine
+from repro.parallel import cache
+from repro.parallel.race import _init_worker, default_jobs
+
+#: Report schema version (bump on incompatible changes).
+REPORT_VERSION = 1
+
+LoopSource = Union[str, "os.PathLike[str]", Ddg]
+
+
+@dataclass
+class BatchEntry:
+    """Outcome for one loop of the batch."""
+
+    name: str
+    source: str  # file path, or "<memory>" for in-process Ddg inputs
+    num_ops: int
+    result: Optional[SchedulingResult] = None
+    error: Optional[str] = None
+
+    def to_json_dict(self) -> dict:
+        entry = {
+            "name": self.name,
+            "source": self.source,
+            "num_ops": self.num_ops,
+        }
+        if self.error is not None:
+            entry["error"] = self.error
+            return entry
+        result = self.result
+        entry.update(
+            {
+                "t_dep": result.bounds.t_dep,
+                "t_res": result.bounds.t_res,
+                "t_lb": result.bounds.t_lb,
+                "achieved_t": result.achieved_t,
+                "delta_from_lb": result.delta_from_lb,
+                "is_rate_optimal_proven": result.is_rate_optimal_proven,
+                "seconds": round(result.total_seconds, 6),
+                "attempts": [
+                    {
+                        "t": attempt.t_period,
+                        "status": attempt.status,
+                        "seconds": round(attempt.seconds, 6),
+                        "nodes": attempt.nodes,
+                        "repaired": attempt.repaired,
+                    }
+                    for attempt in result.attempts
+                ],
+            }
+        )
+        return entry
+
+
+@dataclass
+class BatchReport:
+    """A whole batch run, in input order."""
+
+    machine_name: str
+    backend: str
+    jobs: int
+    entries: List[BatchEntry] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    @property
+    def scheduled(self) -> int:
+        return sum(
+            1
+            for e in self.entries
+            if e.result is not None and e.result.schedule is not None
+        )
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for e in self.entries if e.error is not None)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "report_version": REPORT_VERSION,
+            "machine": self.machine_name,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "loops": len(self.entries),
+            "scheduled": self.scheduled,
+            "failed": self.failed,
+            "total_seconds": round(self.total_seconds, 6),
+            "entries": [entry.to_json_dict() for entry in self.entries],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable per-loop summary table."""
+        lines = [
+            f"{'loop':<16} {'T_lb':>4} {'T':>4} {'dT':>3} "
+            f"{'proven':>6} {'sec':>8}  attempts"
+        ]
+        for entry in self.entries:
+            if entry.error is not None:
+                lines.append(f"{entry.name:<16} ERROR: {entry.error}")
+                continue
+            result = entry.result
+            t = result.achieved_t if result.achieved_t is not None else "-"
+            delta = (
+                result.delta_from_lb
+                if result.delta_from_lb is not None
+                else "-"
+            )
+            proven = "yes" if result.is_rate_optimal_proven else "no"
+            log = ",".join(
+                f"{a.t_period}:{a.status}" for a in result.attempts
+            )
+            lines.append(
+                f"{entry.name:<16} {result.bounds.t_lb:>4} {t:>4} "
+                f"{delta:>3} {proven:>6} {result.total_seconds:>8.2f}  {log}"
+            )
+        lines.append(
+            f"{len(self.entries)} loop(s): {self.scheduled} scheduled, "
+            f"{self.failed} failed, {self.total_seconds:.2f}s wall-clock"
+        )
+        return "\n".join(lines)
+
+
+def collect_sources(paths: Iterable[LoopSource]) -> List[LoopSource]:
+    """Expand directories into sorted ``.ddg`` file lists.
+
+    Files and in-memory DDGs pass through unchanged; ordering within a
+    directory is lexicographic, so the batch is deterministic for a
+    given argument list.
+    """
+    sources: List[LoopSource] = []
+    for item in paths:
+        if isinstance(item, Ddg):
+            sources.append(item)
+            continue
+        path = Path(item)
+        if path.is_dir():
+            sources.extend(sorted(path.glob("*.ddg")))
+        else:
+            sources.append(path)
+    return sources
+
+
+def _schedule_source(
+    text: str, source: str, machine: Machine, config: AttemptConfig,
+    max_extra: int,
+) -> BatchEntry:
+    """Worker body: schedule one serialized loop (picklable in and out).
+
+    Runs the same increasing-T sweep as the sequential driver, but with
+    the worker-local bounds/formulation caches warm.
+    """
+    try:
+        ddg = parse_ddg(text)
+        ddg.validate_against(machine)
+        start_clock = time.monotonic()
+        bounds = cache.cached_lower_bounds(ddg, machine)
+        attempts = []
+        schedule = None
+        for t_period in range(bounds.t_lb, bounds.t_lb + max_extra + 1):
+            outcome = attempt_period(
+                ddg, machine, t_period, config,
+                formulation_builder=cache.cached_formulation,
+            )
+            attempts.append(outcome.attempt)
+            if outcome.schedule is not None:
+                schedule = outcome.schedule
+                break
+        result = SchedulingResult(
+            loop_name=ddg.name,
+            bounds=bounds,
+            attempts=attempts,
+            schedule=schedule,
+            total_seconds=time.monotonic() - start_clock,
+        )
+        return BatchEntry(
+            name=ddg.name,
+            source=source,
+            num_ops=ddg.num_ops,
+            result=result,
+        )
+    except Exception as exc:  # per-loop fault isolation
+        return BatchEntry(
+            name=Path(source).stem if source != "<memory>" else source,
+            source=source,
+            num_ops=0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def run_batch(
+    paths: Sequence[LoopSource],
+    machine: Machine,
+    backend: str = "auto",
+    objective: str = "feasibility",
+    mapping: Optional[bool] = None,
+    time_limit_per_t: Optional[float] = 10.0,
+    max_extra: int = 10,
+    verify: bool = True,
+    jobs: Optional[int] = None,
+) -> BatchReport:
+    """Schedule every loop reachable from ``paths`` across ``jobs`` workers.
+
+    Results always come back in input order (directories expand to
+    sorted file lists).  ``jobs=1`` runs in-process with no pool.
+    """
+    jobs = jobs if jobs is not None else default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    config = AttemptConfig(
+        backend=backend,
+        objective=objective,
+        mapping=mapping,
+        time_limit=time_limit_per_t,
+        verify=verify,
+    )
+    sources = collect_sources(paths)
+    tasks: List[tuple] = []  # (text, label)
+    for item in sources:
+        if isinstance(item, Ddg):
+            tasks.append((serialize_ddg(item), "<memory>"))
+        else:
+            path = Path(item)
+            tasks.append((path.read_text(encoding="utf-8"), str(path)))
+
+    start_clock = time.monotonic()
+    entries: List[BatchEntry] = []
+    if jobs == 1 or len(tasks) <= 1:
+        for text, label in tasks:
+            entries.append(
+                _schedule_source(text, label, machine, config, max_extra)
+            )
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            initializer=_init_worker,
+            initargs=(time_limit_per_t,),
+        ) as executor:
+            futures = [
+                executor.submit(
+                    _schedule_source, text, label, machine, config,
+                    max_extra,
+                )
+                for text, label in tasks
+            ]
+            entries = [future.result() for future in futures]
+    return BatchReport(
+        machine_name=machine.name,
+        backend=backend,
+        jobs=jobs,
+        entries=entries,
+        total_seconds=time.monotonic() - start_clock,
+    )

@@ -1,0 +1,162 @@
+"""Per-process LRU caches for bounds and ILP formulation construction.
+
+Corpora routinely contain structurally identical loops (the synthetic
+generator reuses small shapes; real compiler corpora repeat idioms), and
+the batch runner re-derives ``T_lb`` once for the report and once inside
+the driver.  Both lookups are memoized here, keyed on content digests —
+``(DDG digest, machine digest)`` for bounds and
+``(DDG digest, machine digest, T, options)`` for built formulations — so
+two different object instances with identical content share one entry.
+
+Caches are plain per-process globals: each worker of a
+:class:`~concurrent.futures.ProcessPoolExecutor` warms its own copy, and
+nothing here ever crosses a pickle boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Generic, Optional, Tuple, TypeVar
+
+from repro.core.bounds import LowerBounds, lower_bounds
+from repro.core.formulation import Formulation, FormulationOptions
+from repro.ddg.builders import serialize_ddg
+from repro.ddg.graph import Ddg
+from repro.machine import Machine
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LruCache(Generic[K, V]):
+    """A small, None-safe LRU map (``None`` is never a cached value)."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: K) -> Optional[V]:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def ddg_digest(ddg: Ddg) -> str:
+    """Content digest of a DDG (its canonical text serialization)."""
+    return hashlib.sha256(serialize_ddg(ddg).encode("utf-8")).hexdigest()
+
+
+def machine_digest(machine: Machine) -> str:
+    """Content digest of a machine description.
+
+    Built from every field that affects scheduling: FU types (count,
+    cost, reservation rows) and op classes (FU binding, latency, table
+    override).
+    """
+    parts = [machine.name]
+    for name in sorted(machine.fu_types):
+        fu = machine.fu_types[name]
+        parts.append(f"fu {name} {fu.count} {fu.cost} {fu.table!r}")
+    for name in sorted(machine.op_classes):
+        cls = machine.op_classes[name]
+        parts.append(f"class {name} {cls.fu_type} {cls.latency} {cls.table!r}")
+    blob = "\n".join(parts).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+_BOUNDS_CACHE: LruCache[Tuple[str, str], LowerBounds] = LruCache(1024)
+_FORMULATION_CACHE: LruCache[tuple, Formulation] = LruCache(64)
+
+
+def cached_lower_bounds(ddg: Ddg, machine: Machine) -> LowerBounds:
+    """Memoized :func:`repro.core.bounds.lower_bounds`."""
+    key = (ddg_digest(ddg), machine_digest(machine))
+    bounds = _BOUNDS_CACHE.get(key)
+    if bounds is None:
+        bounds = lower_bounds(ddg, machine)
+        _BOUNDS_CACHE.put(key, bounds)
+    return bounds
+
+
+def _options_key(options: FormulationOptions) -> tuple:
+    return (
+        options.mapping,
+        options.objective,
+        options.k_max,
+        options.symmetry_breaking,
+        options.enforce_modulo_constraint,
+        tuple(sorted(options.fu_costs.items())),
+    )
+
+
+def cached_formulation(
+    ddg: Ddg,
+    machine: Machine,
+    t_period: int,
+    options: Optional[FormulationOptions] = None,
+) -> Formulation:
+    """Memoized, pre-built :class:`Formulation` for ``(ddg, machine, T)``.
+
+    Safe to reuse: ``build()`` is idempotent and solving never mutates
+    the model.  Signature matches the ``formulation_builder`` hook of
+    :func:`repro.core.scheduler.attempt_period`.
+    """
+    options = options or FormulationOptions()
+    key = (
+        ddg_digest(ddg),
+        machine_digest(machine),
+        t_period,
+        _options_key(options),
+    )
+    formulation = _FORMULATION_CACHE.get(key)
+    if formulation is None:
+        formulation = Formulation(ddg, machine, t_period, options)
+        formulation.build()
+        _FORMULATION_CACHE.put(key, formulation)
+    return formulation
+
+
+def cache_stats() -> dict:
+    """Hit/miss counters for both caches (diagnostics / tests)."""
+    return {
+        "bounds": {
+            "hits": _BOUNDS_CACHE.hits,
+            "misses": _BOUNDS_CACHE.misses,
+            "size": len(_BOUNDS_CACHE),
+        },
+        "formulation": {
+            "hits": _FORMULATION_CACHE.hits,
+            "misses": _FORMULATION_CACHE.misses,
+            "size": len(_FORMULATION_CACHE),
+        },
+    }
+
+
+def clear_caches() -> None:
+    """Drop both caches (tests, or to bound memory in long runs)."""
+    _BOUNDS_CACHE.clear()
+    _FORMULATION_CACHE.clear()

@@ -1,0 +1,233 @@
+"""Race candidate periods across worker processes (§6, parallelized).
+
+The sequential driver proves infeasibility of ``T_lb, T_lb+1, ...`` one
+period at a time; on hard loops nearly all wall-clock goes into those
+proofs.  The per-``T`` ILPs are completely independent, so
+:func:`race_periods` dispatches a window of admissible periods to a
+:class:`~concurrent.futures.ProcessPoolExecutor` and collects outcomes
+as they land:
+
+* the **winner** is the smallest ``T`` whose solve returned a feasible
+  point — exactly what the sequential sweep would have found;
+* outstanding work at **larger** periods is cancelled the moment a
+  winner is known (queued futures are dropped; already-running solves
+  are bounded by the per-process time budget and their results are
+  discarded);
+* work at **smaller** periods is always awaited, because rate-optimality
+  (:attr:`SchedulingResult.is_rate_optimal_proven`) is a claim about
+  those periods: the win only counts once every smaller admissible ``T``
+  has come back INFEASIBLE.  A smaller period that lands feasible late
+  *replaces* the provisional winner.
+
+Every attempt funnels through :func:`repro.core.scheduler.attempt_period`
+— the same body the sequential driver runs — so the two drivers return
+identical achieved periods and proof flags (asserted corpus-wide by
+``tests/test_parallel_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional
+
+from repro.core.bounds import lower_bounds, modulo_feasible_t
+from repro.core.errors import SchedulingError
+from repro.core.scheduler import (
+    AttemptConfig,
+    AttemptOutcome,
+    ScheduleAttempt,
+    SchedulingResult,
+    attempt_period,
+)
+from repro.ddg.graph import Ddg
+from repro.machine import Machine
+
+#: Attempt status recorded for periods abandoned after a smaller win.
+CANCELLED = "cancelled"
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _init_worker(time_budget: Optional[float]) -> None:
+    """Pool initializer: cap every solve in this worker process."""
+    from repro.ilp import solve as solve_module
+
+    solve_module.set_process_time_budget(time_budget)
+
+
+def race_periods(
+    ddg: Ddg,
+    machine: Machine,
+    backend: str = "auto",
+    objective: str = "feasibility",
+    mapping: Optional[bool] = None,
+    time_limit_per_t: Optional[float] = 30.0,
+    max_extra: int = 10,
+    verify: bool = True,
+    repair_modulo: bool = False,
+    jobs: Optional[int] = None,
+    window: Optional[int] = None,
+) -> SchedulingResult:
+    """Drop-in parallel replacement for :func:`repro.core.schedule_loop`.
+
+    ``jobs`` is the worker-process count (default: CPU count); ``window``
+    caps how many periods may be in flight at once (default:
+    ``2 * jobs``), bounding speculative work beyond the eventual winner.
+    With ``jobs=1`` no pool is spawned and the sweep runs in-process,
+    byte-identical to the sequential driver.
+    """
+    if max_extra < 0:
+        raise SchedulingError(f"max_extra must be >= 0, got {max_extra}")
+    jobs = jobs if jobs is not None else default_jobs()
+    if jobs < 1:
+        raise SchedulingError(f"jobs must be >= 1, got {jobs}")
+    config = AttemptConfig(
+        backend=backend,
+        objective=objective,
+        mapping=mapping,
+        time_limit=time_limit_per_t,
+        verify=verify,
+        repair_modulo=repair_modulo,
+    )
+    start_clock = time.monotonic()
+    bounds = lower_bounds(ddg, machine)
+    candidates = list(range(bounds.t_lb, bounds.t_lb + max_extra + 1))
+
+    # Classify up front: periods failing the modulo scheduling constraint
+    # are recorded without a solve (the worker would re-derive the same
+    # answer) — unless delay-insertion repair may rescue them, in which
+    # case the worker must try.
+    attempts: Dict[int, ScheduleAttempt] = {}
+    dispatch: List[int] = []
+    for t_period in candidates:
+        if not repair_modulo and not modulo_feasible_t(
+            ddg, machine, t_period
+        ):
+            attempts[t_period] = ScheduleAttempt(
+                t_period=t_period, status="modulo_infeasible"
+            )
+        else:
+            dispatch.append(t_period)
+
+    if jobs == 1 or len(dispatch) <= 1:
+        winner = _race_inline(ddg, machine, dispatch, config, attempts)
+    else:
+        window = window if window is not None else 2 * jobs
+        if window < 1:
+            raise SchedulingError(f"window must be >= 1, got {window}")
+        winner = _race_pool(
+            ddg, machine, dispatch, config, attempts, jobs, window,
+            time_limit_per_t,
+        )
+
+    ordered = [attempts[t] for t in sorted(attempts)]
+    if winner is None and not ordered:
+        raise SchedulingError(
+            f"no candidate periods for loop {ddg.name!r} "
+            f"(T_lb={bounds.t_lb}, max_extra={max_extra})"
+        )
+    return SchedulingResult(
+        loop_name=ddg.name,
+        bounds=bounds,
+        attempts=ordered,
+        schedule=winner.schedule if winner is not None else None,
+        total_seconds=time.monotonic() - start_clock,
+    )
+
+
+def _race_inline(
+    ddg: Ddg,
+    machine: Machine,
+    dispatch: List[int],
+    config: AttemptConfig,
+    attempts: Dict[int, ScheduleAttempt],
+) -> Optional[AttemptOutcome]:
+    """The jobs=1 degenerate race: an in-process increasing-T sweep."""
+    for t_period in dispatch:
+        outcome = attempt_period(ddg, machine, t_period, config)
+        attempts[t_period] = outcome.attempt
+        if outcome.schedule is not None:
+            return outcome
+    return None
+
+
+def _race_pool(
+    ddg: Ddg,
+    machine: Machine,
+    dispatch: List[int],
+    config: AttemptConfig,
+    attempts: Dict[int, ScheduleAttempt],
+    jobs: int,
+    window: int,
+    time_budget: Optional[float],
+) -> Optional[AttemptOutcome]:
+    """Windowed multiprocess race over ``dispatch`` (increasing order)."""
+    winner: Optional[AttemptOutcome] = None
+    pending = list(dispatch)  # not yet submitted, increasing T
+    in_flight: Dict[object, int] = {}  # future -> t_period
+    executor = ProcessPoolExecutor(
+        max_workers=min(jobs, len(dispatch)),
+        initializer=_init_worker,
+        initargs=(time_budget,),
+    )
+    try:
+        while True:
+            if winner is not None:
+                # Periods that can no longer win are abandoned: queued
+                # futures are cancelled outright, and unsubmitted ones
+                # are never dispatched.
+                best_t = winner.attempt.t_period
+                pending = [t for t in pending if t < best_t]
+                for future, t_period in list(in_flight.items()):
+                    if t_period > best_t and future.cancel():
+                        del in_flight[future]
+                # The win stands once no smaller period is outstanding;
+                # still-*running* larger-T solves are abandoned (their
+                # per-process budget bounds the straggler).
+                if not pending and not any(
+                    t < best_t for t in in_flight.values()
+                ):
+                    break
+            elif not pending and not in_flight:
+                break
+            while (
+                pending
+                and len(in_flight) < window
+                and (winner is None
+                     or pending[0] < winner.attempt.t_period)
+            ):
+                t_period = pending.pop(0)
+                future = executor.submit(
+                    attempt_period, ddg, machine, t_period, config
+                )
+                in_flight[future] = t_period
+            done, _ = wait(
+                list(in_flight), return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                t_period = in_flight.pop(future)
+                outcome = future.result()  # re-raises worker exceptions
+                attempts[t_period] = outcome.attempt
+                if outcome.schedule is not None and (
+                    winner is None
+                    or t_period < winner.attempt.t_period
+                ):
+                    winner = outcome
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    if winner is not None:
+        # Anything beyond the winning period that never reported back —
+        # cancelled in the queue, abandoned mid-run, or never submitted —
+        # is recorded as such for the attempt log.
+        for t_period in dispatch:
+            if t_period > winner.attempt.t_period:
+                attempts.setdefault(
+                    t_period,
+                    ScheduleAttempt(t_period=t_period, status=CANCELLED),
+                )
+    return winner

@@ -1,0 +1,110 @@
+"""Tests for the per-process bounds/formulation LRU caches."""
+
+import pytest
+
+from repro.core.bounds import lower_bounds
+from repro.core.formulation import FormulationOptions
+from repro.ddg.builders import parse_ddg, serialize_ddg
+from repro.ddg.kernels import motivating_example
+from repro.machine.presets import motivating_machine, powerpc604
+from repro.parallel import cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    cache.clear_caches()
+    yield
+    cache.clear_caches()
+
+
+class TestLruCache:
+    def test_basic_roundtrip(self):
+        lru = cache.LruCache(maxsize=2)
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert lru.get("b") is None
+        assert lru.hits == 1 and lru.misses == 1
+
+    def test_eviction_is_lru(self):
+        lru = cache.LruCache(maxsize=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")          # refresh a; b is now least-recent
+        lru.put("c", 3)
+        assert lru.get("b") is None
+        assert lru.get("a") == 1
+        assert lru.get("c") == 3
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            cache.LruCache(maxsize=0)
+
+
+class TestDigests:
+    def test_ddg_digest_is_content_based(self):
+        ddg = motivating_example()
+        clone = parse_ddg(serialize_ddg(ddg))
+        assert cache.ddg_digest(ddg) == cache.ddg_digest(clone)
+
+    def test_ddg_digest_distinguishes(self):
+        ddg = motivating_example()
+        other = ddg.copy()
+        other.add_dep(0, 5)
+        assert cache.ddg_digest(ddg) != cache.ddg_digest(other)
+
+    def test_machine_digest_distinguishes(self):
+        assert cache.machine_digest(motivating_machine()) != (
+            cache.machine_digest(powerpc604())
+        )
+        assert cache.machine_digest(motivating_machine(fp_units=2)) != (
+            cache.machine_digest(motivating_machine(fp_units=3))
+        )
+
+    def test_machine_digest_stable(self):
+        assert cache.machine_digest(powerpc604()) == cache.machine_digest(
+            powerpc604()
+        )
+
+
+class TestCachedLowerBounds:
+    def test_matches_uncached(self):
+        ddg, machine = motivating_example(), motivating_machine()
+        assert cache.cached_lower_bounds(ddg, machine) == lower_bounds(
+            ddg, machine
+        )
+
+    def test_second_call_hits(self):
+        ddg, machine = motivating_example(), motivating_machine()
+        cache.cached_lower_bounds(ddg, machine)
+        before = cache.cache_stats()["bounds"]["hits"]
+        # A *different object* with identical content still hits.
+        clone = parse_ddg(serialize_ddg(ddg))
+        cache.cached_lower_bounds(clone, machine)
+        assert cache.cache_stats()["bounds"]["hits"] == before + 1
+
+
+class TestCachedFormulation:
+    def test_reuse_and_resolve(self):
+        ddg, machine = motivating_example(), motivating_machine()
+        first = cache.cached_formulation(ddg, machine, 4)
+        again = cache.cached_formulation(ddg, machine, 4)
+        assert first is again
+        # A cached formulation still solves and extracts correctly.
+        solution = first.solve()
+        assert solution.status.has_solution
+        schedule = first.extract(solution)
+        assert schedule.t_period == 4
+
+    def test_distinct_periods_distinct_entries(self):
+        ddg, machine = motivating_example(), motivating_machine()
+        assert cache.cached_formulation(ddg, machine, 4) is not (
+            cache.cached_formulation(ddg, machine, 5)
+        )
+
+    def test_options_partition_the_cache(self):
+        ddg, machine = motivating_example(), motivating_machine()
+        plain = cache.cached_formulation(ddg, machine, 4)
+        relaxed = cache.cached_formulation(
+            ddg, machine, 4, FormulationOptions(mapping=False)
+        )
+        assert plain is not relaxed

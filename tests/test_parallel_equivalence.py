@@ -1,0 +1,79 @@
+"""Differential tests: sequential sweep vs. multiprocess period race.
+
+For every loop in ``corpus/``, :func:`repro.parallel.race_periods` must
+return the identical achieved period and the identical
+``is_rate_optimal_proven`` flag as :func:`repro.core.schedule_loop` —
+the racer is a pure wall-clock optimization, never a semantic change.
+
+The corpus-wide sweeps (and everything under the pure-python ``bnb``
+backend) are marked ``slow`` and excluded from the default tier-1 run;
+a small smoke subset always runs.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core import schedule_loop, verify_schedule
+from repro.ddg.builders import parse_ddg
+from repro.machine.presets import powerpc604
+from repro.parallel import race_periods
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parent.parent / "corpus"
+FILES = sorted(CORPUS_DIR.glob("*.ddg"))
+SMOKE_FILES = FILES[:4]
+
+#: Loops whose ILPs stay small enough for the pure-python solver.
+BNB_MAX_OPS = 8
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return powerpc604()
+
+
+def _assert_equivalent(path, machine, backend, time_limit):
+    ddg = parse_ddg(path.read_text(encoding="utf-8"))
+    seq = schedule_loop(
+        ddg, machine, backend=backend, time_limit_per_t=time_limit,
+        max_extra=30,
+    )
+    par = race_periods(
+        ddg, machine, backend=backend, time_limit_per_t=time_limit,
+        max_extra=30, jobs=2,
+    )
+    assert par.achieved_t == seq.achieved_t, path.name
+    assert par.is_rate_optimal_proven == seq.is_rate_optimal_proven, path.name
+    if par.schedule is not None:
+        verify_schedule(par.schedule)
+    # The proof obligation rests on the same periods in both drivers:
+    # every admissible period below the winner was dispatched, none
+    # sits in a "cancelled" limbo.
+    if par.schedule is not None:
+        below = [
+            a for a in par.attempts if a.t_period < par.achieved_t
+        ]
+        assert all(a.status != "cancelled" for a in below)
+
+
+@pytest.mark.parametrize("path", SMOKE_FILES, ids=lambda p: p.stem)
+def test_equivalence_smoke_highs(path, machine):
+    _assert_equivalent(path, machine, "highs", 10.0)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_equivalence_corpus_highs(path, machine):
+    _assert_equivalent(path, machine, "highs", 10.0)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_equivalence_corpus_bnb(path, machine):
+    ddg = parse_ddg(path.read_text(encoding="utf-8"))
+    if ddg.num_ops > BNB_MAX_OPS:
+        pytest.skip(
+            f"{path.name}: {ddg.num_ops} ops is beyond the pure-python "
+            "solver's practical size"
+        )
+    _assert_equivalent(path, machine, "bnb", 20.0)

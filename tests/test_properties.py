@@ -1,0 +1,91 @@
+"""Property-based tests over random DDGs (sequential + parallel drivers).
+
+For seeded random loops from :mod:`repro.ddg.generators`, any schedule
+either driver returns must:
+
+* pass :func:`repro.core.verify_schedule` (the independent oracle),
+* achieve ``T >= T_lb`` (no driver may beat the lower bound),
+* report a non-negative ``delta_from_lb``,
+
+and a proven-rate-optimal result must have actually proven every smaller
+admissible period infeasible.  The parallel driver runs in-process
+(``jobs=1``) for most seeds — the multiprocess path is exercised by
+``tests/parallel/`` and the differential suite — keeping this file fast
+enough for tier 1.
+"""
+
+import random
+
+import pytest
+
+from repro.core import schedule_loop, verify_schedule
+from repro.core.bounds import modulo_feasible_t
+from repro.ddg.generators import GeneratorConfig, random_ddg
+from repro.ilp.solution import SolveStatus
+from repro.machine.presets import powerpc604
+from repro.parallel import race_periods
+
+SEEDS = list(range(12))
+CONFIG = GeneratorConfig(min_ops=2, max_ops=12)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return powerpc604()
+
+
+def _random_loop(seed, machine):
+    rng = random.Random(seed)
+    return random_ddg(rng, machine, CONFIG, name=f"prop{seed}")
+
+
+def _check_invariants(result, ddg, machine):
+    assert result.bounds.t_lb >= 1
+    if result.schedule is None:
+        assert result.achieved_t is None
+        assert result.delta_from_lb is None
+        return
+    verify_schedule(result.schedule)
+    assert result.achieved_t >= result.bounds.t_lb
+    assert result.delta_from_lb is not None
+    assert result.delta_from_lb >= 0
+    if result.is_rate_optimal_proven:
+        for attempt in result.attempts:
+            if attempt.t_period >= result.achieved_t:
+                continue
+            assert attempt.status in (
+                SolveStatus.INFEASIBLE.value, "modulo_infeasible",
+            )
+            if attempt.status == "modulo_infeasible":
+                assert not modulo_feasible_t(
+                    ddg, machine, attempt.t_period
+                )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sequential_driver_invariants(seed, machine):
+    ddg = _random_loop(seed, machine)
+    result = schedule_loop(ddg, machine, time_limit_per_t=10.0,
+                           max_extra=20)
+    assert result.schedule is not None, ddg.name
+    _check_invariants(result, ddg, machine)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_driver_invariants(seed, machine):
+    ddg = _random_loop(seed, machine)
+    jobs = 2 if seed < 3 else 1  # a few seeds exercise the real pool
+    result = race_periods(ddg, machine, time_limit_per_t=10.0,
+                          max_extra=20, jobs=jobs)
+    assert result.schedule is not None, ddg.name
+    _check_invariants(result, ddg, machine)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_drivers_agree_on_random_loops(seed, machine):
+    ddg = _random_loop(seed, machine)
+    seq = schedule_loop(ddg, machine, time_limit_per_t=10.0, max_extra=20)
+    par = race_periods(ddg, machine, time_limit_per_t=10.0, max_extra=20,
+                       jobs=2)
+    assert par.achieved_t == seq.achieved_t
+    assert par.is_rate_optimal_proven == seq.is_rate_optimal_proven
