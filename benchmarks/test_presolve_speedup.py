@@ -1,0 +1,117 @@
+"""Presolve ablation: model size and wall-clock with the pass on vs off.
+
+Schedules a 60-loop synthetic corpus on the §2 motivating machine (the
+hazard-heavy configuration where pair interference dominates the model)
+twice — presolve enabled and disabled — through the same sequential
+driver.  Asserts the differential guarantee (identical achieved periods
+and per-period verdicts wherever both runs reached a definitive answer)
+and the headline claim: at least a 30% reduction in total
+build+lower+solve time or at least a 40% reduction in constraint rows.
+Writes the measured numbers to ``BENCH_presolve.json`` at the repo root.
+"""
+
+import json
+import pathlib
+
+from conftest import once
+
+from repro.core import schedule_loop, verify_schedule
+from repro.ddg.generators import suite
+from repro.ilp.solution import SolveStatus
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_presolve.json"
+)
+CORPUS_SIZE = 60
+SEED = 604
+TIME_LIMIT = 10.0
+MAX_EXTRA = 30
+TIMED_OUT = SolveStatus.TIME_LIMIT.value
+
+
+def _run_corpus(loops, machine, presolve):
+    return [
+        schedule_loop(
+            ddg, machine, backend="highs", time_limit_per_t=TIME_LIMIT,
+            max_extra=MAX_EXTRA, presolve=presolve,
+        )
+        for ddg in loops
+    ]
+
+
+def _totals(results):
+    """Aggregate model sizes and phase seconds over every solved attempt."""
+    rows = nnz = variables = 0
+    seconds = 0.0
+    for result in results:
+        for attempt in result.attempts:
+            stats = attempt.model_stats
+            if not stats:
+                continue  # modulo_infeasible periods never built a model
+            rows += stats["constraints"]
+            nnz += stats["nonzeros"]
+            variables += stats["variables"]
+            seconds += stats["total_seconds"]
+    return {
+        "rows": rows,
+        "nonzeros": nnz,
+        "variables": variables,
+        "seconds": round(seconds, 6),
+    }
+
+
+def _assert_equivalent(on, off):
+    for res_on, res_off in zip(on, off):
+        statuses_on = {a.t_period: a.status for a in res_on.attempts}
+        statuses_off = {a.t_period: a.status for a in res_off.attempts}
+        timed_out = TIMED_OUT in statuses_on.values() or TIMED_OUT in (
+            statuses_off.values()
+        )
+        if not timed_out:
+            assert res_on.achieved_t == res_off.achieved_t, (
+                res_on.loop_name
+            )
+        for t_period in set(statuses_on) & set(statuses_off):
+            pair = (statuses_on[t_period], statuses_off[t_period])
+            if TIMED_OUT in pair:
+                continue
+            assert pair[0] == pair[1], (res_on.loop_name, t_period)
+        if res_on.schedule is not None:
+            verify_schedule(res_on.schedule)
+
+
+def test_presolve_speedup(benchmark, motivating):
+    loops = suite(CORPUS_SIZE, motivating, seed=SEED)
+
+    off = _run_corpus(loops, motivating, presolve=False)
+    on = once(benchmark, lambda: _run_corpus(loops, motivating,
+                                             presolve=True))
+    _assert_equivalent(on, off)
+
+    totals_on, totals_off = _totals(on), _totals(off)
+    rows_reduction = 1.0 - totals_on["rows"] / totals_off["rows"]
+    time_reduction = 1.0 - totals_on["seconds"] / totals_off["seconds"]
+    scheduled = sum(1 for r in on if r.schedule is not None)
+
+    doc = {
+        "machine": motivating.name,
+        "backend": "highs",
+        "corpus_size": CORPUS_SIZE,
+        "seed": SEED,
+        "time_limit_per_t": TIME_LIMIT,
+        "scheduled": scheduled,
+        "presolve_on": totals_on,
+        "presolve_off": totals_off,
+        "rows_reduction": round(rows_reduction, 4),
+        "time_reduction": round(time_reduction, 4),
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n",
+                          encoding="utf-8")
+    print(
+        f"\npresolve ablation ({CORPUS_SIZE} loops, motivating machine): "
+        f"rows {totals_off['rows']} -> {totals_on['rows']} "
+        f"({rows_reduction:.1%}), "
+        f"time {totals_off['seconds']:.2f}s -> "
+        f"{totals_on['seconds']:.2f}s ({time_reduction:.1%})"
+    )
+    assert time_reduction >= 0.30 or rows_reduction >= 0.40, doc

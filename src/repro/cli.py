@@ -3,6 +3,7 @@
 Commands
     schedule     schedule one loop (named kernel or DDG text file)
     batch        schedule a corpus of .ddg files across worker processes
+    profile      compare presolve on/off model sizes and phase timings
     motivating   print the paper's §2 artifacts (Figures 1-4, Tables 1-2)
     suite        run a synthetic corpus and print Table 4-style buckets
     list         show available kernels and machine presets
@@ -69,6 +70,7 @@ def _cmd_schedule(args) -> int:
         objective=args.objective,
         time_limit_per_t=args.time_limit,
         max_extra=args.max_extra,
+        presolve=not args.no_presolve,
     )
     print(result.summary())
     if args.explain:
@@ -137,6 +139,7 @@ def _cmd_batch(args) -> int:
             backend=args.backend,
             time_limit_per_t=args.time_limit,
             max_extra=args.max_extra,
+            presolve=not args.no_presolve,
             jobs=args.jobs,
         )
     except (OSError, ValueError) as exc:
@@ -167,6 +170,7 @@ def _cmd_race(args) -> int:
             backend=args.backend,
             time_limit_per_t=args.time_limit,
             max_extra=args.max_extra,
+            presolve=not args.no_presolve,
             jobs=args.jobs,
         )
     except SchedulingError as exc:
@@ -180,6 +184,94 @@ def _cmd_race(args) -> int:
         return 1
     print()
     print(result.schedule.render_kernel())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Build + solve one loop with presolve on and off, side by side."""
+    from repro.core.bounds import modulo_feasible_t
+    from repro.core.scheduler import AttemptConfig, attempt_period
+
+    machine = _machine_of(args)
+    ddg = _load_ddg(args)
+    ddg.validate_against(machine)
+    bounds = lower_bounds(ddg, machine)
+    print(
+        f"{ddg.name}: {ddg.num_ops} ops, {ddg.num_deps} deps  "
+        f"(T_dep={bounds.t_dep} T_res={bounds.t_res} T_lb={bounds.t_lb})"
+    )
+
+    if args.t is not None:
+        t_period = args.t
+        if not modulo_feasible_t(ddg, machine, t_period):
+            raise SystemExit(
+                f"profile: T={t_period} violates the modulo scheduling "
+                f"constraint for machine {machine.name!r}"
+            )
+    else:
+        t_period = next(
+            (
+                t for t in range(
+                    bounds.t_lb, bounds.t_lb + args.max_extra + 1
+                )
+                if modulo_feasible_t(ddg, machine, t)
+            ),
+            None,
+        )
+        if t_period is None:
+            raise SystemExit(
+                "profile: no admissible period in "
+                f"[{bounds.t_lb}, {bounds.t_lb + args.max_extra}]"
+            )
+
+    runs = {}
+    for label, presolve in (("presolve on", True), ("presolve off", False)):
+        config = AttemptConfig(
+            backend=args.backend,
+            objective=args.objective,
+            time_limit=args.time_limit,
+            presolve=presolve,
+        )
+        outcome = attempt_period(ddg, machine, t_period, config)
+        runs[label] = outcome.attempt
+        stats = outcome.attempt.model_stats
+        print()
+        print(f"T={t_period}, {label}: {outcome.attempt.status}")
+        print(
+            f"  model     {stats['variables']} vars, "
+            f"{stats['constraints']} rows, {stats['nonzeros']} nnz"
+        )
+        print(
+            f"  eliminated  {stats['eliminated_variables']} vars, "
+            f"{stats['eliminated_constraints']} rows, "
+            f"{stats['eliminated_nonzeros']} nnz"
+        )
+        print(
+            f"  phases    presolve {stats['presolve_seconds']:.4f}s  "
+            f"build {stats['build_seconds']:.4f}s  "
+            f"lower {stats['lower_seconds']:.4f}s  "
+            f"solve {stats['solve_seconds']:.4f}s  "
+            f"total {stats['total_seconds']:.4f}s"
+        )
+
+    on, off = runs["presolve on"], runs["presolve off"]
+    if on.status != off.status:
+        print()
+        print(
+            f"WARNING: status differs (on={on.status} off={off.status}) "
+            "— check time limits before trusting the comparison"
+        )
+        return 1
+    rows_off = off.model_stats["constraints"]
+    time_off = off.model_stats["total_seconds"]
+    if rows_off and time_off:
+        rows_cut = 1.0 - on.model_stats["constraints"] / rows_off
+        time_cut = 1.0 - on.model_stats["total_seconds"] / time_off
+        print()
+        print(
+            f"presolve: {rows_cut:.1%} fewer rows, "
+            f"{time_cut:.1%} less build+lower+solve time"
+        )
     return 0
 
 
@@ -292,6 +384,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_schedule.add_argument("--export-lp", metavar="PATH",
                             help="write the ILP in CPLEX LP format")
     p_schedule.add_argument("--compare-heuristic", action="store_true")
+    p_schedule.add_argument("--no-presolve", action="store_true",
+                            help="disable the ILP presolve pass")
     p_schedule.set_defaults(func=_cmd_schedule)
 
     p_batch = sub.add_parser(
@@ -317,6 +411,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the JSON report to this file")
     p_batch.add_argument("--json", action="store_true",
                          help="print the JSON report instead of the table")
+    p_batch.add_argument("--no-presolve", action="store_true",
+                         help="disable the ILP presolve pass")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_race = sub.add_parser(
@@ -335,7 +431,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_race.add_argument("--time-limit", type=float, default=30.0)
     p_race.add_argument("--max-extra", type=int, default=10)
     p_race.add_argument("--jobs", type=int, default=None)
+    p_race.add_argument("--no-presolve", action="store_true",
+                        help="disable the ILP presolve pass")
     p_race.set_defaults(func=_cmd_race)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="model sizes and phase timings with presolve on vs off",
+    )
+    p_profile.add_argument("--kernel", help="named kernel (see 'list')")
+    p_profile.add_argument("--ddg", help="path to a DDG text file")
+    p_profile.add_argument("--source",
+                           help="path to a loop-DSL source file")
+    p_profile.add_argument("--classes", metavar="MAP",
+                           help="operator->op-class overrides for --source")
+    p_profile.add_argument("--machine", default="motivating")
+    p_profile.add_argument("--machine-file", metavar="PATH")
+    p_profile.add_argument("--backend", default="auto",
+                           choices=("auto", "highs", "bnb"))
+    p_profile.add_argument("--objective", default="feasibility",
+                           choices=("feasibility", "min_sum_t", "min_fu",
+                                    "min_buffers", "min_lifetimes"))
+    p_profile.add_argument("--t", type=int, default=None,
+                           help="profile this period (default: first "
+                                "admissible period at or above T_lb)")
+    p_profile.add_argument("--time-limit", type=float, default=30.0)
+    p_profile.add_argument("--max-extra", type=int, default=10)
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_analyze = sub.add_parser(
         "analyze", help="pipeline-hazard analysis of a machine's FUs"

@@ -47,14 +47,17 @@ Objectives (selectable)
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.bounds import modulo_feasible_t
 from repro.core.errors import CoreError, MappingError, ModuloInfeasibleError
+from repro.core.presolve import ALWAYS, MAYBE, NEVER, PresolveInfo, presolve
 from repro.core.schedule import Schedule, greedy_mapping
 from repro.ddg.graph import Ddg
 from repro.ilp import LinExpr, Model, Solution, Variable, lin_sum
+from repro.ilp.model import GE, LE, EQ, ModelStats, RowSpec
 from repro.machine import Machine
 
 OBJECTIVES = (
@@ -80,6 +83,12 @@ class FormulationOptions:
     symmetry_breaking: bool = True
     enforce_modulo_constraint: bool = True
     fu_costs: Dict[str, float] = field(default_factory=dict)
+    #: Run the dependence-implied presolve (:mod:`repro.core.presolve`)
+    #: before emitting the model: slot-window variable elimination, pair
+    #: interference pruning, capacity row dedup.  Preserves feasibility
+    #: and every objective's optimum exactly; disable to get the plain
+    #: paper encoding (useful for differential testing and profiling).
+    presolve: bool = True
 
     def __post_init__(self) -> None:
         if self.objective not in OBJECTIVES:
@@ -114,12 +123,21 @@ class Formulation:
             )
         self._built = False
         self.model: Model = Model(f"{ddg.name}@T={t_period}")
-        self.a: List[List[Variable]] = []        # a[t][i]
+        self.a: List[List[Optional[Variable]]] = []   # a[t][i]; None = pruned
         self.k: List[Variable] = []
         self.t_expr: List[LinExpr] = []
         self.color: Dict[int, Variable] = {}
         self.fu_count_var: Dict[str, Variable] = {}
         self.colored_types: List[str] = []
+        self.presolve_info: Optional[PresolveInfo] = None
+        self.model_stats: Optional[ModelStats] = None
+        # Whether every usage expression is 0/1 at integer points (true
+        # whenever T satisfies the modulo scheduling constraint); several
+        # redundancy-based prunings rely on it.
+        self._u_binary = True
+        self._elim_vars = 0
+        self._elim_rows = 0
+        self._elim_nnz = 0
 
     # -- structure helpers --------------------------------------------------------
     def _needs_coloring(self, fu_name: str) -> bool:
@@ -155,43 +173,99 @@ class Formulation:
         horizon = (self.t_period - 1) + total_latency + (n - 1) * (self.t_period - 1)
         return max(1, math.ceil(horizon / self.t_period) + 1)
 
+    def _stage_cycles(self, op_index: int, stage: int) -> List[int]:
+        table = self.machine.reservation_for(
+            self.ddg.ops[op_index].op_class
+        )
+        if stage >= table.num_stages:
+            return []
+        return table.stage_cycles(stage)
+
     # -- build ----------------------------------------------------------------------
     def build(self) -> Model:
         """Construct the model (idempotent)."""
         if self._built:
             return self.model
         self._built = True
+        build_start = time.monotonic()
         t_period = self.t_period
         machine = self.machine
         ddg = self.ddg
         model = self.model
         n = ddg.num_ops
         k_max = self.options.k_max or self._default_k_max()
+        self._u_binary = (
+            self.options.enforce_modulo_constraint
+            or modulo_feasible_t(ddg, machine, t_period)
+        )
 
-        # Variables: A matrix and K vector.
-        self.a = [
-            [model.add_binary(f"a[{t},{i}]") for i in range(n)]
-            for t in range(t_period)
-        ]
-        self.k = [
-            model.add_var(f"k[{i}]", lb=0, ub=k_max, integer=True)
-            for i in range(n)
-        ]
+        colored = {
+            fu: ops for fu, ops in self._ops_by_type().items()
+            if self._needs_coloring(fu)
+        }
+        info: Optional[PresolveInfo] = None
+        if self.options.presolve:
+            info = presolve(
+                ddg, machine, t_period,
+                objective=self.options.objective,
+                k_max=k_max,
+                colored=colored,
+            )
+            self.presolve_info = info
+        active = info is not None and not info.infeasible
+        if active:
+            k_max = info.k_max
+        if info is not None and info.infeasible:
+            # Dependence-infeasible at this T: record the verdict as a
+            # trivially unsatisfiable row (0 == 1) so every backend
+            # returns INFEASIBLE without search, then fall through to
+            # the plain encoding for introspection.
+            model.add(LinExpr() == 1, name="presolve_infeasible")
+
+        # Variables: A matrix (windowed) and K vector (bounded).
+        self.a = []
+        for t in range(t_period):
+            row: List[Optional[Variable]] = []
+            for i in range(n):
+                if active and not info.slot_allowed(i, t):
+                    row.append(None)
+                    self._elim_vars += 1
+                else:
+                    row.append(model.add_binary(f"a[{t},{i}]"))
+            self.a.append(row)
+        if active:
+            self.k = [
+                model.add_var(
+                    f"k[{i}]", lb=info.k_bounds[i][0],
+                    ub=info.k_bounds[i][1], integer=True,
+                )
+                for i in range(n)
+            ]
+        else:
+            self.k = [
+                model.add_var(f"k[{i}]", lb=0, ub=k_max, integer=True)
+                for i in range(n)
+            ]
         # Start-time expressions t_i = T*k_i + sum_t t*a[t][i]   (Eq. 7/22)
         self.t_expr = [
             lin_sum(
                 [self.k[i] * t_period]
-                + [self.a[t][i] * t for t in range(1, t_period)]
+                + [self.a[t][i] * t for t in range(1, t_period)
+                   if self.a[t][i] is not None]
             )
             for i in range(n)
         ]
 
         # Assignment: each op starts at exactly one slot.   (Eq. 9/23)
+        assign_rows: List[RowSpec] = []
         for i in range(n):
-            model.add(
-                lin_sum(self.a[t][i] for t in range(t_period)) == 1,
-                name=f"assign[{i}]",
-            )
+            terms: Dict[Variable, float] = {
+                self.a[t][i]: 1.0 for t in range(t_period)
+                if self.a[t][i] is not None
+            }
+            self._elim_nnz += t_period - len(terms)
+            assign_rows.append((terms, EQ, 1.0, f"assign[{i}]"))
+        model.add_rows(assign_rows)
 
         # Dependences: t_j - t_i >= d_i - T*m_ij.            (Eq. 4/8)
         separations = ddg.dep_latencies(machine)
@@ -202,19 +276,36 @@ class Formulation:
                 name=f"dep[{e}]",
             )
 
-        usage = self._usage_expressions()
-        self._add_capacity_rows(usage)
-        self._add_coloring(usage)
+        usage = self._usage_terms()
+        self._add_capacity_rows(usage, active)
+        self._add_coloring(usage, info if active else None)
         self._set_objective()
+
+        presolve_seconds = info.seconds if info is not None else 0.0
+        sizes = model.stats()
+        self.model_stats = ModelStats(
+            variables=sizes["variables"],
+            integer_variables=sizes["integer_variables"],
+            constraints=sizes["constraints"],
+            nonzeros=sizes["nonzeros"],
+            eliminated_variables=self._elim_vars,
+            eliminated_constraints=self._elim_rows,
+            eliminated_nonzeros=self._elim_nnz,
+            presolve_seconds=presolve_seconds,
+            build_seconds=(
+                time.monotonic() - build_start - presolve_seconds
+            ),
+        )
         return model
 
-    def _usage_expressions(self) -> Dict[Tuple[int, int, int], LinExpr]:
-        """``U_s[t][i]`` per Eq. 25, keyed by (op, stage, slot).
+    def _usage_terms(self) -> Dict[Tuple[int, int, int], Dict[Variable, float]]:
+        """``U_s[t][i]`` per Eq. 25 as raw coefficient dicts.
 
-        Only (stage, slot) pairs the op can actually occupy are present.
+        Keyed by (op, stage, slot); entries exist only where at least one
+        surviving ``a`` variable contributes.
         """
         t_period = self.t_period
-        usage: Dict[Tuple[int, int, int], LinExpr] = {}
+        usage: Dict[Tuple[int, int, int], Dict[Variable, float]] = {}
         for op in self.ddg.ops:
             table = self.machine.reservation_for(op.op_class)
             for stage in range(table.num_stages):
@@ -222,37 +313,95 @@ class Formulation:
                 if not cycles:
                     continue
                 for t in range(t_period):
-                    terms = [self.a[(t - l) % t_period][op.index] for l in cycles]
-                    usage[(op.index, stage, t)] = lin_sum(terms)
+                    terms: Dict[Variable, float] = {}
+                    for latency in cycles:
+                        var = self.a[(t - latency) % t_period][op.index]
+                        if var is not None:
+                            terms[var] = terms.get(var, 0.0) + 1.0
+                    if terms:
+                        usage[(op.index, stage, t)] = terms
         return usage
 
     def _add_capacity_rows(
-        self, usage: Dict[Tuple[int, int, int], LinExpr]
+        self,
+        usage: Dict[Tuple[int, int, int], Dict[Variable, float]],
+        active: bool,
     ) -> None:
-        """Aggregate stage-capacity constraints (Eq. 5 / 24)."""
+        """Aggregate stage-capacity constraints (Eq. 5 / 24).
+
+        A stage whose user count cannot exceed the FU count emits no rows
+        — including under ``min_fu``, where the count variable's lower
+        bound of 1 plays the role of the constant capacity.  With
+        presolve active, rows that lost all contributors to slot windows
+        are dropped, per-slot rows whose surviving contributors fit under
+        the capacity floor are dropped, and rows identical to an earlier
+        one (clean pipeline stages are shifted copies of each other) are
+        emitted once.
+        """
         t_period = self.t_period
+        rows: List[RowSpec] = []
+        seen: Dict[tuple, bool] = {}
         for fu_name, op_indices in self._ops_by_type().items():
             fu = self.machine.fu_type(fu_name)
             capacity: object = fu.count
             if self.options.objective == "min_fu":
                 capacity = self._count_var(fu_name)
+            cap_floor = (
+                capacity if isinstance(capacity, int)
+                else int(capacity.lb)
+            )
             stages = self.machine.stage_count(fu_name)
             for stage in range(stages):
-                contributors = [
-                    i for i in op_indices if (i, stage, 0) in usage
+                users = [
+                    i for i in op_indices if self._stage_cycles(i, stage)
                 ]
-                if isinstance(capacity, int) and len(contributors) <= capacity:
-                    continue  # row can never bind
-                if not contributors:
-                    continue
+                if len(users) <= cap_floor:
+                    continue  # no slot can ever exceed the capacity
+                base_nnz = sum(
+                    len(self._stage_cycles(i, stage)) for i in users
+                ) + (0 if isinstance(capacity, int) else 1)
                 for t in range(t_period):
-                    total = lin_sum(
-                        usage[(i, stage, t)] for i in contributors
+                    terms: Dict[Variable, float] = {}
+                    contributors = 0
+                    for i in users:
+                        part = usage.get((i, stage, t))
+                        if not part:
+                            continue
+                        contributors += 1
+                        for var, coef in part.items():
+                            terms[var] = terms.get(var, 0.0) + coef
+                    if active and not terms:
+                        self._elim_rows += 1
+                        self._elim_nnz += base_nnz
+                        continue
+                    if (active and self._u_binary
+                            and contributors <= cap_floor):
+                        self._elim_rows += 1
+                        self._elim_nnz += base_nnz
+                        continue
+                    if isinstance(capacity, int):
+                        rhs = float(capacity)
+                    else:
+                        terms[capacity] = terms.get(capacity, 0.0) - 1.0
+                        rhs = 0.0
+                    if active:
+                        key = (
+                            tuple(sorted(
+                                (var.index, coef)
+                                for var, coef in terms.items()
+                            )),
+                            rhs,
+                        )
+                        if key in seen:
+                            self._elim_rows += 1
+                            self._elim_nnz += len(terms)
+                            continue
+                        seen[key] = True
+                        self._elim_nnz += base_nnz - len(terms)
+                    rows.append(
+                        (terms, LE, rhs, f"cap[{fu_name},s{stage},t{t}]")
                     )
-                    self.model.add(
-                        total <= capacity,
-                        name=f"cap[{fu_name},s{stage},t{t}]",
-                    )
+        self.model.add_rows(rows)
 
     def _count_var(self, fu_name: str) -> Variable:
         if fu_name not in self.fu_count_var:
@@ -263,9 +412,19 @@ class Formulation:
         return self.fu_count_var[fu_name]
 
     def _add_coloring(
-        self, usage: Dict[Tuple[int, int, int], LinExpr]
+        self,
+        usage: Dict[Tuple[int, int, int], Dict[Variable, float]],
+        info: Optional[PresolveInfo],
     ) -> None:
-        """§4.2 / §5 mapping constraints via circular-arc coloring."""
+        """§4.2 / §5 mapping constraints via circular-arc coloring.
+
+        With presolve info available, the static interference relation
+        gates what gets emitted per pair: NEVER pairs vanish entirely,
+        ALWAYS pairs keep only the Hu rows with the overlap indicator
+        folded to 1, and MAYBE pairs emit ``ov`` rows only on a covering
+        stage subset (a residue that overlaps anywhere overlaps on a
+        cover stage) and only at slots both ops can occupy.
+        """
         t_period = self.t_period
         model = self.model
         for fu_name, op_indices in self._ops_by_type().items():
@@ -285,28 +444,111 @@ class Formulation:
                     model.add(self.color[i] <= color_cap,
                               name=f"cub[{i}]")
             if self.options.symmetry_breaking:
-                first = op_indices[0]
-                model.add(self.color[first] <= 1, name=f"sym[{fu_name}]")
+                if info is not None:
+                    # Colors are interchangeable, so any coloring can be
+                    # relabeled by first appearance along a fixed op
+                    # order; ordering by earliest possible start slot
+                    # makes the caps bite where the solver branches
+                    # first.  Caps at or above the FU count are vacuous.
+                    ordered = sorted(
+                        op_indices, key=lambda i: (info.asap[i], i)
+                    )
+                    for rank in range(min(len(ordered), fu.count - 1)):
+                        model.add(
+                            self.color[ordered[rank]] <= rank + 1,
+                            name=f"sym[{fu_name},{rank}]",
+                        )
+                else:
+                    first = op_indices[0]
+                    model.add(self.color[first] <= 1,
+                              name=f"sym[{fu_name}]")
 
             stages = self.machine.stage_count(fu_name)
             for pos, i in enumerate(op_indices):
                 for j in op_indices[pos + 1:]:
                     shared = [
                         s for s in range(stages)
-                        if (i, s, 0) in usage and (j, s, 0) in usage
+                        if self._stage_cycles(i, s)
+                        and self._stage_cycles(j, s)
                     ]
                     if not shared:
                         continue
-                    overlap = model.add_binary(f"o[{i},{j}]")
-                    for s in shared:
-                        for t in range(t_period):
-                            model.add(
-                                overlap
-                                >= usage[(i, s, t)] + usage[(j, s, t)] - 1,
-                                name=f"ov[{i},{j},s{s},t{t}]",
-                            )
-                    sign = model.add_binary(f"w[{i},{j}]")
+                    base_row_nnz = {
+                        s: 1 + len(self._stage_cycles(i, s))
+                        + len(self._stage_cycles(j, s))
+                        for s in shared
+                    }
+                    verdict = info.pairs.get((i, j)) if info else None
                     ci, cj = self.color[i], self.color[j]
+                    if verdict is not None and verdict.kind == NEVER:
+                        # The pair can never co-occupy a stage slot: no
+                        # overlap indicator, no Hu rows.
+                        self._elim_vars += 2
+                        self._elim_rows += (
+                            len(shared) * t_period + 2
+                        )
+                        self._elim_nnz += sum(
+                            base_row_nnz[s] * t_period for s in shared
+                        ) + 8
+                        continue
+                    if verdict is not None and verdict.kind == ALWAYS:
+                        # Overlap is certain: fold o == 1 into the Hu
+                        # rows and drop every ov row.
+                        self._elim_vars += 1
+                        self._elim_rows += len(shared) * t_period
+                        self._elim_nnz += sum(
+                            base_row_nnz[s] * t_period for s in shared
+                        ) + 2
+                        sign = model.add_binary(f"w[{i},{j}]")
+                        model.add(
+                            ci - cj >= 1 - big_m * (1 - sign),
+                            name=f"hu1[{i},{j}]",
+                        )
+                        model.add(
+                            cj - ci >= 1 - big_m * sign,
+                            name=f"hu2[{i},{j}]",
+                        )
+                        continue
+                    overlap = model.add_binary(f"o[{i},{j}]")
+                    emit_stages = (
+                        list(verdict.cover_stages)
+                        if verdict is not None else shared
+                    )
+                    skipped = [s for s in shared if s not in emit_stages]
+                    self._elim_rows += len(skipped) * t_period
+                    self._elim_nnz += sum(
+                        base_row_nnz[s] * t_period for s in skipped
+                    )
+                    ov_rows: List[RowSpec] = []
+                    for s in emit_stages:
+                        for t in range(t_period):
+                            u_i = usage.get((i, s, t))
+                            u_j = usage.get((j, s, t))
+                            if (info is not None and self._u_binary
+                                    and (u_i is None or u_j is None)):
+                                # One op can't occupy (s, t) at all: the
+                                # row is o >= U - 1 <= 0, vacuous.
+                                self._elim_rows += 1
+                                self._elim_nnz += base_row_nnz[s]
+                                continue
+                            terms: Dict[Variable, float] = {overlap: 1.0}
+                            for part in (u_i, u_j):
+                                if not part:
+                                    continue
+                                for var, coef in part.items():
+                                    terms[var] = (
+                                        terms.get(var, 0.0) - coef
+                                    )
+                            if info is not None:
+                                self._elim_nnz += (
+                                    base_row_nnz[s] - len(terms)
+                                )
+                            ov_rows.append((
+                                terms, GE, -1.0,
+                                f"ov[{i},{j},s{s},t{t}]",
+                            ))
+                    model.add_rows(ov_rows)
+                    sign = model.add_binary(f"w[{i},{j}]")
                     model.add(
                         ci - cj
                         >= 1 - big_m * (1 - sign) - big_m * (1 - overlap),

@@ -39,7 +39,10 @@ class ScheduleAttempt:
     t_period: int
     status: str  # SolveStatus value, or "modulo_infeasible" (skipped)
     seconds: float = 0.0
-    model_stats: Dict[str, int] = field(default_factory=dict)
+    #: :class:`repro.ilp.model.ModelStats` as a plain dict (sizes,
+    #: eliminated vars/rows/nnz, per-phase seconds) — kept a dict so the
+    #: attempt pickles across worker processes and serializes to JSON.
+    model_stats: Dict[str, float] = field(default_factory=dict)
     nodes: int = 0
     #: True when the period was admissible only after delay insertion.
     repaired: bool = False
@@ -105,6 +108,7 @@ class AttemptConfig:
     time_limit: Optional[float] = 30.0
     verify: bool = True
     repair_modulo: bool = False
+    presolve: bool = True
 
 
 @dataclass
@@ -152,7 +156,8 @@ def attempt_period(
         attempt_machine = patched
         repaired = True
     options = FormulationOptions(
-        mapping=config.mapping, objective=config.objective
+        mapping=config.mapping, objective=config.objective,
+        presolve=config.presolve,
     )
     if formulation_builder is not None and not repaired:
         formulation = formulation_builder(
@@ -164,11 +169,18 @@ def attempt_period(
     solution = formulation.solve(
         backend=config.backend, time_limit=config.time_limit
     )
+    stats = formulation.model_stats.to_dict()
+    stats["lower_seconds"] = solution.lower_seconds
+    stats["solve_seconds"] = solution.solve_seconds
+    stats["total_seconds"] = (
+        stats["presolve_seconds"] + stats["build_seconds"]
+        + solution.solve_seconds
+    )
     attempt = ScheduleAttempt(
         t_period=t_period,
         status=solution.status.value,
         seconds=solution.solve_seconds,
-        model_stats=formulation.model.stats(),
+        model_stats=stats,
         nodes=solution.nodes,
         repaired=repaired,
     )
@@ -193,6 +205,7 @@ def schedule_loop(
     max_extra: int = 10,
     verify: bool = True,
     repair_modulo: bool = False,
+    presolve: bool = True,
 ) -> SchedulingResult:
     """Find a rate-optimal software-pipelined schedule for ``ddg``.
 
@@ -218,6 +231,7 @@ def schedule_loop(
         time_limit=time_limit_per_t,
         verify=verify,
         repair_modulo=repair_modulo,
+        presolve=presolve,
     )
 
     for t_period in range(bounds.t_lb, bounds.t_lb + max_extra + 1):

@@ -19,7 +19,14 @@ The public surface is :class:`Model`, :class:`Variable`, :class:`LinExpr`,
 """
 
 from repro.ilp.errors import IlpError, ModelError, SolverError
-from repro.ilp.model import Constraint, LinExpr, Model, Variable, lin_sum
+from repro.ilp.model import (
+    Constraint,
+    LinExpr,
+    Model,
+    ModelStats,
+    Variable,
+    lin_sum,
+)
 from repro.ilp.solution import Solution, SolveStatus
 
 __all__ = [
@@ -28,6 +35,7 @@ __all__ = [
     "LinExpr",
     "Model",
     "ModelError",
+    "ModelStats",
     "Solution",
     "SolveStatus",
     "SolverError",

@@ -57,17 +57,20 @@ def solve_bnb(
     """Solve ``model`` with branch-and-bound; returns a :class:`Solution`."""
     start = time.monotonic()
     form = to_arrays(model)
+    form.a_matrix  # materialize the dense tableau the simplex works on
+    lower_seconds = time.monotonic() - start
     counter = itertools.count()
 
     root = solve_lp(form)
     if root.status == "infeasible":
         return _finish(model, form, SolveStatus.INFEASIBLE, None, None,
-                       start, 1)
+                       start, 1, lower_seconds)
     if root.status == "unbounded":
         return _finish(model, form, SolveStatus.UNBOUNDED, None, None,
-                       start, 1)
+                       start, 1, lower_seconds)
     if root.status != "optimal":
-        return _finish(model, form, SolveStatus.ERROR, None, None, start, 1)
+        return _finish(model, form, SolveStatus.ERROR, None, None, start, 1,
+                       lower_seconds)
 
     heap = [
         _Node(root.objective, next(counter), form.lb.copy(), form.ub.copy(),
@@ -120,12 +123,12 @@ def solve_bnb(
     if incumbent_x is not None:
         status = SolveStatus.FEASIBLE if timed_out else SolveStatus.OPTIMAL
         return _finish(model, form, status, incumbent_x, incumbent_obj,
-                       start, nodes)
+                       start, nodes, lower_seconds)
     if timed_out:
         return _finish(model, form, SolveStatus.TIME_LIMIT, None, None,
-                       start, nodes)
+                       start, nodes, lower_seconds)
     return _finish(model, form, SolveStatus.INFEASIBLE, None, None, start,
-                   nodes)
+                   nodes, lower_seconds)
 
 
 def _finish(
@@ -136,6 +139,7 @@ def _finish(
     minimized_obj: Optional[float],
     start: float,
     nodes: int,
+    lower_seconds: float = 0.0,
 ) -> Solution:
     values = {}
     objective = None
@@ -151,6 +155,7 @@ def _finish(
         values=values,
         bound=None,
         solve_seconds=time.monotonic() - start,
+        lower_seconds=lower_seconds,
         nodes=nodes,
         backend="bnb",
     )

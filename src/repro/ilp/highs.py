@@ -12,7 +12,6 @@ import time
 from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.ilp.model import Model
@@ -28,16 +27,17 @@ def solve_highs(
     """Solve ``model`` with scipy's HiGHS MILP interface."""
     start = time.monotonic()
     form = to_arrays(model)
+    lower_seconds = time.monotonic() - start
     options = {"mip_rel_gap": gap}
     if time_limit is not None:
         options["time_limit"] = float(time_limit)
 
     constraints = []
     if form.num_rows:
+        # ArrayForm is already sparse; hand the CSR matrix straight to
+        # HiGHS instead of round-tripping through a dense tableau.
         constraints.append(
-            LinearConstraint(
-                sp.csr_matrix(form.a_matrix), form.row_lower, form.row_upper
-            )
+            LinearConstraint(form.a_csr, form.row_lower, form.row_upper)
         )
     result = milp(
         c=form.c,
@@ -66,6 +66,7 @@ def solve_highs(
         values=values,
         bound=bound,
         solve_seconds=elapsed,
+        lower_seconds=lower_seconds,
         nodes=int(getattr(result, "mip_node_count", 0) or 0),
         backend="highs",
     )

@@ -18,6 +18,7 @@ and a single linear objective.
 from __future__ import annotations
 
 import math
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.ilp.errors import ModelError
@@ -26,6 +27,45 @@ Number = Union[int, float]
 
 #: Senses a constraint may have.
 LE, GE, EQ = "<=", ">=", "=="
+
+
+@dataclass
+class ModelStats:
+    """Size and timing record for one built/lowered/solved model.
+
+    The ``eliminated_*`` counters report how much smaller the presolve
+    pass (:mod:`repro.core.presolve`) made the model relative to the
+    plain encoding; the ``*_seconds`` fields split wall time across the
+    pipeline phases (presolve analysis, Python model construction,
+    lowering to arrays, and the solver itself).
+    """
+
+    variables: int = 0
+    integer_variables: int = 0
+    constraints: int = 0
+    nonzeros: int = 0
+    eliminated_variables: int = 0
+    eliminated_constraints: int = 0
+    eliminated_nonzeros: int = 0
+    presolve_seconds: float = 0.0
+    build_seconds: float = 0.0
+    lower_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Build + lower + solve wall time (presolve counts as build)."""
+        return (self.presolve_seconds + self.build_seconds
+                + self.lower_seconds + self.solve_seconds)
+
+    def to_dict(self) -> Dict[str, float]:
+        data = asdict(self)
+        data["total_seconds"] = self.total_seconds
+        return data
+
+
+#: One batched row: (terms, sense, rhs, name).  See :meth:`Model.add_rows`.
+RowSpec = Tuple[Dict["Variable", float], str, float, str]
 
 
 class Variable:
@@ -303,6 +343,34 @@ class Model:
             constraint.name = f"c{len(self.constraints)}"
         self.constraints.append(constraint)
         return constraint
+
+    def add_rows(self, rows: Iterable[RowSpec]) -> List[Constraint]:
+        """Register a block of rows without building one expression per term.
+
+        Each spec is ``(terms, sense, rhs, name)`` where ``terms`` maps
+        variables to coefficients.  The dict is taken by reference (the
+        caller must hand over a fresh dict per row), which lets the
+        formulation emit its capacity/coloring blocks as plain dict
+        merges instead of chained :class:`LinExpr` arithmetic.
+        """
+        mid = id(self)
+        added: List[Constraint] = []
+        for terms, sense, rhs, name in rows:
+            if sense not in (LE, GE, EQ):
+                raise ModelError(f"unknown constraint sense {sense!r}")
+            for var in terms:
+                if var._model_id != mid:
+                    raise ModelError(
+                        f"variable {var.name!r} belongs to a different model"
+                    )
+            expr = LinExpr.__new__(LinExpr)
+            expr.terms = terms
+            expr.const = -float(rhs)
+            con = Constraint(expr, sense,
+                             name or f"c{len(self.constraints)}")
+            self.constraints.append(con)
+            added.append(con)
+        return added
 
     def minimize(self, expr: ExprLike) -> None:
         expr = LinExpr.coerce(expr)

@@ -99,9 +99,12 @@ def _collect_rows(form: ArrayForm, lb: np.ndarray, ub: np.ndarray):
     rows_a = []
     rows_b = []
     senses = []
-    shift = form.a_matrix @ lb if form.num_rows else np.zeros(0)
+    # The tableau solver is the one consumer of the dense view; grab it
+    # once (ArrayForm caches the materialization across LP re-solves).
+    dense = form.a_matrix if form.num_rows else None
+    shift = dense @ lb if form.num_rows else np.zeros(0)
     for r in range(form.num_rows):
-        row = form.a_matrix[r]
+        row = dense[r]
         lo = form.row_lower[r] - shift[r]
         hi = form.row_upper[r] - shift[r]
         if lo == hi:

@@ -39,6 +39,8 @@ class Solution:
     values: Dict["Variable", float] = field(default_factory=dict)
     bound: Optional[float] = None
     solve_seconds: float = 0.0
+    #: Portion of ``solve_seconds`` spent lowering the model to arrays.
+    lower_seconds: float = 0.0
     nodes: int = 0
     backend: str = ""
 

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.ilp.errors import ModelError
 from repro.ilp.model import EQ, GE, LE, Model
@@ -13,8 +14,11 @@ from repro.ilp.model import EQ, GE, LE, Model
 
 @dataclass
 class ArrayForm:
-    """Dense array representation of a model.
+    """Array representation of a model.
 
+    The constraint matrix is assembled as COO triplets and stored sparse
+    (CSR); a dense view is materialized lazily only for the pure-Python
+    simplex backend, which works row-by-row on a dense tableau anyway.
     The objective is always stored as *minimize* ``c @ x + c0``; for a
     maximization model ``c``/``c0`` are pre-negated and ``flipped`` is set
     so callers can restore the user-facing objective value.
@@ -22,7 +26,7 @@ class ArrayForm:
 
     c: np.ndarray
     c0: float
-    a_matrix: np.ndarray
+    a_csr: sp.csr_matrix
     row_lower: np.ndarray
     row_upper: np.ndarray
     lb: np.ndarray
@@ -30,6 +34,9 @@ class ArrayForm:
     integrality: np.ndarray
     flipped: bool
     row_names: List[str]
+    _dense: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_vars(self) -> int:
@@ -37,7 +44,22 @@ class ArrayForm:
 
     @property
     def num_rows(self) -> int:
-        return self.a_matrix.shape[0]
+        return int(self.a_csr.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return int(self.a_csr.nnz)
+
+    @property
+    def a_matrix(self) -> np.ndarray:
+        """Dense view of the constraint matrix (lazy, cached).
+
+        Only the simplex backend and debugging code should touch this;
+        HiGHS consumes :attr:`a_csr` directly.
+        """
+        if self._dense is None:
+            self._dense = self.a_csr.toarray()
+        return self._dense
 
     def user_objective(self, minimized_value: float) -> float:
         """Map a minimized objective value back to the model's sense."""
@@ -45,10 +67,11 @@ class ArrayForm:
 
 
 def to_arrays(model: Model) -> ArrayForm:
-    """Lower a model to the dense :class:`ArrayForm`.
+    """Lower a model to :class:`ArrayForm` via COO-triplet assembly.
 
     Rows are encoded with two-sided bounds ``row_lower <= A x <= row_upper``
-    which matches both HiGHS and the simplex driver.
+    which matches both HiGHS and the simplex driver.  Duplicate (row, col)
+    triplets sum, matching the ``+=`` semantics of the old dense path.
     """
     n = model.num_vars
     c = np.zeros(n)
@@ -61,14 +84,18 @@ def to_arrays(model: Model) -> ArrayForm:
         c0 = -c0
 
     m = model.num_constraints
-    a_matrix = np.zeros((m, n))
+    coo_rows: List[int] = []
+    coo_cols: List[int] = []
+    coo_data: List[float] = []
     row_lower = np.full(m, -np.inf)
     row_upper = np.full(m, np.inf)
     row_names = []
     for r, con in enumerate(model.constraints):
         row_names.append(con.name)
         for var, coef in con.expr.terms.items():
-            a_matrix[r, var.index] += coef
+            coo_rows.append(r)
+            coo_cols.append(var.index)
+            coo_data.append(coef)
         rhs = con.rhs
         if con.sense == LE:
             row_upper[r] = rhs
@@ -80,13 +107,16 @@ def to_arrays(model: Model) -> ArrayForm:
         else:  # pragma: no cover - Constraint guards senses already
             raise ModelError(f"unknown sense {con.sense!r}")
 
+    a_csr = sp.csr_matrix(
+        (coo_data, (coo_rows, coo_cols)), shape=(m, n), dtype=float
+    )
     lb = np.array([v.lb for v in model.variables], dtype=float)
     ub = np.array([v.ub for v in model.variables], dtype=float)
     integrality = np.array([v.integer for v in model.variables], dtype=bool)
     return ArrayForm(
         c=c,
         c0=c0,
-        a_matrix=a_matrix,
+        a_csr=a_csr,
         row_lower=row_lower,
         row_upper=row_upper,
         lb=lb,

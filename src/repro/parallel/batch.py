@@ -37,7 +37,9 @@ from repro.parallel import cache
 from repro.parallel.race import _init_worker, default_jobs
 
 #: Report schema version (bump on incompatible changes).
-REPORT_VERSION = 1
+#: v2: per-attempt ``model`` object carrying :class:`repro.ilp.model.
+#: ModelStats` fields (sizes, eliminated vars/rows/nnz, phase timings).
+REPORT_VERSION = 2
 
 LoopSource = Union[str, "os.PathLike[str]", Ddg]
 
@@ -78,6 +80,11 @@ class BatchEntry:
                         "seconds": round(attempt.seconds, 6),
                         "nodes": attempt.nodes,
                         "repaired": attempt.repaired,
+                        "model": {
+                            key: (round(value, 6)
+                                  if isinstance(value, float) else value)
+                            for key, value in attempt.model_stats.items()
+                        },
                     }
                     for attempt in result.attempts
                 ],
@@ -232,6 +239,7 @@ def run_batch(
     time_limit_per_t: Optional[float] = 10.0,
     max_extra: int = 10,
     verify: bool = True,
+    presolve: bool = True,
     jobs: Optional[int] = None,
 ) -> BatchReport:
     """Schedule every loop reachable from ``paths`` across ``jobs`` workers.
@@ -248,6 +256,7 @@ def run_batch(
         mapping=mapping,
         time_limit=time_limit_per_t,
         verify=verify,
+        presolve=presolve,
     )
     sources = collect_sources(paths)
     tasks: List[tuple] = []  # (text, label)

@@ -109,6 +109,7 @@ def _options_key(options: FormulationOptions) -> tuple:
         options.k_max,
         options.symmetry_breaking,
         options.enforce_modulo_constraint,
+        options.presolve,
         tuple(sorted(options.fu_costs.items())),
     )
 

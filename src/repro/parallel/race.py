@@ -70,6 +70,7 @@ def race_periods(
     max_extra: int = 10,
     verify: bool = True,
     repair_modulo: bool = False,
+    presolve: bool = True,
     jobs: Optional[int] = None,
     window: Optional[int] = None,
 ) -> SchedulingResult:
@@ -93,6 +94,7 @@ def race_periods(
         time_limit=time_limit_per_t,
         verify=verify,
         repair_modulo=repair_modulo,
+        presolve=presolve,
     )
     start_clock = time.monotonic()
     bounds = lower_bounds(ddg, machine)

@@ -60,11 +60,30 @@ class TestConstruction:
 
 class TestModelShape:
     def test_a_matrix_variables(self):
-        f = Formulation(_fp_triangle(), motivating_machine(), 4)
+        f = Formulation(
+            _fp_triangle(), motivating_machine(), 4,
+            FormulationOptions(presolve=False),
+        )
         f.build()
         assert len(f.a) == 4
         assert len(f.a[0]) == 3
         assert all(v.integer for row in f.a for v in row)
+
+    def test_presolve_prunes_a_variables(self):
+        """With presolve on, slots outside an op's window hold ``None``
+        but every op keeps at least one live slot variable."""
+        f = Formulation(_fp_triangle(), motivating_machine(), 4)
+        f.build()
+        assert len(f.a) == 4 and len(f.a[0]) == 3
+        live = [
+            sum(1 for t in range(4) if f.a[t][i] is not None)
+            for i in range(3)
+        ]
+        assert all(count >= 1 for count in live)
+        assert all(
+            v.integer for row in f.a for v in row if v is not None
+        )
+        assert f.model_stats.eliminated_variables >= 0
 
     def test_assignment_rows_present(self):
         f = Formulation(_fp_triangle(), motivating_machine(), 4)

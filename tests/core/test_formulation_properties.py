@@ -39,7 +39,9 @@ def test_property_variable_count_formula(seed):
     if instance is None:
         return
     ddg, machine, t_period = instance
-    formulation = Formulation(ddg, machine, t_period)
+    formulation = Formulation(
+        ddg, machine, t_period, FormulationOptions(presolve=False)
+    )
     model = formulation.build()
     n = ddg.num_ops
     base_vars = t_period * n + n
@@ -65,7 +67,8 @@ def test_property_solutions_have_assignment_structure(seed):
         return
     for i in range(ddg.num_ops):
         column = [
-            solution.int_value(formulation.a[t][i])
+            0 if formulation.a[t][i] is None
+            else solution.int_value(formulation.a[t][i])
             for t in range(t_period)
         ]
         assert sum(column) == 1

@@ -103,8 +103,10 @@ class TestColorMutations:
 class TestPeriodMutations:
     def test_shrunk_period_rejected(self, good):
         # T=3 was proven infeasible by the driver; relabeling the same
-        # starts with T=3 must therefore fail verification.
-        with pytest.raises(VerificationError, match="FU type 'FP'"):
+        # starts with T=3 must therefore fail verification.  Which FP
+        # check trips first (type capacity vs per-copy hazard) depends
+        # on the particular feasible point the solver returned.
+        with pytest.raises(VerificationError, match="FP"):
             verify_schedule(_with(good, t_period=good.t_period - 1))
 
     def test_grown_period_can_break_dependences(self, good):

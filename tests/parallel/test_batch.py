@@ -99,8 +99,17 @@ class TestJsonReport:
             assert key in entry, key
         attempt = entry["attempts"][0]
         assert set(attempt) == {
-            "t", "status", "seconds", "nodes", "repaired"
+            "t", "status", "seconds", "nodes", "repaired", "model"
         }
+        model = attempt["model"]
+        for key in (
+            "variables", "constraints", "nonzeros",
+            "eliminated_variables", "eliminated_constraints",
+            "eliminated_nonzeros", "presolve_seconds",
+            "build_seconds", "lower_seconds", "solve_seconds",
+            "total_seconds",
+        ):
+            assert key in model, key
 
     def test_delta_consistency(self, report):
         doc = report.to_json_dict()

@@ -89,3 +89,72 @@ def test_drivers_agree_on_random_loops(seed, machine):
                        jobs=2)
     assert par.achieved_t == seq.achieved_t
     assert par.is_rate_optimal_proven == seq.is_rate_optimal_proven
+
+
+def _assert_presolve_equivalent(ddg, machine, backend, **kwargs):
+    """Presolve must not change the achieved T or any per-period verdict.
+
+    Attempts that expired their time budget on either side are exempt:
+    a presolve pass that turns a timed-out model into a solved one is a
+    speedup, not a disagreement.  Whenever both runs reached a definitive
+    verdict at a period, those verdicts must match exactly.
+    """
+    on = schedule_loop(ddg, machine, backend=backend, presolve=True,
+                       **kwargs)
+    off = schedule_loop(ddg, machine, backend=backend, presolve=False,
+                        **kwargs)
+    timed_out = SolveStatus.TIME_LIMIT.value
+    by_t_on = {a.t_period: a.status for a in on.attempts}
+    by_t_off = {a.t_period: a.status for a in off.attempts}
+    any_timeout = timed_out in by_t_on.values() or timed_out in (
+        by_t_off.values()
+    )
+    if not any_timeout:
+        assert on.achieved_t == off.achieved_t, ddg.name
+        assert on.is_rate_optimal_proven == off.is_rate_optimal_proven
+        assert set(by_t_on) == set(by_t_off)
+    for t_period in set(by_t_on) & set(by_t_off):
+        s_on, s_off = by_t_on[t_period], by_t_off[t_period]
+        if timed_out in (s_on, s_off):
+            continue
+        assert s_on == s_off, (ddg.name, t_period)
+    if on.schedule is not None:
+        verify_schedule(on.schedule)
+    if off.schedule is not None:
+        verify_schedule(off.schedule)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:8])
+def test_presolve_differential_highs(seed, machine):
+    ddg = _random_loop(seed, machine)
+    _assert_presolve_equivalent(
+        ddg, machine, "highs", time_limit_per_t=10.0, max_extra=20
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_presolve_differential_bnb(machine, seed):
+    # Smaller loops: the pure-Python B&B is the slow backend.
+    rng = random.Random(1000 + seed)
+    ddg = random_ddg(rng, machine, GeneratorConfig(min_ops=2, max_ops=8),
+                     name=f"bnbprop{seed}")
+    _assert_presolve_equivalent(
+        ddg, machine, "bnb", time_limit_per_t=15.0, max_extra=20
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", ("highs", "bnb"))
+def test_presolve_differential_corpus(machine, backend):
+    """>= 50 random loops per backend: presolve-on and presolve-off runs
+    must produce identical achieved periods and per-period verdicts."""
+    max_ops = 12 if backend == "highs" else 8
+    for seed in range(50):
+        rng = random.Random(5000 + seed)
+        ddg = random_ddg(
+            rng, machine, GeneratorConfig(min_ops=2, max_ops=max_ops),
+            name=f"corpus{seed}",
+        )
+        _assert_presolve_equivalent(
+            ddg, machine, backend, time_limit_per_t=15.0, max_extra=20
+        )
