@@ -71,6 +71,7 @@ def _cmd_schedule(args) -> int:
         time_limit_per_t=args.time_limit,
         max_extra=args.max_extra,
         presolve=not args.no_presolve,
+        warmstart=not args.no_warmstart,
     )
     print(result.summary())
     if args.explain:
@@ -141,6 +142,7 @@ def _cmd_batch(args) -> int:
             max_extra=args.max_extra,
             presolve=not args.no_presolve,
             jobs=args.jobs,
+            warmstart=not args.no_warmstart,
         )
     except (OSError, ValueError) as exc:
         raise SystemExit(f"batch: {exc}")
@@ -172,6 +174,7 @@ def _cmd_race(args) -> int:
             max_extra=args.max_extra,
             presolve=not args.no_presolve,
             jobs=args.jobs,
+            warmstart=not args.no_warmstart,
         )
     except SchedulingError as exc:
         raise SystemExit(f"race: {exc}")
@@ -386,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_schedule.add_argument("--compare-heuristic", action="store_true")
     p_schedule.add_argument("--no-presolve", action="store_true",
                             help="disable the ILP presolve pass")
+    p_schedule.add_argument("--no-warmstart", action="store_true",
+                            help="disable the heuristic warm-start "
+                                 "pre-pass")
     p_schedule.set_defaults(func=_cmd_schedule)
 
     p_batch = sub.add_parser(
@@ -413,6 +419,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the JSON report instead of the table")
     p_batch.add_argument("--no-presolve", action="store_true",
                          help="disable the ILP presolve pass")
+    p_batch.add_argument("--no-warmstart", action="store_true",
+                         help="disable the heuristic warm-start pre-pass")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_race = sub.add_parser(
@@ -433,6 +441,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_race.add_argument("--jobs", type=int, default=None)
     p_race.add_argument("--no-presolve", action="store_true",
                         help="disable the ILP presolve pass")
+    p_race.add_argument("--no-warmstart", action="store_true",
+                        help="disable the heuristic warm-start pre-pass")
     p_race.set_defaults(func=_cmd_race)
 
     p_profile = sub.add_parser(

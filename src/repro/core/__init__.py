@@ -25,14 +25,18 @@ from repro.core.explain import Diagnosis, Reason, explain_infeasibility
 from repro.core.formulation import Formulation, FormulationOptions
 from repro.core.schedule import Schedule
 from repro.core.scheduler import (
+    HEURISTIC,
     AttemptConfig,
     AttemptOutcome,
     ScheduleAttempt,
     SchedulingResult,
+    WarmStartStats,
     attempt_period,
+    run_sweep,
     schedule_loop,
 )
 from repro.core.verify import verify_schedule
+from repro.core.warmstart import WarmStart, compute_warmstart, warmstart_assignment
 
 __all__ = [
     "AttemptConfig",
@@ -51,9 +55,15 @@ __all__ = [
     "SchedulingError",
     "SchedulingResult",
     "VerificationError",
+    "HEURISTIC",
+    "WarmStart",
+    "WarmStartStats",
+    "compute_warmstart",
     "lower_bounds",
     "modulo_feasible_t",
+    "run_sweep",
     "schedule_loop",
     "t_res",
     "verify_schedule",
+    "warmstart_assignment",
 ]

@@ -129,6 +129,14 @@ class Formulation:
         self.color: Dict[int, Variable] = {}
         self.fu_count_var: Dict[str, Variable] = {}
         self.colored_types: List[str] = []
+        # Coloring side variables, keyed so a warm start can assign them:
+        # w[i,j] sign binaries, o[i,j] overlap binaries (absent for pairs
+        # where presolve folded the indicator), b[e] buffer counts, and
+        # the per-type op order the sym[...] caps were emitted along.
+        self.sign_var: Dict[Tuple[int, int], Variable] = {}
+        self.overlap_var: Dict[Tuple[int, int], Variable] = {}
+        self.buffer_var: Dict[int, Variable] = {}
+        self.color_order: Dict[str, List[int]] = {}
         self.presolve_info: Optional[PresolveInfo] = None
         self.model_stats: Optional[ModelStats] = None
         # Whether every usage expression is 0/1 at integer points (true
@@ -443,16 +451,20 @@ class Formulation:
                 if not isinstance(color_cap, int):
                     model.add(self.color[i] <= color_cap,
                               name=f"cub[{i}]")
+            if info is not None:
+                # Colors are interchangeable, so any coloring can be
+                # relabeled by first appearance along a fixed op
+                # order; ordering by earliest possible start slot
+                # makes the caps bite where the solver branches
+                # first.  Caps at or above the FU count are vacuous.
+                ordered = sorted(
+                    op_indices, key=lambda i: (info.asap[i], i)
+                )
+            else:
+                ordered = list(op_indices)
+            self.color_order[fu_name] = ordered
             if self.options.symmetry_breaking:
                 if info is not None:
-                    # Colors are interchangeable, so any coloring can be
-                    # relabeled by first appearance along a fixed op
-                    # order; ordering by earliest possible start slot
-                    # makes the caps bite where the solver branches
-                    # first.  Caps at or above the FU count are vacuous.
-                    ordered = sorted(
-                        op_indices, key=lambda i: (info.asap[i], i)
-                    )
                     for rank in range(min(len(ordered), fu.count - 1)):
                         model.add(
                             self.color[ordered[rank]] <= rank + 1,
@@ -500,6 +512,7 @@ class Formulation:
                             base_row_nnz[s] * t_period for s in shared
                         ) + 2
                         sign = model.add_binary(f"w[{i},{j}]")
+                        self.sign_var[(i, j)] = sign
                         model.add(
                             ci - cj >= 1 - big_m * (1 - sign),
                             name=f"hu1[{i},{j}]",
@@ -510,6 +523,7 @@ class Formulation:
                         )
                         continue
                     overlap = model.add_binary(f"o[{i},{j}]")
+                    self.overlap_var[(i, j)] = overlap
                     emit_stages = (
                         list(verdict.cover_stages)
                         if verdict is not None else shared
@@ -549,6 +563,7 @@ class Formulation:
                             ))
                     model.add_rows(ov_rows)
                     sign = model.add_binary(f"w[{i},{j}]")
+                    self.sign_var[(i, j)] = sign
                     model.add(
                         ci - cj
                         >= 1 - big_m * (1 - sign) - big_m * (1 - overlap),
@@ -583,6 +598,7 @@ class Formulation:
                 buf = model.add_var(
                     f"b[{e}]", lb=0, ub=None, integer=True
                 )
+                self.buffer_var[e] = buf
                 lifetime = (
                     self.t_expr[dep.dst]
                     - self.t_expr[dep.src]
@@ -605,9 +621,12 @@ class Formulation:
         self,
         backend: str = "auto",
         time_limit: Optional[float] = None,
+        mip_start: Optional[Dict[Variable, float]] = None,
     ) -> Solution:
         self.build()
-        return self.model.solve(backend=backend, time_limit=time_limit)
+        return self.model.solve(
+            backend=backend, time_limit=time_limit, mip_start=mip_start
+        )
 
     def extract(self, solution: Solution, require_mapping: bool = True) -> Schedule:
         """Turn a feasible solution into a :class:`Schedule`.

@@ -27,9 +27,15 @@ from repro.core.errors import SchedulingError
 from repro.core.formulation import Formulation, FormulationOptions
 from repro.core.schedule import Schedule
 from repro.core.verify import verify_schedule
+from repro.core.warmstart import WarmStart, compute_warmstart, warmstart_assignment
 from repro.ddg.graph import Ddg
 from repro.ilp.solution import SolveStatus
 from repro.machine import Machine
+
+#: Attempt status for a period satisfied by the heuristic schedule alone
+#: (feasibility objective at the heuristic's II) — no ILP was built or
+#: solved for it.
+HEURISTIC = "heuristic"
 
 
 @dataclass
@@ -37,7 +43,7 @@ class ScheduleAttempt:
     """One ILP solve at a candidate period."""
 
     t_period: int
-    status: str  # SolveStatus value, or "modulo_infeasible" (skipped)
+    status: str  # SolveStatus value, "modulo_infeasible", or "heuristic"
     seconds: float = 0.0
     #: :class:`repro.ilp.model.ModelStats` as a plain dict (sizes,
     #: eliminated vars/rows/nnz, per-phase seconds) — kept a dict so the
@@ -46,6 +52,43 @@ class ScheduleAttempt:
     nodes: int = 0
     #: True when the period was admissible only after delay insertion.
     repaired: bool = False
+    #: Best dual bound / relative gap the solver reported (populated on
+    #: timed-out attempts so reports show how close they were).
+    bound: Optional[float] = None
+    gap: Optional[float] = None
+    #: True when a heuristic-derived incumbent seeded this solve.
+    warm_started: bool = False
+
+
+@dataclass
+class WarmStartStats:
+    """What the heuristic pre-pass contributed to one loop's sweep."""
+
+    enabled: bool
+    heuristic_ii: Optional[int] = None
+    heuristic_mii: Optional[int] = None
+    heuristic_seconds: float = 0.0
+    placements: int = 0
+    #: ILP solves actually performed during the sweep (modulo-infeasible
+    #: classifications and heuristic short-circuits don't count).
+    ilp_solves: int = 0
+
+    @property
+    def skipped_all_ilp(self) -> bool:
+        """The heuristic alone settled the loop — zero ILP solves."""
+        return (self.enabled and self.heuristic_ii is not None
+                and self.ilp_solves == 0)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "heuristic_ii": self.heuristic_ii,
+            "heuristic_mii": self.heuristic_mii,
+            "heuristic_seconds": round(self.heuristic_seconds, 6),
+            "placements": self.placements,
+            "ilp_solves": self.ilp_solves,
+            "skipped_all_ilp": self.skipped_all_ilp,
+        }
 
 
 @dataclass
@@ -57,6 +100,8 @@ class SchedulingResult:
     attempts: List[ScheduleAttempt]
     schedule: Optional[Schedule] = None
     total_seconds: float = 0.0
+    #: Heuristic pre-pass record (None when the driver predates it).
+    warmstart: Optional[WarmStartStats] = None
 
     @property
     def achieved_t(self) -> Optional[int]:
@@ -109,6 +154,9 @@ class AttemptConfig:
     verify: bool = True
     repair_modulo: bool = False
     presolve: bool = True
+    #: Run the iterative-modulo heuristic first and use its schedule to
+    #: bracket the sweep / seed the solver (see repro.core.warmstart).
+    warmstart: bool = True
 
 
 @dataclass
@@ -127,6 +175,7 @@ def attempt_period(
     formulation_builder: Optional[
         Callable[[Ddg, Machine, int, FormulationOptions], Formulation]
     ] = None,
+    incumbent: Optional[Schedule] = None,
 ) -> AttemptOutcome:
     """Run the §6 procedure's body for one candidate period.
 
@@ -139,6 +188,13 @@ def attempt_period(
     ``formulation_builder`` lets callers inject a memoized constructor
     (see :mod:`repro.parallel.cache`); it is an in-process hook only and
     never crosses a pickle boundary.
+
+    ``incumbent`` is an already-verified schedule at this exact period
+    (normally the heuristic's); it is converted into a full variable
+    assignment and handed to the solver as its starting incumbent.  A
+    schedule that cannot be converted — wrong period, machine repaired
+    by delay insertion, or any row of the built model unsatisfied — is
+    silently dropped and the solve runs cold.
     """
     config = config or AttemptConfig()
     attempt_machine = machine
@@ -166,8 +222,13 @@ def attempt_period(
     else:
         formulation = Formulation(ddg, attempt_machine, t_period, options)
     formulation.build()
+    mip_start = None
+    if (incumbent is not None and not repaired
+            and incumbent.t_period == t_period):
+        mip_start = warmstart_assignment(formulation, incumbent)
     solution = formulation.solve(
-        backend=config.backend, time_limit=config.time_limit
+        backend=config.backend, time_limit=config.time_limit,
+        mip_start=mip_start,
     )
     stats = formulation.model_stats.to_dict()
     stats["lower_seconds"] = solution.lower_seconds
@@ -183,6 +244,9 @@ def attempt_period(
         model_stats=stats,
         nodes=solution.nodes,
         repaired=repaired,
+        bound=solution.bound,
+        gap=solution.gap,
+        warm_started=mip_start is not None,
     )
     schedule: Optional[Schedule] = None
     if solution.status.has_solution:
@@ -195,48 +259,95 @@ def attempt_period(
     return AttemptOutcome(attempt=attempt, schedule=schedule)
 
 
-def schedule_loop(
+def heuristic_pass(
     ddg: Ddg,
     machine: Machine,
-    backend: str = "auto",
-    objective: str = "feasibility",
-    mapping: Optional[bool] = None,
-    time_limit_per_t: Optional[float] = 30.0,
-    max_extra: int = 10,
-    verify: bool = True,
-    repair_modulo: bool = False,
-    presolve: bool = True,
-) -> SchedulingResult:
-    """Find a rate-optimal software-pipelined schedule for ``ddg``.
+    config: AttemptConfig,
+    max_extra: int,
+    warmstart_provider: Optional[
+        Callable[[Ddg, Machine, int], WarmStart]
+    ] = None,
+) -> tuple:
+    """Run the warm-start pre-pass when the config calls for one.
 
-    Tries ``T = T_lb .. T_lb + max_extra``; periods violating the modulo
-    scheduling constraint are recorded as skipped — unless
-    ``repair_modulo`` is set, in which case delay insertion
-    (:func:`repro.machine.delays.delayed_machine`) is attempted first:
-    the period becomes admissible on a patched machine at the price of
-    longer latencies (the paper's §3 out-of-scope case, experiment E16).
-    Raises :class:`SchedulingError` only for structurally impossible
-    inputs; a loop that simply exhausts its budget returns a result with
-    ``schedule=None`` (the paper's "not scheduled within the time limit"
-    bucket).
+    Returns ``(WarmStart | None, WarmStartStats)``.  Disabled outright
+    under the counting-only relaxation (``mapping=False``): the heuristic
+    solves the *mapped* problem, whose answers must not leak into an
+    experiment about the unmapped one.
     """
-    start_clock = time.monotonic()
-    bounds = lower_bounds(ddg, machine)
-    attempts: List[ScheduleAttempt] = []
-    schedule: Optional[Schedule] = None
-    config = AttemptConfig(
-        backend=backend,
-        objective=objective,
-        mapping=mapping,
-        time_limit=time_limit_per_t,
-        verify=verify,
-        repair_modulo=repair_modulo,
-        presolve=presolve,
+    if not config.warmstart or config.mapping is False:
+        return None, WarmStartStats(enabled=False)
+    provider = warmstart_provider or compute_warmstart
+    ws = provider(ddg, machine, max_extra)
+    return ws, WarmStartStats(
+        enabled=True,
+        heuristic_ii=ws.ii,
+        heuristic_mii=ws.mii,
+        heuristic_seconds=ws.seconds,
+        placements=ws.placements,
     )
 
-    for t_period in range(bounds.t_lb, bounds.t_lb + max_extra + 1):
-        outcome = attempt_period(ddg, machine, t_period, config)
+
+def heuristic_attempt(ws: WarmStart) -> ScheduleAttempt:
+    """Attempt record for a period settled without any ILP."""
+    return ScheduleAttempt(
+        t_period=ws.ii,
+        status=HEURISTIC,
+        seconds=0.0,
+        warm_started=True,
+    )
+
+
+def run_sweep(
+    ddg: Ddg,
+    machine: Machine,
+    config: AttemptConfig,
+    max_extra: int,
+    bounds: Optional[LowerBounds] = None,
+    formulation_builder: Optional[
+        Callable[[Ddg, Machine, int, FormulationOptions], Formulation]
+    ] = None,
+    warmstart_provider: Optional[
+        Callable[[Ddg, Machine, int], WarmStart]
+    ] = None,
+) -> SchedulingResult:
+    """The §6 increasing-T sweep, warm-start aware.
+
+    Shared by :func:`schedule_loop` and the batch worker (which injects
+    memoized bound/formulation/warm-start providers).  With warm starts
+    enabled the heuristic runs first; its achieved II caps the candidate
+    range from above, settles its own period outright under the
+    feasibility objective (status ``"heuristic"``, no ILP), and seeds
+    the solver's incumbent otherwise.
+    """
+    start_clock = time.monotonic()
+    if bounds is None:
+        bounds = lower_bounds(ddg, machine)
+    ws, ws_stats = heuristic_pass(
+        ddg, machine, config, max_extra, warmstart_provider
+    )
+    attempts: List[ScheduleAttempt] = []
+    schedule: Optional[Schedule] = None
+
+    upper = bounds.t_lb + max_extra
+    if ws is not None and ws.ii is not None:
+        upper = min(upper, ws.ii)
+    for t_period in range(bounds.t_lb, upper + 1):
+        at_heuristic_ii = ws is not None and ws.ii == t_period
+        if at_heuristic_ii and config.objective == "feasibility":
+            # Any feasible point is optimal for pure feasibility, and
+            # the heuristic already delivered a verified one here.
+            attempts.append(heuristic_attempt(ws))
+            schedule = ws.schedule
+            break
+        outcome = attempt_period(
+            ddg, machine, t_period, config,
+            formulation_builder=formulation_builder,
+            incumbent=ws.schedule if at_heuristic_ii else None,
+        )
         attempts.append(outcome.attempt)
+        if outcome.attempt.status != "modulo_infeasible":
+            ws_stats.ilp_solves += 1
         if outcome.schedule is not None:
             schedule = outcome.schedule
             break
@@ -252,4 +363,52 @@ def schedule_loop(
         attempts=attempts,
         schedule=schedule,
         total_seconds=time.monotonic() - start_clock,
+        warmstart=ws_stats,
+    )
+
+
+def schedule_loop(
+    ddg: Ddg,
+    machine: Machine,
+    backend: str = "auto",
+    objective: str = "feasibility",
+    mapping: Optional[bool] = None,
+    time_limit_per_t: Optional[float] = 30.0,
+    max_extra: int = 10,
+    verify: bool = True,
+    repair_modulo: bool = False,
+    presolve: bool = True,
+    warmstart: bool = True,
+) -> SchedulingResult:
+    """Find a rate-optimal software-pipelined schedule for ``ddg``.
+
+    Tries ``T = T_lb .. T_lb + max_extra``; periods violating the modulo
+    scheduling constraint are recorded as skipped — unless
+    ``repair_modulo`` is set, in which case delay insertion
+    (:func:`repro.machine.delays.delayed_machine`) is attempted first:
+    the period becomes admissible on a patched machine at the price of
+    longer latencies (the paper's §3 out-of-scope case, experiment E16).
+    Raises :class:`SchedulingError` only for structurally impossible
+    inputs; a loop that simply exhausts its budget returns a result with
+    ``schedule=None`` (the paper's "not scheduled within the time limit"
+    bucket).
+
+    With ``warmstart`` (the default) the iterative modulo scheduler runs
+    first; when it achieves ``II == T_lb`` the loop is settled with zero
+    ILP solves, and otherwise its schedule brackets and seeds the sweep.
+    """
+    return run_sweep(
+        ddg,
+        machine,
+        AttemptConfig(
+            backend=backend,
+            objective=objective,
+            mapping=mapping,
+            time_limit=time_limit_per_t,
+            verify=verify,
+            repair_modulo=repair_modulo,
+            presolve=presolve,
+            warmstart=warmstart,
+        ),
+        max_extra,
     )

@@ -27,7 +27,7 @@ from repro.ilp.model import (
     Variable,
     lin_sum,
 )
-from repro.ilp.solution import Solution, SolveStatus
+from repro.ilp.solution import Solution, SolveStatus, relative_gap
 
 __all__ = [
     "Constraint",
@@ -38,6 +38,7 @@ __all__ = [
     "ModelStats",
     "Solution",
     "SolveStatus",
+    "relative_gap",
     "SolverError",
     "Variable",
     "lin_sum",

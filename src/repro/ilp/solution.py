@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
 
@@ -30,6 +31,22 @@ class SolveStatus(enum.Enum):
         return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
 
 
+def relative_gap(
+    objective: Optional[float], bound: Optional[float]
+) -> Optional[float]:
+    """Relative optimality gap ``|obj - bound| / max(1, |obj|)``.
+
+    ``math.inf`` when a dual bound exists but no incumbent does (the
+    honest answer for a timed-out solve that found nothing); ``None``
+    only when there is no bound to measure against.
+    """
+    if bound is None:
+        return None
+    if objective is None:
+        return math.inf
+    return abs(objective - bound) / max(1.0, abs(objective))
+
+
 @dataclass
 class Solution:
     """Result of solving a :class:`repro.ilp.Model`."""
@@ -38,6 +55,9 @@ class Solution:
     objective: Optional[float] = None
     values: Dict["Variable", float] = field(default_factory=dict)
     bound: Optional[float] = None
+    #: Relative optimality gap (see :func:`relative_gap`); populated
+    #: whenever the backend produced a dual bound.
+    gap: Optional[float] = None
     solve_seconds: float = 0.0
     #: Portion of ``solve_seconds`` spent lowering the model to arrays.
     lower_seconds: float = 0.0

@@ -11,10 +11,10 @@ attempt was granted — even if an individual call passes a larger (or no)
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.ilp.errors import SolverError
-from repro.ilp.model import Model
+from repro.ilp.model import Model, Variable
 from repro.ilp.solution import Solution
 
 _BACKENDS = ("auto", "highs", "bnb")
@@ -48,6 +48,7 @@ def solve(
     backend: str = "auto",
     time_limit: Optional[float] = None,
     gap: float = 1e-6,
+    mip_start: Optional[Dict[Variable, float]] = None,
 ) -> Solution:
     """Solve ``model`` with the chosen backend.
 
@@ -56,6 +57,10 @@ def solve(
     Bad parameters fail fast here with :class:`SolverError` instead of
     surfacing as opaque backend errors (or, worse, being silently
     accepted — scipy treats a negative time limit as "no limit").
+
+    ``mip_start`` optionally seeds either backend with a feasible integer
+    assignment (see :func:`repro.ilp.standard.start_vector`); an invalid
+    start is ignored, never an error.
     """
     if backend not in _BACKENDS:
         raise SolverError(
@@ -77,10 +82,12 @@ def solve(
         try:
             from repro.ilp.highs import solve_highs
 
-            return solve_highs(model, time_limit=time_limit, gap=gap)
+            return solve_highs(model, time_limit=time_limit, gap=gap,
+                               mip_start=mip_start)
         except ImportError:
             if backend == "highs":
                 raise SolverError("scipy.optimize.milp is not available")
     from repro.ilp.branch_bound import solve_bnb
 
-    return solve_bnb(model, time_limit=time_limit, gap=gap)
+    return solve_bnb(model, time_limit=time_limit, gap=gap,
+                     mip_start=mip_start)

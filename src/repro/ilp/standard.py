@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.ilp.errors import ModelError
-from repro.ilp.model import EQ, GE, LE, Model
+from repro.ilp.model import EQ, GE, LE, Model, Variable
 
 
 @dataclass
@@ -125,3 +125,39 @@ def to_arrays(model: Model) -> ArrayForm:
         flipped=flipped,
         row_names=row_names,
     )
+
+
+def start_vector(
+    model: Model,
+    form: ArrayForm,
+    values: Optional[Dict[Variable, float]],
+    tol: float = 1e-6,
+) -> Optional[np.ndarray]:
+    """Dense vector for a warm start, or None if it is not usable.
+
+    A usable start assigns every variable, respects the bounds, is
+    integral on the integer variables, and satisfies every row.  Both
+    MILP backends share this validation so a stale or converted-wrong
+    start silently degrades to a cold solve instead of corrupting the
+    search with an unattainable incumbent objective.
+    """
+    if not values:
+        return None
+    x = np.empty(form.num_vars)
+    for var in model.variables:
+        if var not in values:
+            return None
+        x[var.index] = float(values[var])
+    if np.any(x < form.lb - tol) or np.any(x > form.ub + tol):
+        return None
+    ints = form.integrality
+    if np.any(np.abs(x[ints] - np.round(x[ints])) > tol):
+        return None
+    x[ints] = np.round(x[ints])
+    np.clip(x, form.lb, form.ub, out=x)
+    if form.num_rows:
+        ax = form.a_csr @ x
+        if (np.any(ax < form.row_lower - tol)
+                or np.any(ax > form.row_upper + tol)):
+            return None
+    return x

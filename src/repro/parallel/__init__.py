@@ -24,6 +24,7 @@ from repro.parallel.cache import (
     cache_stats,
     cached_formulation,
     cached_lower_bounds,
+    cached_warmstart,
     clear_caches,
     ddg_digest,
     machine_digest,
@@ -38,6 +39,7 @@ __all__ = [
     "cache_stats",
     "cached_formulation",
     "cached_lower_bounds",
+    "cached_warmstart",
     "clear_caches",
     "collect_sources",
     "ddg_digest",

@@ -22,6 +22,7 @@ harnesses can consume.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -29,7 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Union
 
-from repro.core.scheduler import AttemptConfig, SchedulingResult, attempt_period
+from repro.core.scheduler import AttemptConfig, SchedulingResult, run_sweep
 from repro.ddg.builders import parse_ddg, serialize_ddg
 from repro.ddg.graph import Ddg
 from repro.machine import Machine
@@ -39,7 +40,10 @@ from repro.parallel.race import _init_worker, default_jobs
 #: Report schema version (bump on incompatible changes).
 #: v2: per-attempt ``model`` object carrying :class:`repro.ilp.model.
 #: ModelStats` fields (sizes, eliminated vars/rows/nnz, phase timings).
-REPORT_VERSION = 2
+#: v3: per-attempt ``bound``/``gap``/``warm_started`` fields and a
+#: per-entry ``warmstart`` object (heuristic II/MII, heuristic seconds,
+#: placement count, ILP-solve count, skipped-all-ILP flag).
+REPORT_VERSION = 3
 
 LoopSource = Union[str, "os.PathLike[str]", Ddg]
 
@@ -80,6 +84,16 @@ class BatchEntry:
                         "seconds": round(attempt.seconds, 6),
                         "nodes": attempt.nodes,
                         "repaired": attempt.repaired,
+                        "bound": attempt.bound,
+                        # inf gap (bound but no incumbent) is not valid
+                        # JSON; report it as null.
+                        "gap": (
+                            attempt.gap
+                            if attempt.gap is not None
+                            and math.isfinite(attempt.gap)
+                            else None
+                        ),
+                        "warm_started": attempt.warm_started,
                         "model": {
                             key: (round(value, 6)
                                   if isinstance(value, float) else value)
@@ -90,6 +104,8 @@ class BatchEntry:
                 ],
             }
         )
+        if result.warmstart is not None:
+            entry["warmstart"] = result.warmstart.to_json_dict()
         return entry
 
 
@@ -115,6 +131,17 @@ class BatchReport:
     def failed(self) -> int:
         return sum(1 for e in self.entries if e.error is not None)
 
+    @property
+    def skipped_ilp(self) -> int:
+        """Loops the heuristic settled with zero ILP solves."""
+        return sum(
+            1
+            for e in self.entries
+            if e.result is not None
+            and e.result.warmstart is not None
+            and e.result.warmstart.skipped_all_ilp
+        )
+
     def to_json_dict(self) -> dict:
         return {
             "report_version": REPORT_VERSION,
@@ -124,6 +151,7 @@ class BatchReport:
             "loops": len(self.entries),
             "scheduled": self.scheduled,
             "failed": self.failed,
+            "skipped_ilp": self.skipped_ilp,
             "total_seconds": round(self.total_seconds, 6),
             "entries": [entry.to_json_dict() for entry in self.entries],
         }
@@ -157,7 +185,8 @@ class BatchReport:
                 f"{delta:>3} {proven:>6} {result.total_seconds:>8.2f}  {log}"
             )
         lines.append(
-            f"{len(self.entries)} loop(s): {self.scheduled} scheduled, "
+            f"{len(self.entries)} loop(s): {self.scheduled} scheduled "
+            f"({self.skipped_ilp} by heuristic alone), "
             f"{self.failed} failed, {self.total_seconds:.2f}s wall-clock"
         )
         return "\n".join(lines)
@@ -189,31 +218,19 @@ def _schedule_source(
 ) -> BatchEntry:
     """Worker body: schedule one serialized loop (picklable in and out).
 
-    Runs the same increasing-T sweep as the sequential driver, but with
-    the worker-local bounds/formulation caches warm.
+    Runs the same increasing-T sweep as the sequential driver
+    (:func:`repro.core.scheduler.run_sweep`), but with the worker-local
+    bounds/formulation/warm-start caches injected, so corpora with
+    repeated loop shapes skip redundant construction and heuristic work.
     """
     try:
         ddg = parse_ddg(text)
         ddg.validate_against(machine)
-        start_clock = time.monotonic()
-        bounds = cache.cached_lower_bounds(ddg, machine)
-        attempts = []
-        schedule = None
-        for t_period in range(bounds.t_lb, bounds.t_lb + max_extra + 1):
-            outcome = attempt_period(
-                ddg, machine, t_period, config,
-                formulation_builder=cache.cached_formulation,
-            )
-            attempts.append(outcome.attempt)
-            if outcome.schedule is not None:
-                schedule = outcome.schedule
-                break
-        result = SchedulingResult(
-            loop_name=ddg.name,
-            bounds=bounds,
-            attempts=attempts,
-            schedule=schedule,
-            total_seconds=time.monotonic() - start_clock,
+        result = run_sweep(
+            ddg, machine, config, max_extra,
+            bounds=cache.cached_lower_bounds(ddg, machine),
+            formulation_builder=cache.cached_formulation,
+            warmstart_provider=cache.cached_warmstart,
         )
         return BatchEntry(
             name=ddg.name,
@@ -241,6 +258,7 @@ def run_batch(
     verify: bool = True,
     presolve: bool = True,
     jobs: Optional[int] = None,
+    warmstart: bool = True,
 ) -> BatchReport:
     """Schedule every loop reachable from ``paths`` across ``jobs`` workers.
 
@@ -257,6 +275,7 @@ def run_batch(
         time_limit=time_limit_per_t,
         verify=verify,
         presolve=presolve,
+        warmstart=warmstart,
     )
     sources = collect_sources(paths)
     tasks: List[tuple] = []  # (text, label)

@@ -21,6 +21,7 @@ from typing import Generic, Optional, Tuple, TypeVar
 
 from repro.core.bounds import LowerBounds, lower_bounds
 from repro.core.formulation import Formulation, FormulationOptions
+from repro.core.warmstart import WarmStart, compute_warmstart
 from repro.ddg.builders import serialize_ddg
 from repro.ddg.graph import Ddg
 from repro.machine import Machine
@@ -90,6 +91,7 @@ def machine_digest(machine: Machine) -> str:
 
 _BOUNDS_CACHE: LruCache[Tuple[str, str], LowerBounds] = LruCache(1024)
 _FORMULATION_CACHE: LruCache[tuple, Formulation] = LruCache(64)
+_WARMSTART_CACHE: LruCache[Tuple[str, str, int], WarmStart] = LruCache(512)
 
 
 def cached_lower_bounds(ddg: Ddg, machine: Machine) -> LowerBounds:
@@ -141,8 +143,24 @@ def cached_formulation(
     return formulation
 
 
+def cached_warmstart(ddg: Ddg, machine: Machine, max_extra: int) -> WarmStart:
+    """Memoized :func:`repro.core.warmstart.compute_warmstart`.
+
+    A :class:`WarmStart` is always returned (it records failure as
+    ``ii=None``), so every outcome — including "heuristic found
+    nothing" — is cacheable.  Signature matches the
+    ``warmstart_provider`` hook of :func:`repro.core.scheduler.run_sweep`.
+    """
+    key = (ddg_digest(ddg), machine_digest(machine), max_extra)
+    ws = _WARMSTART_CACHE.get(key)
+    if ws is None:
+        ws = compute_warmstart(ddg, machine, max_extra=max_extra)
+        _WARMSTART_CACHE.put(key, ws)
+    return ws
+
+
 def cache_stats() -> dict:
-    """Hit/miss counters for both caches (diagnostics / tests)."""
+    """Hit/miss counters for all caches (diagnostics / tests)."""
     return {
         "bounds": {
             "hits": _BOUNDS_CACHE.hits,
@@ -154,10 +172,16 @@ def cache_stats() -> dict:
             "misses": _FORMULATION_CACHE.misses,
             "size": len(_FORMULATION_CACHE),
         },
+        "warmstart": {
+            "hits": _WARMSTART_CACHE.hits,
+            "misses": _WARMSTART_CACHE.misses,
+            "size": len(_WARMSTART_CACHE),
+        },
     }
 
 
 def clear_caches() -> None:
-    """Drop both caches (tests, or to bound memory in long runs)."""
+    """Drop all caches (tests, or to bound memory in long runs)."""
     _BOUNDS_CACHE.clear()
     _FORMULATION_CACHE.clear()
+    _WARMSTART_CACHE.clear()

@@ -34,12 +34,16 @@ from typing import Dict, List, Optional
 
 from repro.core.bounds import lower_bounds, modulo_feasible_t
 from repro.core.errors import SchedulingError
+from repro.core.schedule import Schedule
 from repro.core.scheduler import (
+    HEURISTIC,
     AttemptConfig,
     AttemptOutcome,
     ScheduleAttempt,
     SchedulingResult,
     attempt_period,
+    heuristic_attempt,
+    heuristic_pass,
 )
 from repro.ddg.graph import Ddg
 from repro.machine import Machine
@@ -73,6 +77,7 @@ def race_periods(
     presolve: bool = True,
     jobs: Optional[int] = None,
     window: Optional[int] = None,
+    warmstart: bool = True,
 ) -> SchedulingResult:
     """Drop-in parallel replacement for :func:`repro.core.schedule_loop`.
 
@@ -81,6 +86,13 @@ def race_periods(
     ``2 * jobs``), bounding speculative work beyond the eventual winner.
     With ``jobs=1`` no pool is spawned and the sweep runs in-process,
     byte-identical to the sequential driver.
+
+    With ``warmstart`` (the default) the iterative modulo heuristic runs
+    once in the parent process before any dispatch: its achieved II caps
+    the candidate range (periods above it can never win), settles its own
+    period outright under the feasibility objective (the race then only
+    chases smaller periods), and otherwise seeds the II-period solve with
+    the heuristic incumbent.
     """
     if max_extra < 0:
         raise SchedulingError(f"max_extra must be >= 0, got {max_extra}")
@@ -95,18 +107,36 @@ def race_periods(
         verify=verify,
         repair_modulo=repair_modulo,
         presolve=presolve,
+        warmstart=warmstart,
     )
     start_clock = time.monotonic()
     bounds = lower_bounds(ddg, machine)
-    candidates = list(range(bounds.t_lb, bounds.t_lb + max_extra + 1))
+    ws, ws_stats = heuristic_pass(ddg, machine, config, max_extra)
+    upper = bounds.t_lb + max_extra
+    if ws is not None and ws.ii is not None:
+        upper = min(upper, ws.ii)
+    candidates = list(range(bounds.t_lb, upper + 1))
 
     # Classify up front: periods failing the modulo scheduling constraint
     # are recorded without a solve (the worker would re-derive the same
     # answer) — unless delay-insertion repair may rescue them, in which
-    # case the worker must try.
+    # case the worker must try.  The heuristic's own period is either
+    # settled here (feasibility) or flagged to carry the incumbent.
     attempts: Dict[int, ScheduleAttempt] = {}
     dispatch: List[int] = []
+    initial: Optional[AttemptOutcome] = None
+    incumbent: Optional[Schedule] = None
+    incumbent_t: Optional[int] = None
     for t_period in candidates:
+        if ws is not None and ws.ii == t_period:
+            if objective == "feasibility":
+                attempts[t_period] = heuristic_attempt(ws)
+                initial = AttemptOutcome(
+                    attempt=attempts[t_period], schedule=ws.schedule
+                )
+                continue
+            incumbent = ws.schedule
+            incumbent_t = t_period
         if not repair_modulo and not modulo_feasible_t(
             ddg, machine, t_period
         ):
@@ -117,7 +147,10 @@ def race_periods(
             dispatch.append(t_period)
 
     if jobs == 1 or len(dispatch) <= 1:
-        winner = _race_inline(ddg, machine, dispatch, config, attempts)
+        winner = _race_inline(
+            ddg, machine, dispatch, config, attempts,
+            initial=initial, incumbent=incumbent, incumbent_t=incumbent_t,
+        )
     else:
         window = window if window is not None else 2 * jobs
         if window < 1:
@@ -125,6 +158,7 @@ def race_periods(
         winner = _race_pool(
             ddg, machine, dispatch, config, attempts, jobs, window,
             time_limit_per_t,
+            initial=initial, incumbent=incumbent, incumbent_t=incumbent_t,
         )
 
     ordered = [attempts[t] for t in sorted(attempts)]
@@ -133,12 +167,17 @@ def race_periods(
             f"no candidate periods for loop {ddg.name!r} "
             f"(T_lb={bounds.t_lb}, max_extra={max_extra})"
         )
+    ws_stats.ilp_solves = sum(
+        1 for a in ordered
+        if a.status not in ("modulo_infeasible", HEURISTIC, CANCELLED)
+    )
     return SchedulingResult(
         loop_name=ddg.name,
         bounds=bounds,
         attempts=ordered,
         schedule=winner.schedule if winner is not None else None,
         total_seconds=time.monotonic() - start_clock,
+        warmstart=ws_stats,
     )
 
 
@@ -148,14 +187,25 @@ def _race_inline(
     dispatch: List[int],
     config: AttemptConfig,
     attempts: Dict[int, ScheduleAttempt],
+    initial: Optional[AttemptOutcome] = None,
+    incumbent: Optional[Schedule] = None,
+    incumbent_t: Optional[int] = None,
 ) -> Optional[AttemptOutcome]:
-    """The jobs=1 degenerate race: an in-process increasing-T sweep."""
+    """The jobs=1 degenerate race: an in-process increasing-T sweep.
+
+    ``initial`` is a provisional winner already in hand (the heuristic's
+    period under the feasibility objective); a feasible smaller period
+    replaces it, otherwise it stands.
+    """
     for t_period in dispatch:
-        outcome = attempt_period(ddg, machine, t_period, config)
+        outcome = attempt_period(
+            ddg, machine, t_period, config,
+            incumbent=incumbent if t_period == incumbent_t else None,
+        )
         attempts[t_period] = outcome.attempt
         if outcome.schedule is not None:
             return outcome
-    return None
+    return initial
 
 
 def _race_pool(
@@ -167,9 +217,19 @@ def _race_pool(
     jobs: int,
     window: int,
     time_budget: Optional[float],
+    initial: Optional[AttemptOutcome] = None,
+    incumbent: Optional[Schedule] = None,
+    incumbent_t: Optional[int] = None,
 ) -> Optional[AttemptOutcome]:
-    """Windowed multiprocess race over ``dispatch`` (increasing order)."""
-    winner: Optional[AttemptOutcome] = None
+    """Windowed multiprocess race over ``dispatch`` (increasing order).
+
+    ``initial`` (when given) is a provisional winner from the heuristic
+    pre-pass: only smaller periods remain in ``dispatch``, and the
+    standard smaller-T replacement logic takes it from there.
+    ``incumbent`` rides along to the ``incumbent_t`` solve as the MIP
+    start (:class:`~repro.core.schedule.Schedule` pickles cleanly).
+    """
+    winner: Optional[AttemptOutcome] = initial
     pending = list(dispatch)  # not yet submitted, increasing T
     in_flight: Dict[object, int] = {}  # future -> t_period
     executor = ProcessPoolExecutor(
@@ -205,7 +265,10 @@ def _race_pool(
             ):
                 t_period = pending.pop(0)
                 future = executor.submit(
-                    attempt_period, ddg, machine, t_period, config
+                    attempt_period, ddg, machine, t_period, config,
+                    incumbent=(
+                        incumbent if t_period == incumbent_t else None
+                    ),
                 )
                 in_flight[future] = t_period
             done, _ = wait(

@@ -82,7 +82,11 @@ class TestDriverBehaviour:
 
     def test_attempts_record_model_stats(self):
         result = schedule_loop(motivating_example(), motivating_machine())
-        solved = [a for a in result.attempts if a.status != "modulo_infeasible"]
+        solved = [
+            a for a in result.attempts
+            if a.status not in ("modulo_infeasible", "heuristic")
+        ]
+        assert solved
         assert all(a.model_stats["variables"] > 0 for a in solved)
 
     def test_objectives_pass_through(self):

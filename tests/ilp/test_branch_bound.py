@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ilp import Model, SolveStatus
+from repro.ilp.branch_bound import solve_bnb
 
 
 def _solve_both(model):
@@ -117,6 +118,101 @@ class TestKnownInstances:
         sol = m.solve(backend="bnb")
         assert sol.nodes >= 1
         assert sol.backend == "bnb"
+
+
+def _knapsack():
+    values = [10, 13, 18, 31, 7, 15]
+    weights = [2, 3, 4, 5, 1, 4]
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(6)]
+    m.add(sum((w * x for w, x in zip(weights, xs)), start=0 * xs[0]) <= 10)
+    m.maximize(sum((v * x for v, x in zip(values, xs)), start=0 * xs[0]))
+    # Optimum 56 packs items 1 (w=5), 2 (w=4), 4 (w=1).
+    optimal = {xs[i]: float(i in (2, 3, 4)) for i in range(6)}
+    return m, xs, optimal
+
+
+class TestBoundsAndGaps:
+    def test_optimal_has_tight_bound_and_zero_gap(self):
+        m, _, _ = _knapsack()
+        sol = m.solve(backend="bnb")
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.bound == pytest.approx(sol.objective)
+        assert sol.gap == pytest.approx(0.0, abs=1e-6)
+
+    def test_node_limit_reports_open_bound_and_gap(self):
+        m, _, _ = _knapsack()
+        sol = solve_bnb(m, node_limit=1)
+        assert sol.bound is not None
+        assert sol.gap is not None
+        if sol.status.has_solution:
+            # Maximizing: the dual bound sits at or above the incumbent.
+            assert sol.bound >= sol.objective - 1e-6
+
+    def test_bound_brackets_true_optimum_under_limits(self):
+        m, _, _ = _knapsack()
+        limited = solve_bnb(m, node_limit=1)
+        assert limited.bound >= 56.0 - 1e-6
+
+    def test_infeasible_has_no_gap(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add(x >= 2)
+        sol = m.solve(backend="bnb")
+        assert sol.status == SolveStatus.INFEASIBLE
+        assert sol.gap is None
+
+
+class TestMipStart:
+    def test_optimal_start_prunes_to_one_node(self):
+        m, _, optimal = _knapsack()
+        cold = m.solve(backend="bnb")
+        warm = m.solve(backend="bnb", mip_start=optimal)
+        assert warm.status == SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective) == 56.0
+        assert warm.nodes <= cold.nodes
+
+    def test_suboptimal_start_still_finds_optimum(self):
+        m, xs, _ = _knapsack()
+        feasible = {x: 0.0 for x in xs}
+        feasible[xs[4]] = 1.0  # value 7, weight 1
+        sol = m.solve(backend="bnb", mip_start=feasible)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(56.0)
+
+    def test_infeasible_start_ignored(self):
+        m, xs, _ = _knapsack()
+        overweight = {x: 1.0 for x in xs}  # weight 19 > 10
+        sol = m.solve(backend="bnb", mip_start=overweight)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(56.0)
+
+    def test_fractional_start_ignored(self):
+        m, xs, _ = _knapsack()
+        fractional = {x: 0.5 for x in xs}
+        sol = m.solve(backend="bnb", mip_start=fractional)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(56.0)
+
+    def test_incumbent_survives_node_limit(self):
+        m, _, optimal = _knapsack()
+        sol = solve_bnb(m, node_limit=1, mip_start=optimal)
+        assert sol.status.has_solution
+        assert sol.objective == pytest.approx(56.0)
+
+    def test_start_used_on_minimize(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        y = m.add_var("y", lb=0, ub=10, integer=True)
+        m.add(2 * x + 3 * y >= 12)
+        m.add(x - y <= 2)
+        m.minimize(x + y)
+        cold = m.solve(backend="bnb")
+        warm = m.solve(
+            backend="bnb", mip_start={x: 3.0, y: 2.0}
+        )
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm.nodes <= cold.nodes
 
 
 @settings(max_examples=25, deadline=None)

@@ -61,6 +61,51 @@ class TestHighsBackend:
             sol.int_value(x)
 
 
+class TestHighsMipStart:
+    """scipy's milp has no native start; the adapter adds a cutoff row."""
+
+    def test_feasibility_start_short_circuits(self):
+        # Constant objective + feasible start: proven optimal instantly.
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add(x + y == 1)
+        sol = m.solve(backend="highs", mip_start={x: 1.0, y: 0.0})
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.nodes == 0
+
+    def test_optimal_start_keeps_optimum(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        y = m.add_var("y", lb=0, ub=10, integer=True)
+        m.add(2 * x + 3 * y >= 12)
+        m.minimize(x + y)
+        cold = m.solve(backend="highs")
+        warm = m.solve(backend="highs", mip_start={x: 0.0, y: 4.0})
+        assert warm.status.has_solution
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_invalid_start_ignored(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        m.add(3 * x >= 7)
+        m.minimize(x)
+        sol = m.solve(backend="highs", mip_start={x: 0.5})
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.int_value(x) == 3
+
+    def test_gap_zero_when_proven(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        m.add(3 * x >= 7)
+        m.minimize(x)
+        sol = m.solve(backend="highs", mip_start={x: 3.0})
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.gap is not None and sol.gap == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+
 class TestDispatch:
     def test_unknown_backend_rejected(self):
         m = Model()

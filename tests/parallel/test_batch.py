@@ -99,17 +99,33 @@ class TestJsonReport:
             assert key in entry, key
         attempt = entry["attempts"][0]
         assert set(attempt) == {
-            "t", "status", "seconds", "nodes", "repaired", "model"
+            "t", "status", "seconds", "nodes", "repaired", "model",
+            "bound", "gap", "warm_started",
         }
-        model = attempt["model"]
+        warmstart = entry["warmstart"]
         for key in (
-            "variables", "constraints", "nonzeros",
-            "eliminated_variables", "eliminated_constraints",
-            "eliminated_nonzeros", "presolve_seconds",
-            "build_seconds", "lower_seconds", "solve_seconds",
-            "total_seconds",
+            "enabled", "heuristic_ii", "heuristic_mii",
+            "heuristic_seconds", "placements", "ilp_solves",
+            "skipped_all_ilp",
         ):
-            assert key in model, key
+            assert key in warmstart, key
+        # Heuristic-settled attempts carry no model; check the stats
+        # schema on any attempt that actually built an ILP.
+        solved = [
+            a
+            for e in doc["entries"]
+            for a in e["attempts"]
+            if a["status"] not in ("heuristic", "modulo_infeasible")
+        ]
+        for model in (a["model"] for a in solved):
+            for key in (
+                "variables", "constraints", "nonzeros",
+                "eliminated_variables", "eliminated_constraints",
+                "eliminated_nonzeros", "presolve_seconds",
+                "build_seconds", "lower_seconds", "solve_seconds",
+                "total_seconds",
+            ):
+                assert key in model, key
 
     def test_delta_consistency(self, report):
         doc = report.to_json_dict()

@@ -123,7 +123,11 @@ class TestOnKernels:
         machine = powerpc604()
         result = schedule_loop(KERNELS[name](), machine)
         allocation = allocate_registers(result.schedule)
-        assert allocation.num_registers >= 1
+        # A perfectly tight schedule can need zero registers (every
+        # value consumed the cycle it is produced); the invariant is
+        # consistency with MaxLive, not a particular count.
+        assert allocation.num_registers >= max_live(result.schedule)
+        validate_allocation(allocation)
 
 
 @settings(max_examples=15, deadline=None)

@@ -51,9 +51,14 @@ def test_golden_paper_tka():
 
 
 def test_golden_min_sum_t_schedule_is_stable():
-    """HiGHS is deterministic: the min-sum-t Schedule B never moves."""
+    """HiGHS is deterministic: the min-sum-t Schedule B never moves.
+
+    Pinned to the cold solve: the warm-start cutoff row steers HiGHS to
+    a different (equally optimal, sum=26) vertex.
+    """
     result = schedule_loop(
-        motivating_example(), motivating_machine(), objective="min_sum_t"
+        motivating_example(), motivating_machine(), objective="min_sum_t",
+        warmstart=False,
     )
     schedule = result.schedule
     assert schedule.starts == [0, 1, 3, 5, 7, 10]
@@ -63,7 +68,8 @@ def test_golden_min_sum_t_schedule_is_stable():
 
 def test_golden_kernel_rendering():
     result = schedule_loop(
-        motivating_example(), motivating_machine(), objective="min_sum_t"
+        motivating_example(), motivating_machine(), objective="min_sum_t",
+        warmstart=False,
     )
     text = result.schedule.render_kernel()
     assert text.splitlines()[0] == (
