@@ -26,8 +26,20 @@ def _load_ddg(args):
     if args.kernel:
         return kernels.by_name(args.kernel)
     if args.ddg:
-        with open(args.ddg, encoding="utf-8") as handle:
-            return builders.parse_ddg(handle.read())
+        try:
+            with open(args.ddg, encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise SystemExit(
+                f"cannot read DDG file {args.ddg}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        from repro.ddg.errors import DdgError
+
+        try:
+            return builders.parse_ddg(text)
+        except (ValueError, DdgError) as exc:
+            raise SystemExit(f"cannot parse DDG file {args.ddg}: {exc}")
     if getattr(args, "source", None):
         from repro.frontend import OpClassMap, compile_loop
 
@@ -42,37 +54,82 @@ def _load_ddg(args):
                     )
                 overrides[key.strip()] = value.strip()
             classes = OpClassMap(**overrides)
-        with open(args.source, encoding="utf-8") as handle:
-            return compile_loop(handle.read(), name=args.source,
-                                classes=classes)
+        try:
+            with open(args.source, encoding="utf-8") as handle:
+                source_text = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise SystemExit(
+                f"cannot read source file {args.source}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        return compile_loop(source_text, name=args.source, classes=classes)
     raise SystemExit("one of --kernel, --ddg or --source is required")
 
 
 def _machine_of(args):
     if getattr(args, "machine_file", None):
+        from repro.machine.errors import MachineError
         from repro.machine.io import load_machine
 
-        return load_machine(args.machine_file)
+        try:
+            return load_machine(args.machine_file)
+        except (OSError, ValueError, MachineError) as exc:
+            raise SystemExit(
+                f"cannot load machine file {args.machine_file}: {exc}"
+            )
     return presets.by_name(args.machine)
 
 
+def _policy_of(args):
+    """Build a SupervisionPolicy from --deadline/--retries/--memory-mb.
+
+    Returns None when no supervision flag was given, so callers can keep
+    the (cheaper) in-process default paths.
+    """
+    from repro.supervision import SupervisionPolicy
+
+    deadline = getattr(args, "deadline", None)
+    retries = getattr(args, "retries", None)
+    memory_mb = getattr(args, "memory_mb", None)
+    if deadline is None and retries is None and memory_mb is None:
+        return None
+    kwargs = {}
+    if deadline is not None:
+        kwargs["deadline"] = deadline
+    if retries is not None:
+        kwargs["max_retries"] = retries
+    if memory_mb is not None:
+        kwargs["memory_mb"] = memory_mb
+    return SupervisionPolicy(**kwargs)
+
+
+def _atomic_write(path, text) -> None:
+    from repro.supervision import atomic_write_text
+
+    atomic_write_text(path, text)
+
+
 def _cmd_schedule(args) -> int:
+    from repro.supervision import graceful_interrupts
+
     machine = _machine_of(args)
     ddg = _load_ddg(args)
     ddg.validate_against(machine)
     print(render.ascii_ddg(ddg, machine))
     bounds = lower_bounds(ddg, machine)
     print(f"T_dep={bounds.t_dep}  T_res={bounds.t_res}  T_lb={bounds.t_lb}")
-    result = schedule_loop(
-        ddg,
-        machine,
-        backend=args.backend,
-        objective=args.objective,
-        time_limit_per_t=args.time_limit,
-        max_extra=args.max_extra,
-        presolve=not args.no_presolve,
-        warmstart=not args.no_warmstart,
-    )
+    with graceful_interrupts():
+        result = schedule_loop(
+            ddg,
+            machine,
+            backend=args.backend,
+            objective=args.objective,
+            time_limit_per_t=args.time_limit,
+            max_extra=args.max_extra,
+            presolve=not args.no_presolve,
+            warmstart=not args.no_warmstart,
+            supervision=_policy_of(args),
+        )
     print(result.summary())
     if args.explain:
         from repro.core.explain import explain_infeasibility
@@ -114,8 +171,7 @@ def _cmd_schedule(args) -> int:
 
         formulation = Formulation(ddg, machine, schedule.t_period)
         formulation.build()
-        with open(args.export_lp, "w", encoding="utf-8") as handle:
-            handle.write(write_lp(formulation.model))
+        _atomic_write(args.export_lp, write_lp(formulation.model))
         print(f"wrote ILP at T={schedule.t_period} to {args.export_lp}")
     if args.compare_heuristic:
         heuristic = iterative_modulo_schedule(ddg, machine)
@@ -131,19 +187,24 @@ def _cmd_schedule(args) -> int:
 
 def _cmd_batch(args) -> int:
     from repro.parallel import run_batch
+    from repro.supervision import graceful_interrupts
 
     machine = _machine_of(args)
     try:
-        report = run_batch(
-            args.paths,
-            machine,
-            backend=args.backend,
-            time_limit_per_t=args.time_limit,
-            max_extra=args.max_extra,
-            presolve=not args.no_presolve,
-            jobs=args.jobs,
-            warmstart=not args.no_warmstart,
-        )
+        with graceful_interrupts():
+            report = run_batch(
+                args.paths,
+                machine,
+                backend=args.backend,
+                time_limit_per_t=args.time_limit,
+                max_extra=args.max_extra,
+                presolve=not args.no_presolve,
+                jobs=args.jobs,
+                warmstart=not args.no_warmstart,
+                policy=_policy_of(args),
+                journal=args.journal,
+                resume=args.resume,
+            )
     except (OSError, ValueError) as exc:
         raise SystemExit(f"batch: {exc}")
     if args.json:
@@ -151,14 +212,14 @@ def _cmd_batch(args) -> int:
     else:
         print(report.render())
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json() + "\n")
+        report.save_json(args.out)
         print(f"wrote JSON report to {args.out}")
     return 0 if report.failed == 0 else 1
 
 
 def _cmd_race(args) -> int:
     from repro.parallel import race_periods
+    from repro.supervision import graceful_interrupts
 
     machine = _machine_of(args)
     ddg = _load_ddg(args)
@@ -166,16 +227,18 @@ def _cmd_race(args) -> int:
     from repro.core.errors import SchedulingError
 
     try:
-        result = race_periods(
-            ddg,
-            machine,
-            backend=args.backend,
-            time_limit_per_t=args.time_limit,
-            max_extra=args.max_extra,
-            presolve=not args.no_presolve,
-            jobs=args.jobs,
-            warmstart=not args.no_warmstart,
-        )
+        with graceful_interrupts():
+            result = race_periods(
+                ddg,
+                machine,
+                backend=args.backend,
+                time_limit_per_t=args.time_limit,
+                max_extra=args.max_extra,
+                presolve=not args.no_presolve,
+                jobs=args.jobs,
+                warmstart=not args.no_warmstart,
+                policy=_policy_of(args),
+            )
     except SchedulingError as exc:
         raise SystemExit(f"race: {exc}")
     print(result.summary())
@@ -346,6 +409,25 @@ def _cmd_corpus(args) -> int:
     return 0
 
 
+def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("supervision")
+    group.add_argument(
+        "--deadline", type=float, metavar="SEC",
+        help="hard wall-clock deadline per worker task; a task past "
+             "the deadline (plus a short grace) is killed and retried",
+    )
+    group.add_argument(
+        "--retries", type=int, metavar="N",
+        help="retry a crashed or hung worker task up to N times "
+             "before recording the failure (default 2)",
+    )
+    group.add_argument(
+        "--memory-mb", type=int, metavar="MB",
+        help="per-worker address-space cap; a solve past the cap "
+             "fails as 'oom' instead of taking the machine down",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -392,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_schedule.add_argument("--no-warmstart", action="store_true",
                             help="disable the heuristic warm-start "
                                  "pre-pass")
+    _add_supervision_flags(p_schedule)
     p_schedule.set_defaults(func=_cmd_schedule)
 
     p_batch = sub.add_parser(
@@ -421,6 +504,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the ILP presolve pass")
     p_batch.add_argument("--no-warmstart", action="store_true",
                          help="disable the heuristic warm-start pre-pass")
+    p_batch.add_argument("--journal", metavar="PATH",
+                         help="append every finished loop to this JSONL "
+                              "checkpoint file")
+    p_batch.add_argument("--resume", metavar="PATH",
+                         help="resume from a journal: re-run only loops "
+                              "that failed or never finished")
+    _add_supervision_flags(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
     p_race = sub.add_parser(
@@ -443,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the ILP presolve pass")
     p_race.add_argument("--no-warmstart", action="store_true",
                         help="disable the heuristic warm-start pre-pass")
+    _add_supervision_flags(p_race)
     p_race.set_defaults(func=_cmd_race)
 
     p_profile = sub.add_parser(

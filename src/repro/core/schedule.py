@@ -257,11 +257,15 @@ class Schedule:
         )
 
     def save_json(self, path) -> None:
-        """Write the schedule to a JSON file."""
+        """Write the schedule to a JSON file (atomically: a crash or
+        kill mid-write never leaves a truncated file at ``path``)."""
         import json
 
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+        from repro.supervision.atomicio import atomic_write_text
+
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        )
 
     @classmethod
     def load_json(cls, path, ddg: Ddg, machine: Machine) -> "Schedule":

@@ -31,6 +31,9 @@ from repro.core.warmstart import WarmStart, compute_warmstart, warmstart_assignm
 from repro.ddg.graph import Ddg
 from repro.ilp.solution import SolveStatus
 from repro.machine import Machine
+from repro.supervision import faults
+from repro.supervision.records import DEGRADED, FailureRecord
+from repro.supervision.signals import interrupted
 
 #: Attempt status for a period satisfied by the heuristic schedule alone
 #: (feasibility objective at the heuristic's II) — no ILP was built or
@@ -43,7 +46,10 @@ class ScheduleAttempt:
     """One ILP solve at a candidate period."""
 
     t_period: int
-    status: str  # SolveStatus value, "modulo_infeasible", or "heuristic"
+    #: SolveStatus value, "modulo_infeasible", "heuristic", "cancelled",
+    #: "degraded", or a supervision failure kind (crash/hang/oom/
+    #: solver_error/interrupted) — in which case ``failure`` is set.
+    status: str
     seconds: float = 0.0
     #: :class:`repro.ilp.model.ModelStats` as a plain dict (sizes,
     #: eliminated vars/rows/nnz, per-phase seconds) — kept a dict so the
@@ -58,6 +64,9 @@ class ScheduleAttempt:
     gap: Optional[float] = None
     #: True when a heuristic-derived incumbent seeded this solve.
     warm_started: bool = False
+    #: Terminal supervision failure (crash/hang/oom/solver_error/
+    #: interrupted) that ended this attempt, after any retries.
+    failure: Optional[FailureRecord] = None
 
 
 @dataclass
@@ -102,6 +111,10 @@ class SchedulingResult:
     total_seconds: float = 0.0
     #: Heuristic pre-pass record (None when the driver predates it).
     warmstart: Optional[WarmStartStats] = None
+    #: True when the loop settled to its best-known incumbent because
+    #: solves failed or the run was interrupted — the result is usable
+    #: but weaker than a clean sweep (no optimality claims).
+    degraded: bool = False
 
     @property
     def achieved_t(self) -> Optional[int]:
@@ -197,6 +210,7 @@ def attempt_period(
     silently dropped and the solve runs cold.
     """
     config = config or AttemptConfig()
+    faults.fire("attempt", loop=ddg.name, t=t_period)
     attempt_machine = machine
     repaired = False
     if not modulo_feasible_t(ddg, machine, t_period):
@@ -310,8 +324,9 @@ def run_sweep(
     warmstart_provider: Optional[
         Callable[[Ddg, Machine, int], WarmStart]
     ] = None,
+    attempt_runner: Optional[Callable[..., AttemptOutcome]] = None,
 ) -> SchedulingResult:
-    """The §6 increasing-T sweep, warm-start aware.
+    """The §6 increasing-T sweep, warm-start and failure aware.
 
     Shared by :func:`schedule_loop` and the batch worker (which injects
     memoized bound/formulation/warm-start providers).  With warm starts
@@ -319,6 +334,15 @@ def run_sweep(
     range from above, settles its own period outright under the
     feasibility objective (status ``"heuristic"``, no ILP), and seeds
     the solver's incumbent otherwise.
+
+    ``attempt_runner`` replaces the direct :func:`attempt_period` call —
+    e.g. :class:`repro.supervision.SupervisedAttemptRunner` ships each
+    attempt to a deadline-guarded worker process.  An attempt that comes
+    back with a :class:`~repro.supervision.records.FailureRecord` is
+    recorded and the sweep *continues to the next period* (degradation:
+    accept a larger T rather than abort); a graceful interrupt stops the
+    sweep and settles to the heuristic incumbent when one exists, marked
+    with a ``"degraded"`` attempt instead of raising.
     """
     start_clock = time.monotonic()
     if bounds is None:
@@ -328,11 +352,16 @@ def run_sweep(
     )
     attempts: List[ScheduleAttempt] = []
     schedule: Optional[Schedule] = None
+    saw_failure = False
+    was_interrupted = False
 
     upper = bounds.t_lb + max_extra
     if ws is not None and ws.ii is not None:
         upper = min(upper, ws.ii)
     for t_period in range(bounds.t_lb, upper + 1):
+        if interrupted():
+            was_interrupted = True
+            break
         at_heuristic_ii = ws is not None and ws.ii == t_period
         if at_heuristic_ii and config.objective == "feasibility":
             # Any feasible point is optimal for pure feasibility, and
@@ -340,19 +369,44 @@ def run_sweep(
             attempts.append(heuristic_attempt(ws))
             schedule = ws.schedule
             break
-        outcome = attempt_period(
-            ddg, machine, t_period, config,
-            formulation_builder=formulation_builder,
-            incumbent=ws.schedule if at_heuristic_ii else None,
-        )
+        incumbent = ws.schedule if at_heuristic_ii else None
+        if attempt_runner is not None:
+            outcome = attempt_runner(
+                ddg, machine, t_period, config, incumbent=incumbent
+            )
+        else:
+            outcome = attempt_period(
+                ddg, machine, t_period, config,
+                formulation_builder=formulation_builder,
+                incumbent=incumbent,
+            )
         attempts.append(outcome.attempt)
+        if outcome.attempt.failure is not None:
+            saw_failure = True
+            if outcome.attempt.failure.kind == "interrupted":
+                was_interrupted = True
+                break
+            continue
         if outcome.attempt.status != "modulo_infeasible":
             ws_stats.ilp_solves += 1
         if outcome.schedule is not None:
             schedule = outcome.schedule
             break
 
-    if schedule is None and not attempts:
+    degraded = False
+    if (schedule is None and ws is not None and ws.schedule is not None
+            and (saw_failure or was_interrupted)):
+        # Exhausted retries or an interrupt left no clean win, but the
+        # heuristic pre-pass holds a verified schedule: settle to it.
+        attempts.append(
+            ScheduleAttempt(
+                t_period=ws.ii, status=DEGRADED, warm_started=True,
+            )
+        )
+        schedule = ws.schedule
+        degraded = True
+
+    if schedule is None and not attempts and not was_interrupted:
         raise SchedulingError(
             f"no candidate periods for loop {ddg.name!r} "
             f"(T_lb={bounds.t_lb}, max_extra={max_extra})"
@@ -364,6 +418,7 @@ def run_sweep(
         schedule=schedule,
         total_seconds=time.monotonic() - start_clock,
         warmstart=ws_stats,
+        degraded=degraded,
     )
 
 
@@ -379,6 +434,7 @@ def schedule_loop(
     repair_modulo: bool = False,
     presolve: bool = True,
     warmstart: bool = True,
+    supervision=None,
 ) -> SchedulingResult:
     """Find a rate-optimal software-pipelined schedule for ``ddg``.
 
@@ -396,19 +452,30 @@ def schedule_loop(
     With ``warmstart`` (the default) the iterative modulo scheduler runs
     first; when it achieves ``II == T_lb`` the loop is settled with zero
     ILP solves, and otherwise its schedule brackets and seeds the sweep.
+
+    ``supervision`` (a :class:`repro.supervision.SupervisionPolicy`)
+    ships each per-period solve to a deadline/memory-guarded worker
+    process; crashes, hangs and OOMs then surface as per-attempt
+    :class:`~repro.supervision.records.FailureRecord` data and the sweep
+    degrades gracefully instead of dying (see ``docs/robustness.md``).
     """
-    return run_sweep(
-        ddg,
-        machine,
-        AttemptConfig(
-            backend=backend,
-            objective=objective,
-            mapping=mapping,
-            time_limit=time_limit_per_t,
-            verify=verify,
-            repair_modulo=repair_modulo,
-            presolve=presolve,
-            warmstart=warmstart,
-        ),
-        max_extra,
+    config = AttemptConfig(
+        backend=backend,
+        objective=objective,
+        mapping=mapping,
+        time_limit=time_limit_per_t,
+        verify=verify,
+        repair_modulo=repair_modulo,
+        presolve=presolve,
+        warmstart=warmstart,
     )
+    if supervision is None:
+        return run_sweep(ddg, machine, config, max_extra)
+    from repro.supervision.runner import SupervisedAttemptRunner
+
+    with SupervisedAttemptRunner(
+        supervision, time_budget=time_limit_per_t
+    ) as runner:
+        return run_sweep(
+            ddg, machine, config, max_extra, attempt_runner=runner
+        )

@@ -82,12 +82,29 @@ def solve(
         try:
             from repro.ilp.highs import solve_highs
 
-            return solve_highs(model, time_limit=time_limit, gap=gap,
-                               mip_start=mip_start)
+            return _checked(solve_highs(model, time_limit=time_limit,
+                                        gap=gap, mip_start=mip_start))
         except ImportError:
             if backend == "highs":
                 raise SolverError("scipy.optimize.milp is not available")
     from repro.ilp.branch_bound import solve_bnb
 
-    return solve_bnb(model, time_limit=time_limit, gap=gap,
-                     mip_start=mip_start)
+    return _checked(solve_bnb(model, time_limit=time_limit, gap=gap,
+                              mip_start=mip_start))
+
+
+def _checked(solution: Solution) -> Solution:
+    """Fault-injection seam: optionally corrupt a backend's solution.
+
+    With a ``malformed@solve`` fault armed (see
+    :mod:`repro.supervision.faults`) the returned solution is mangled —
+    missing variables, fractional values — so tests can prove the
+    downstream extraction/verification layers reject garbage instead of
+    silently scheduling from it.  A no-op unless the fault env var is
+    set.
+    """
+    from repro.supervision import faults
+
+    if solution.values and faults.should_corrupt("solve"):
+        return faults.corrupt_solution(solution)
+    return solution

@@ -1,4 +1,4 @@
-"""Corpus batch runner: many loops across worker processes.
+"""Corpus batch runner: many loops across supervised worker processes.
 
 Schedules a whole directory (or any mix of ``.ddg`` paths, DDG text and
 in-memory :class:`~repro.ddg.graph.Ddg` objects) with one worker process
@@ -8,7 +8,22 @@ schema (see :meth:`BatchReport.to_json_dict`).  Guarantees:
 * **deterministic ordering** — entries come back in input order no
   matter which worker finished first;
 * **per-loop fault isolation** — a loop whose scheduling raises is
-  reported with its error message; the rest of the batch is unaffected;
+  reported with its error message, and a loop whose *worker* crashes,
+  hangs past its deadline, or OOMs is reported with a structured
+  :class:`~repro.supervision.records.FailureRecord` (after the policy's
+  retries); the rest of the batch is unaffected either way;
+* **per-file diagnostics** — an unreadable or unparsable corpus file
+  becomes an error entry naming the loop, the path and the parse error,
+  not a traceback that kills the run;
+* **checkpoint/resume** — with a journal path every finished loop is
+  appended to a JSONL file (atomic single-write appends); a killed run
+  resumed from its journal re-runs only failed/missing loops (see
+  :mod:`repro.supervision.journal`);
+* **graceful interrupts** — under
+  :func:`repro.supervision.graceful_interrupts`, SIGINT/SIGTERM settles
+  the batch: finished loops keep their results, unfinished ones are
+  recorded as ``interrupted``, the journal is flushed, and the report is
+  still written;
 * **warm caches** — each worker memoizes lower bounds and built
   formulations (:mod:`repro.parallel.cache`), so corpora with repeated
   loop shapes skip redundant construction work.
@@ -25,7 +40,6 @@ import json
 import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Union
@@ -36,6 +50,21 @@ from repro.ddg.graph import Ddg
 from repro.machine import Machine
 from repro.parallel import cache
 from repro.parallel.race import _init_worker, default_jobs
+from repro.supervision import faults
+from repro.supervision.atomicio import atomic_write_text
+from repro.supervision.journal import (
+    BatchJournal,
+    completed_entries,
+    config_digest,
+    entry_key,
+)
+from repro.supervision.records import (
+    INTERRUPTED,
+    FailureRecord,
+    SupervisionPolicy,
+)
+from repro.supervision.executor import SupervisedExecutor
+from repro.supervision.signals import interrupted
 
 #: Report schema version (bump on incompatible changes).
 #: v2: per-attempt ``model`` object carrying :class:`repro.ilp.model.
@@ -43,7 +72,11 @@ from repro.parallel.race import _init_worker, default_jobs
 #: v3: per-attempt ``bound``/``gap``/``warm_started`` fields and a
 #: per-entry ``warmstart`` object (heuristic II/MII, heuristic seconds,
 #: placement count, ILP-solve count, skipped-all-ILP flag).
-REPORT_VERSION = 3
+#: v4: structured failure taxonomy — per-attempt and per-entry
+#: ``failure`` objects (kind/attempt/retries/elapsed/detail, present
+#: only on failures), per-entry ``degraded`` flag, and journal-backed
+#: resume (resumed entries are carried over verbatim).
+REPORT_VERSION = 4
 
 LoopSource = Union[str, "os.PathLike[str]", Ddg]
 
@@ -57,8 +90,34 @@ class BatchEntry:
     num_ops: int
     result: Optional[SchedulingResult] = None
     error: Optional[str] = None
+    #: Structured record when the loop was lost to a supervision event
+    #: (worker crash, deadline kill, OOM, interrupt) rather than an
+    #: in-worker exception.
+    failure: Optional[FailureRecord] = None
+    #: Pre-serialized entry carried over from a resume journal; when
+    #: set it *is* the JSON form and the other fields are advisory.
+    raw: Optional[dict] = None
+
+    @property
+    def scheduled(self) -> bool:
+        if self.raw is not None:
+            return self.raw.get("achieved_t") is not None
+        return self.result is not None and self.result.schedule is not None
+
+    @property
+    def skipped_ilp(self) -> bool:
+        if self.raw is not None:
+            warmstart = self.raw.get("warmstart") or {}
+            return bool(warmstart.get("skipped_all_ilp"))
+        return (
+            self.result is not None
+            and self.result.warmstart is not None
+            and self.result.warmstart.skipped_all_ilp
+        )
 
     def to_json_dict(self) -> dict:
+        if self.raw is not None:
+            return self.raw
         entry = {
             "name": self.name,
             "source": self.source,
@@ -66,6 +125,8 @@ class BatchEntry:
         }
         if self.error is not None:
             entry["error"] = self.error
+            if self.failure is not None:
+                entry["failure"] = self.failure.to_json_dict()
             return entry
         result = self.result
         entry.update(
@@ -76,37 +137,57 @@ class BatchEntry:
                 "achieved_t": result.achieved_t,
                 "delta_from_lb": result.delta_from_lb,
                 "is_rate_optimal_proven": result.is_rate_optimal_proven,
+                "degraded": result.degraded,
                 "seconds": round(result.total_seconds, 6),
                 "attempts": [
-                    {
-                        "t": attempt.t_period,
-                        "status": attempt.status,
-                        "seconds": round(attempt.seconds, 6),
-                        "nodes": attempt.nodes,
-                        "repaired": attempt.repaired,
-                        "bound": attempt.bound,
-                        # inf gap (bound but no incumbent) is not valid
-                        # JSON; report it as null.
-                        "gap": (
-                            attempt.gap
-                            if attempt.gap is not None
-                            and math.isfinite(attempt.gap)
-                            else None
-                        ),
-                        "warm_started": attempt.warm_started,
-                        "model": {
-                            key: (round(value, 6)
-                                  if isinstance(value, float) else value)
-                            for key, value in attempt.model_stats.items()
-                        },
-                    }
-                    for attempt in result.attempts
+                    _attempt_json(attempt) for attempt in result.attempts
                 ],
             }
         )
         if result.warmstart is not None:
             entry["warmstart"] = result.warmstart.to_json_dict()
         return entry
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "BatchEntry":
+        """Rehydrate a journal entry (report-level fields only)."""
+        failure = None
+        if data.get("failure") is not None:
+            failure = FailureRecord.from_json_dict(data["failure"])
+        return cls(
+            name=data.get("name", "?"),
+            source=data.get("source", "?"),
+            num_ops=int(data.get("num_ops", 0)),
+            error=data.get("error"),
+            failure=failure,
+            raw=data,
+        )
+
+
+def _attempt_json(attempt) -> dict:
+    doc = {
+        "t": attempt.t_period,
+        "status": attempt.status,
+        "seconds": round(attempt.seconds, 6),
+        "nodes": attempt.nodes,
+        "repaired": attempt.repaired,
+        "bound": attempt.bound,
+        # inf gap (bound but no incumbent) is not valid JSON; report it
+        # as null.
+        "gap": (
+            attempt.gap
+            if attempt.gap is not None and math.isfinite(attempt.gap)
+            else None
+        ),
+        "warm_started": attempt.warm_started,
+        "model": {
+            key: (round(value, 6) if isinstance(value, float) else value)
+            for key, value in attempt.model_stats.items()
+        },
+    }
+    if attempt.failure is not None:
+        doc["failure"] = attempt.failure.to_json_dict()
+    return doc
 
 
 @dataclass
@@ -121,26 +202,21 @@ class BatchReport:
 
     @property
     def scheduled(self) -> int:
-        return sum(
-            1
-            for e in self.entries
-            if e.result is not None and e.result.schedule is not None
-        )
+        return sum(1 for e in self.entries if e.scheduled)
 
     @property
     def failed(self) -> int:
-        return sum(1 for e in self.entries if e.error is not None)
+        return sum(
+            1
+            for e in self.entries
+            if (e.raw.get("error") if e.raw is not None else e.error)
+            is not None
+        )
 
     @property
     def skipped_ilp(self) -> int:
         """Loops the heuristic settled with zero ILP solves."""
-        return sum(
-            1
-            for e in self.entries
-            if e.result is not None
-            and e.result.warmstart is not None
-            and e.result.warmstart.skipped_all_ilp
-        )
+        return sum(1 for e in self.entries if e.skipped_ilp)
 
     def to_json_dict(self) -> dict:
         return {
@@ -159,30 +235,34 @@ class BatchReport:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_json_dict(), indent=indent)
 
+    def save_json(self, path) -> None:
+        """Write the JSON report atomically (never a truncated file)."""
+        atomic_write_text(path, self.to_json() + "\n")
+
     def render(self) -> str:
         """Human-readable per-loop summary table."""
         lines = [
             f"{'loop':<16} {'T_lb':>4} {'T':>4} {'dT':>3} "
             f"{'proven':>6} {'sec':>8}  attempts"
         ]
-        for entry in self.entries:
-            if entry.error is not None:
-                lines.append(f"{entry.name:<16} ERROR: {entry.error}")
+        for entry in (e.to_json_dict() for e in self.entries):
+            name = entry.get("name", "?")
+            if entry.get("error") is not None:
+                lines.append(f"{name:<16} ERROR: {entry['error']}")
                 continue
-            result = entry.result
-            t = result.achieved_t if result.achieved_t is not None else "-"
+            t = entry["achieved_t"] if entry["achieved_t"] is not None else "-"
             delta = (
-                result.delta_from_lb
-                if result.delta_from_lb is not None
+                entry["delta_from_lb"]
+                if entry["delta_from_lb"] is not None
                 else "-"
             )
-            proven = "yes" if result.is_rate_optimal_proven else "no"
+            proven = "yes" if entry["is_rate_optimal_proven"] else "no"
             log = ",".join(
-                f"{a.t_period}:{a.status}" for a in result.attempts
+                f"{a['t']}:{a['status']}" for a in entry["attempts"]
             )
             lines.append(
-                f"{entry.name:<16} {result.bounds.t_lb:>4} {t:>4} "
-                f"{delta:>3} {proven:>6} {result.total_seconds:>8.2f}  {log}"
+                f"{name:<16} {entry['t_lb']:>4} {t:>4} "
+                f"{delta:>3} {proven:>6} {entry['seconds']:>8.2f}  {log}"
             )
         lines.append(
             f"{len(self.entries)} loop(s): {self.scheduled} scheduled "
@@ -223,6 +303,8 @@ def _schedule_source(
     bounds/formulation/warm-start caches injected, so corpora with
     repeated loop shapes skip redundant construction and heuristic work.
     """
+    loop_id = Path(source).stem if source != "<memory>" else source
+    faults.fire("batch", loop=loop_id, source=source)
     try:
         ddg = parse_ddg(text)
         ddg.validate_against(machine)
@@ -238,13 +320,62 @@ def _schedule_source(
             num_ops=ddg.num_ops,
             result=result,
         )
+    except MemoryError:
+        raise  # let the supervisor classify this as an OOM
     except Exception as exc:  # per-loop fault isolation
         return BatchEntry(
-            name=Path(source).stem if source != "<memory>" else source,
+            name=loop_id,
             source=source,
             num_ops=0,
-            error=f"{type(exc).__name__}: {exc}",
+            error=f"loop {loop_id!r} ({source}): "
+                  f"{type(exc).__name__}: {exc}",
         )
+
+
+def _load_tasks(
+    sources: Sequence[LoopSource],
+) -> List[tuple]:
+    """Read every source up front: ``(name, text | None, label, error)``.
+
+    A file that cannot be read or decoded becomes an error tuple naming
+    the loop id, the path and the failure — it turns into a failed
+    report entry instead of aborting the whole batch.
+    """
+    tasks: List[tuple] = []
+    for item in sources:
+        if isinstance(item, Ddg):
+            tasks.append((item.name, serialize_ddg(item), "<memory>", None))
+            continue
+        path = Path(item)
+        loop_id = path.stem
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            tasks.append((
+                loop_id, None, str(path),
+                f"loop {loop_id!r} ({path}): cannot read corpus file: "
+                f"{type(exc).__name__}: {exc}",
+            ))
+            continue
+        tasks.append((loop_id, text, str(path), None))
+    return tasks
+
+
+def _batch_digest(machine: Machine, config: AttemptConfig,
+                  max_extra: int) -> str:
+    """Journal config digest: everything that must match on resume."""
+    return config_digest(
+        cache.machine_digest(machine),
+        backend=config.backend,
+        objective=config.objective,
+        mapping=config.mapping,
+        time_limit=config.time_limit,
+        verify=config.verify,
+        repair_modulo=config.repair_modulo,
+        presolve=config.presolve,
+        warmstart=config.warmstart,
+        max_extra=max_extra,
+    )
 
 
 def run_batch(
@@ -259,15 +390,27 @@ def run_batch(
     presolve: bool = True,
     jobs: Optional[int] = None,
     warmstart: bool = True,
+    policy: Optional[SupervisionPolicy] = None,
+    journal: Optional[Union[str, "os.PathLike[str]"]] = None,
+    resume: Optional[Union[str, "os.PathLike[str]"]] = None,
 ) -> BatchReport:
     """Schedule every loop reachable from ``paths`` across ``jobs`` workers.
 
     Results always come back in input order (directories expand to
     sorted file lists).  ``jobs=1`` runs in-process with no pool.
+
+    ``policy`` tunes the supervision layer around each worker (deadline,
+    memory cap, retries); with the default policy loops run unbounded
+    but still survive worker crashes.  ``journal`` appends every
+    finished loop to a JSONL checkpoint; ``resume`` replays such a
+    journal, re-running only loops that failed or never finished (and
+    keeps journaling to the same file unless ``journal`` says
+    otherwise).  Journals refuse to resume under changed settings.
     """
     jobs = jobs if jobs is not None else default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    policy = policy or SupervisionPolicy()
     config = AttemptConfig(
         backend=backend,
         objective=objective,
@@ -278,39 +421,180 @@ def run_batch(
         warmstart=warmstart,
     )
     sources = collect_sources(paths)
-    tasks: List[tuple] = []  # (text, label)
-    for item in sources:
-        if isinstance(item, Ddg):
-            tasks.append((serialize_ddg(item), "<memory>"))
-        else:
-            path = Path(item)
-            tasks.append((path.read_text(encoding="utf-8"), str(path)))
+    tasks = _load_tasks(sources)
+    digest = _batch_digest(machine, config, max_extra)
+
+    carried: dict = {}
+    if resume is not None:
+        header, done = completed_entries(resume)
+        if header is not None and header.get("config_digest") != digest:
+            from repro.supervision.journal import JournalError
+
+            raise JournalError(
+                f"journal {resume} was written with different settings "
+                "(machine/backend/budget mismatch); refusing to mix "
+                "results — use a fresh journal"
+            )
+        carried = done
+        if journal is None:
+            journal = resume
+
+    writer: Optional[BatchJournal] = None
+    if journal is not None:
+        writer = BatchJournal(
+            journal, digest,
+            meta={"machine": machine.name, "backend": backend,
+                  "loops": len(tasks)},
+        )
 
     start_clock = time.monotonic()
-    entries: List[BatchEntry] = []
-    if jobs == 1 or len(tasks) <= 1:
-        for text, label in tasks:
-            entries.append(
-                _schedule_source(text, label, machine, config, max_extra)
-            )
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(tasks)),
-            initializer=_init_worker,
-            initargs=(time_limit_per_t,),
-        ) as executor:
-            futures = [
-                executor.submit(
-                    _schedule_source, text, label, machine, config,
-                    max_extra,
+    entries: List[Optional[BatchEntry]] = [None] * len(tasks)
+    to_run: List[tuple] = []  # (index, text, label)
+    try:
+        for index, (name, text, label, load_error) in enumerate(tasks):
+            if load_error is not None:
+                entries[index] = BatchEntry(
+                    name=name, source=label, num_ops=0, error=load_error
                 )
-                for text, label in tasks
-            ]
-            entries = [future.result() for future in futures]
+                _journal_entry(writer, index, entries[index])
+                continue
+            record = carried.get(entry_key(label, name))
+            if record is not None and label != "<memory>":
+                entries[index] = BatchEntry.from_json_dict(record["entry"])
+                continue
+            to_run.append((index, text, label))
+
+        if jobs == 1 or len(to_run) <= 1:
+            _run_inline(
+                to_run, entries, machine, config, max_extra, writer
+            )
+        else:
+            _run_pool(
+                to_run, entries, machine, config, max_extra, jobs,
+                time_limit_per_t, policy, writer,
+            )
+    finally:
+        if writer is not None:
+            writer.close()
     return BatchReport(
         machine_name=machine.name,
         backend=backend,
         jobs=jobs,
-        entries=entries,
+        entries=[e for e in entries if e is not None],
         total_seconds=time.monotonic() - start_clock,
     )
+
+
+def _journal_entry(writer: Optional[BatchJournal], index: int,
+                   entry: BatchEntry) -> None:
+    if writer is not None:
+        writer.record(
+            index, entry.source, entry.name, entry.to_json_dict()
+        )
+
+
+def _interrupted_entry(name: str, label: str) -> BatchEntry:
+    failure = FailureRecord(
+        kind=INTERRUPTED, detail="batch interrupted (SIGINT/SIGTERM)"
+    )
+    return BatchEntry(
+        name=name, source=label, num_ops=0,
+        error=f"loop {name!r} ({label}): {failure.summary()}",
+        failure=failure,
+    )
+
+
+def _run_inline(
+    to_run: List[tuple],
+    entries: List[Optional[BatchEntry]],
+    machine: Machine,
+    config: AttemptConfig,
+    max_extra: int,
+    writer: Optional[BatchJournal],
+) -> None:
+    """jobs=1 path: schedule in-process, still journaled/interruptible."""
+    for index, text, label in to_run:
+        if interrupted():
+            name = Path(label).stem if label != "<memory>" else label
+            entries[index] = _interrupted_entry(name, label)
+            _journal_entry(writer, index, entries[index])
+            continue
+        entries[index] = _schedule_source(
+            text, label, machine, config, max_extra
+        )
+        _journal_entry(writer, index, entries[index])
+
+
+def _run_pool(
+    to_run: List[tuple],
+    entries: List[Optional[BatchEntry]],
+    machine: Machine,
+    config: AttemptConfig,
+    max_extra: int,
+    jobs: int,
+    time_limit_per_t: Optional[float],
+    policy: SupervisionPolicy,
+    writer: Optional[BatchJournal],
+) -> None:
+    """Supervised pool path: one task per loop, failures isolated."""
+    executor = SupervisedExecutor(
+        max_workers=min(jobs, len(to_run)),
+        policy=policy,
+        initializer=_init_worker,
+        initargs=(time_limit_per_t,),
+    )
+    index_of = {}
+    label_of = {}
+    try:
+        for index, text, label in to_run:
+            task = executor.submit(
+                _schedule_source, text, label, machine, config,
+                max_extra, tag=index,
+            )
+            index_of[task] = index
+            label_of[task] = label
+        outstanding = len(to_run)
+        while outstanding:
+            if interrupted():
+                for task in executor.abort(
+                    INTERRUPTED, "batch interrupted (SIGINT/SIGTERM)"
+                ):
+                    index = index_of.pop(task, None)
+                    if index is None:
+                        continue
+                    label = label_of[task]
+                    name = (
+                        Path(label).stem if label != "<memory>" else label
+                    )
+                    entry = BatchEntry(
+                        name=name, source=label, num_ops=0,
+                        error=f"loop {name!r} ({label}): "
+                              f"{task.failure.summary()}",
+                        failure=task.failure,
+                    )
+                    entries[index] = entry
+                    _journal_entry(writer, index, entry)
+                    outstanding -= 1
+                continue
+            for task in executor.poll(timeout=0.25):
+                index = index_of.pop(task, None)
+                if index is None:
+                    continue
+                label = label_of[task]
+                if task.failure is not None:
+                    name = (
+                        Path(label).stem if label != "<memory>" else label
+                    )
+                    entry = BatchEntry(
+                        name=name, source=label, num_ops=0,
+                        error=f"loop {name!r} ({label}): "
+                              f"{task.failure.summary()}",
+                        failure=task.failure,
+                    )
+                else:
+                    entry = task.result
+                entries[index] = entry
+                _journal_entry(writer, index, entry)
+                outstanding -= 1
+    finally:
+        executor.shutdown()

@@ -4,8 +4,8 @@ The sequential driver proves infeasibility of ``T_lb, T_lb+1, ...`` one
 period at a time; on hard loops nearly all wall-clock goes into those
 proofs.  The per-``T`` ILPs are completely independent, so
 :func:`race_periods` dispatches a window of admissible periods to a
-:class:`~concurrent.futures.ProcessPoolExecutor` and collects outcomes
-as they land:
+supervised worker pool (:class:`repro.supervision.SupervisedExecutor`)
+and collects outcomes as they land:
 
 * the **winner** is the smallest ``T`` whose solve returned a feasible
   point — exactly what the sequential sweep would have found;
@@ -19,6 +19,14 @@ as they land:
   has come back INFEASIBLE.  A smaller period that lands feasible late
   *replaces* the provisional winner.
 
+A worker that crashes, hangs past its deadline, or OOMs fails **only its
+own candidate period**: the failure is recorded on that attempt as a
+:class:`~repro.supervision.records.FailureRecord` (after the policy's
+retries) and the race keeps going with the surviving candidates.  On
+SIGINT/SIGTERM the race settles to its best-known incumbent — the
+provisional winner or the heuristic schedule — with a ``degraded``
+marker instead of raising.
+
 Every attempt funnels through :func:`repro.core.scheduler.attempt_period`
 — the same body the sequential driver runs — so the two drivers return
 identical achieved periods and proof flags (asserted corpus-wide by
@@ -29,7 +37,6 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Dict, List, Optional
 
 from repro.core.bounds import lower_bounds, modulo_feasible_t
@@ -47,6 +54,13 @@ from repro.core.scheduler import (
 )
 from repro.ddg.graph import Ddg
 from repro.machine import Machine
+from repro.supervision.executor import SupervisedExecutor, SupervisedTask
+from repro.supervision.records import (
+    DEGRADED,
+    INTERRUPTED,
+    SupervisionPolicy,
+)
+from repro.supervision.signals import interrupted
 
 #: Attempt status recorded for periods abandoned after a smaller win.
 CANCELLED = "cancelled"
@@ -78,6 +92,7 @@ def race_periods(
     jobs: Optional[int] = None,
     window: Optional[int] = None,
     warmstart: bool = True,
+    policy: Optional[SupervisionPolicy] = None,
 ) -> SchedulingResult:
     """Drop-in parallel replacement for :func:`repro.core.schedule_loop`.
 
@@ -93,12 +108,18 @@ def race_periods(
     period outright under the feasibility objective (the race then only
     chases smaller periods), and otherwise seeds the II-period solve with
     the heuristic incumbent.
+
+    ``policy`` tunes the supervision guard-rails (deadline, memory cap,
+    retries, backoff); the default policy derives each candidate's
+    deadline from ``time_limit_per_t``, so a solver that ignores its
+    budget is killed rather than trusted.
     """
     if max_extra < 0:
         raise SchedulingError(f"max_extra must be >= 0, got {max_extra}")
     jobs = jobs if jobs is not None else default_jobs()
     if jobs < 1:
         raise SchedulingError(f"jobs must be >= 1, got {jobs}")
+    policy = policy or SupervisionPolicy()
     config = AttemptConfig(
         backend=backend,
         objective=objective,
@@ -146,6 +167,7 @@ def race_periods(
         else:
             dispatch.append(t_period)
 
+    degraded = False
     if jobs == 1 or len(dispatch) <= 1:
         winner = _race_inline(
             ddg, machine, dispatch, config, attempts,
@@ -157,9 +179,34 @@ def race_periods(
             raise SchedulingError(f"window must be >= 1, got {window}")
         winner = _race_pool(
             ddg, machine, dispatch, config, attempts, jobs, window,
-            time_limit_per_t,
+            time_limit_per_t, policy,
             initial=initial, incumbent=incumbent, incumbent_t=incumbent_t,
         )
+
+    if winner is None and incumbent is not None:
+        failed = attempts.get(incumbent_t)
+        lost = failed is not None and failed.failure is not None
+        if lost or interrupted():
+            # The exact solve at the heuristic's period was lost to a
+            # crash/hang/interrupt, but the heuristic schedule itself is
+            # verified: settle to it rather than report nothing.
+            attempts[incumbent_t] = ScheduleAttempt(
+                t_period=incumbent_t, status=DEGRADED,
+                warm_started=True,
+                failure=failed.failure if lost else None,
+            )
+            winner = AttemptOutcome(
+                attempt=attempts[incumbent_t], schedule=incumbent
+            )
+            degraded = True
+    if winner is not None and any(
+        a.failure is not None
+        for a in attempts.values()
+        if a.t_period < winner.attempt.t_period
+    ):
+        # The win stands, but a smaller period was lost to a failure or
+        # interrupt: optimality below the winner is unproven.
+        degraded = True
 
     ordered = [attempts[t] for t in sorted(attempts)]
     if winner is None and not ordered:
@@ -169,7 +216,9 @@ def race_periods(
         )
     ws_stats.ilp_solves = sum(
         1 for a in ordered
-        if a.status not in ("modulo_infeasible", HEURISTIC, CANCELLED)
+        if a.status not in ("modulo_infeasible", HEURISTIC, CANCELLED,
+                            DEGRADED)
+        and a.failure is None
     )
     return SchedulingResult(
         loop_name=ddg.name,
@@ -178,6 +227,7 @@ def race_periods(
         schedule=winner.schedule if winner is not None else None,
         total_seconds=time.monotonic() - start_clock,
         warmstart=ws_stats,
+        degraded=degraded,
     )
 
 
@@ -198,6 +248,8 @@ def _race_inline(
     replaces it, otherwise it stands.
     """
     for t_period in dispatch:
+        if interrupted():
+            break
         outcome = attempt_period(
             ddg, machine, t_period, config,
             incumbent=incumbent if t_period == incumbent_t else None,
@@ -217,40 +269,60 @@ def _race_pool(
     jobs: int,
     window: int,
     time_budget: Optional[float],
+    policy: SupervisionPolicy,
     initial: Optional[AttemptOutcome] = None,
     incumbent: Optional[Schedule] = None,
     incumbent_t: Optional[int] = None,
 ) -> Optional[AttemptOutcome]:
-    """Windowed multiprocess race over ``dispatch`` (increasing order).
+    """Windowed supervised race over ``dispatch`` (increasing order).
 
     ``initial`` (when given) is a provisional winner from the heuristic
     pre-pass: only smaller periods remain in ``dispatch``, and the
     standard smaller-T replacement logic takes it from there.
     ``incumbent`` rides along to the ``incumbent_t`` solve as the MIP
     start (:class:`~repro.core.schedule.Schedule` pickles cleanly).
+
+    Candidate deadlines default to the per-period solver budget: a solve
+    that overruns ``time_budget`` by more than the policy's grace is
+    killed and recorded as a ``hang`` failure for that period only.
     """
     winner: Optional[AttemptOutcome] = initial
+    deadline = policy.deadline if policy.deadline is not None else time_budget
     pending = list(dispatch)  # not yet submitted, increasing T
-    in_flight: Dict[object, int] = {}  # future -> t_period
-    executor = ProcessPoolExecutor(
+    in_flight: Dict[SupervisedTask, int] = {}  # task -> t_period
+    executor = SupervisedExecutor(
         max_workers=min(jobs, len(dispatch)),
+        policy=policy,
         initializer=_init_worker,
         initargs=(time_budget,),
     )
     try:
         while True:
+            if interrupted():
+                for task in executor.abort(
+                    INTERRUPTED, "race interrupted (SIGINT/SIGTERM)"
+                ):
+                    t_period = in_flight.pop(task, None)
+                    if t_period is None or t_period in attempts:
+                        continue
+                    attempts[t_period] = ScheduleAttempt(
+                        t_period=t_period, status=task.failure.kind,
+                        seconds=task.failure.elapsed,
+                        failure=task.failure,
+                    )
+                break
             if winner is not None:
                 # Periods that can no longer win are abandoned: queued
-                # futures are cancelled outright, and unsubmitted ones
+                # tasks are cancelled outright, and unsubmitted ones
                 # are never dispatched.
                 best_t = winner.attempt.t_period
                 pending = [t for t in pending if t < best_t]
-                for future, t_period in list(in_flight.items()):
-                    if t_period > best_t and future.cancel():
-                        del in_flight[future]
+                for task, t_period in list(in_flight.items()):
+                    if t_period > best_t and executor.cancel(task):
+                        del in_flight[task]
                 # The win stands once no smaller period is outstanding;
                 # still-*running* larger-T solves are abandoned (their
-                # per-process budget bounds the straggler).
+                # deadline bounds the straggler).
                 if not pending and not any(
                     t < best_t for t in in_flight.values()
                 ):
@@ -264,19 +336,30 @@ def _race_pool(
                      or pending[0] < winner.attempt.t_period)
             ):
                 t_period = pending.pop(0)
-                future = executor.submit(
+                task = executor.submit(
                     attempt_period, ddg, machine, t_period, config,
                     incumbent=(
                         incumbent if t_period == incumbent_t else None
                     ),
+                    tag=t_period,
+                    deadline=deadline,
                 )
-                in_flight[future] = t_period
-            done, _ = wait(
-                list(in_flight), return_when=FIRST_COMPLETED
-            )
-            for future in done:
-                t_period = in_flight.pop(future)
-                outcome = future.result()  # re-raises worker exceptions
+                in_flight[task] = t_period
+            for task in executor.poll(timeout=0.25):
+                t_period = in_flight.pop(task, None)
+                if t_period is None:
+                    continue
+                if task.failure is not None:
+                    # The candidate died (crash/hang/oom/solver error)
+                    # after the policy's retries: record it and keep
+                    # racing the survivors.
+                    attempts[t_period] = ScheduleAttempt(
+                        t_period=t_period, status=task.failure.kind,
+                        seconds=task.failure.elapsed,
+                        failure=task.failure,
+                    )
+                    continue
+                outcome = task.result
                 attempts[t_period] = outcome.attempt
                 if outcome.schedule is not None and (
                     winner is None
@@ -284,7 +367,7 @@ def _race_pool(
                 ):
                     winner = outcome
     finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+        executor.shutdown()
     if winner is not None:
         # Anything beyond the winning period that never reported back —
         # cancelled in the queue, abandoned mid-run, or never submitted —

@@ -1,0 +1,65 @@
+"""Crash-safe file writes.
+
+Reports, BENCH files and saved schedules are written via a sibling
+``*.tmp`` file and ``os.replace``, so an interrupt mid-write leaves
+either the old content or the new — never a truncated JSON document.
+Journal lines are appended with a single ``os.write`` on an O_APPEND
+descriptor, the POSIX idiom for all-or-nothing appends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def atomic_write_json(path: PathLike, payload, indent: int = 2,
+                      sort_keys: bool = False) -> None:
+    """Serialize ``payload`` and write it atomically, newline-terminated."""
+    atomic_write_text(
+        path,
+        json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n",
+    )
+
+
+class AppendOnlyLines:
+    """Append whole lines to a file, one atomic ``os.write`` per line."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def append(self, line: str) -> None:
+        if "\n" in line:
+            raise ValueError("journal lines must not contain newlines")
+        data = (line + "\n").encode("utf-8")
+        os.write(self._fd, data)
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "AppendOnlyLines":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

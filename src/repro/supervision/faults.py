@@ -1,0 +1,254 @@
+"""Deterministic fault injection for the supervision layer.
+
+Every recovery path in :mod:`repro.supervision` is exercised in CI by
+*injecting* the failure it guards against, instead of trusting that the
+handling code works.  Faults are driven by the ``REPRO_FAULTS``
+environment variable (worker processes inherit it), a comma-separated
+list of clauses::
+
+    kind@site[:key=value]...
+
+``kind``
+    ``crash``      — ``os._exit(70)`` (a hard worker death)
+    ``hang``       — sleep far past any deadline (``seconds=`` to tune)
+    ``oom``        — allocate until ``MemoryError`` (``mb=`` caps the
+                     simulated allocation so tests stay bounded even
+                     without an rlimit)
+    ``malformed``  — corrupt the next solver :class:`Solution` so
+                     extraction/verification fails downstream
+
+``site``
+    ``attempt``  — entry of :func:`repro.core.scheduler.attempt_period`
+    ``batch``    — entry of the batch worker body (one whole loop)
+    ``solve``    — :func:`repro.ilp.solve.solve` (malformed only)
+    ``any``      — every site
+
+Remaining ``key=value`` pairs filter on the context the site reports
+(``t`` for the candidate period, ``loop`` for the loop name), plus two
+control knobs: ``times=N`` caps how often the clause fires *per
+process*, and ``after=N`` skips the first N matches (so "crash on the
+second try" is expressible, which is how retry recovery is tested).
+
+Examples::
+
+    REPRO_FAULTS="crash@attempt:t=4"           # kill the T=4 worker
+    REPRO_FAULTS="crash@attempt:t=4:times=1"   # ... only the first time
+    REPRO_FAULTS="hang@batch:loop=loop0003"    # wedge one batch loop
+    REPRO_FAULTS="malformed@solve:times=1"     # one corrupted solution
+
+Everything here is inert — one dict lookup per call — unless the
+variable is set.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+ENV_VAR = "REPRO_FAULTS"
+
+KINDS = ("crash", "hang", "oom", "malformed")
+SITES = ("attempt", "batch", "solve", "any")
+
+#: Exit code used by the crash fault (visible in worker post-mortems).
+CRASH_EXIT_CODE = 70
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` clause that cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault clause."""
+
+    kind: str
+    site: str = "any"
+    match: Tuple[Tuple[str, str], ...] = ()
+    #: Max firings per process (None = every match).
+    times: Optional[int] = None
+    #: Matches to skip before the first firing.
+    after: int = 0
+    #: Hang duration (seconds).
+    seconds: float = 3600.0
+    #: Simulated-OOM allocation cap (MiB).
+    mb: int = 256
+
+    def matches(self, site: str, context: Dict[str, object]) -> bool:
+        if self.site not in ("any", site):
+            return False
+        return all(
+            str(context.get(key)) == value for key, value in self.match
+        )
+
+
+def parse_faults(text: str) -> List[FaultSpec]:
+    """Parse a ``REPRO_FAULTS`` value into specs (empty list for "")."""
+    specs: List[FaultSpec] = []
+    for clause in filter(None, (c.strip() for c in text.split(","))):
+        head, *options = clause.split(":")
+        kind, _, site = head.partition("@")
+        site = site or "any"
+        if kind not in KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r} in {clause!r}; "
+                f"expected one of {KINDS}"
+            )
+        if site not in SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r} in {clause!r}; "
+                f"expected one of {SITES}"
+            )
+        match: List[Tuple[str, str]] = []
+        times: Optional[int] = None
+        after = 0
+        seconds = 3600.0
+        mb = 256
+        for option in options:
+            key, sep, value = option.partition("=")
+            if not sep or not value:
+                raise FaultSpecError(
+                    f"fault option {option!r} in {clause!r} is not "
+                    "key=value"
+                )
+            try:
+                if key == "times":
+                    times = int(value)
+                elif key == "after":
+                    after = int(value)
+                elif key == "seconds":
+                    seconds = float(value)
+                elif key == "mb":
+                    mb = int(value)
+                else:
+                    match.append((key, value))
+            except ValueError as exc:
+                raise FaultSpecError(
+                    f"bad value for {key!r} in {clause!r}: {exc}"
+                ) from exc
+        specs.append(
+            FaultSpec(
+                kind=kind, site=site, match=tuple(match), times=times,
+                after=after, seconds=seconds, mb=mb,
+            )
+        )
+    return specs
+
+
+@dataclass
+class _State:
+    """Per-process parsed specs + firing counters, keyed on the env value."""
+
+    raw: Optional[str] = None
+    specs: List[FaultSpec] = field(default_factory=list)
+    #: Per-spec count of *matches* seen (drives ``after``/``times``).
+    seen: Dict[int, int] = field(default_factory=dict)
+
+
+_STATE = _State()
+
+
+def _active() -> List[FaultSpec]:
+    raw = os.environ.get(ENV_VAR)
+    if raw != _STATE.raw:
+        _STATE.raw = raw
+        _STATE.specs = parse_faults(raw) if raw else []
+        _STATE.seen = {}
+    return _STATE.specs
+
+
+def _consume(index: int, spec: FaultSpec) -> bool:
+    """Record a match for ``spec``; True when the clause should fire."""
+    seen = _STATE.seen.get(index, 0)
+    _STATE.seen[index] = seen + 1
+    if seen < spec.after:
+        return False
+    if spec.times is not None and seen - spec.after >= spec.times:
+        return False
+    return True
+
+
+def reset() -> None:
+    """Forget cached specs and counters (tests)."""
+    _STATE.raw = None
+    _STATE.specs = []
+    _STATE.seen = {}
+
+
+def fire(site: str, **context) -> None:
+    """Execute any crash/hang/oom fault armed for this site + context.
+
+    Called at the top of each supervised task body.  ``crash`` does not
+    return; ``hang`` returns only when the supervisor kills the process
+    or the configured sleep elapses; ``oom`` raises ``MemoryError``.
+    """
+    specs = _active()
+    if not specs:
+        return
+    for index, spec in enumerate(specs):
+        if spec.kind == "malformed" or not spec.matches(site, context):
+            continue
+        if not _consume(index, spec):
+            continue
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        elif spec.kind == "hang":
+            _hang(spec.seconds)
+        elif spec.kind == "oom":
+            _exhaust_memory(spec.mb)
+
+
+def should_corrupt(site: str = "solve", **context) -> bool:
+    """True when a ``malformed`` fault is armed for this site + context."""
+    specs = _active()
+    if not specs:
+        return False
+    for index, spec in enumerate(specs):
+        if spec.kind != "malformed" or not spec.matches(site, context):
+            continue
+        if _consume(index, spec):
+            return True
+    return False
+
+
+def corrupt_solution(solution):
+    """Damage a feasible :class:`repro.ilp.solution.Solution` in place.
+
+    Half the variable assignments disappear and one survivor turns
+    fractional — guaranteed to trip extraction (missing key) or integer
+    rounding downstream, exactly like a solver handing back garbage.
+    """
+    if not solution.values:
+        return solution
+    items = sorted(solution.values.items(), key=lambda kv: kv[0].name)
+    kept = dict(items[: max(1, len(items) // 2)])
+    first_var = next(iter(kept))
+    kept[first_var] = kept[first_var] + 0.5
+    solution.values = kept
+    return solution
+
+
+def _hang(seconds: float) -> None:
+    # Sleep in slices so the fault stays observable in process listings;
+    # the supervisor's SIGKILL ends it long before the total elapses.
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        time.sleep(min(0.2, max(0.0, deadline - time.monotonic())))
+
+
+def _exhaust_memory(mb: int) -> None:
+    blocks = []
+    chunk = 1 << 24  # 16 MiB
+    try:
+        while len(blocks) * 16 < mb:
+            # Touch the pages so RSS actually grows under an rlimit.
+            blocks.append(bytearray(chunk))
+    except MemoryError:
+        blocks.clear()
+        raise
+    blocks.clear()
+    raise MemoryError(
+        f"fault injection: simulated OOM after allocating ~{mb} MiB"
+    )

@@ -1,0 +1,154 @@
+"""JSONL journal for checkpoint/resume of corpus batch runs.
+
+A multi-hour ``repro batch`` over a large corpus must not lose
+everything to a crash or Ctrl-C at loop 900.  The batch runner appends
+one JSON line per *finished* loop (atomic single-write appends via
+:class:`repro.supervision.atomicio.AppendOnlyLines`), and
+``repro batch --resume journal.jsonl`` replays the journal: loops with a
+recorded, non-failed outcome are carried over verbatim; failed or
+missing loops run again, and their fresh outcomes are appended to the
+same file.
+
+File layout::
+
+    {"journal_version": 1, "config_digest": "...", "machine": ..., ...}
+    {"seq": 0, "source": "corpus/loop0000.ddg", "entry": {...}}
+    {"seq": 2, "source": "corpus/loop0002.ddg", "entry": {...}}
+    ...
+
+The header pins the run configuration (machine content digest, backend,
+objective, budgets, presolve/warm-start flags): resuming under different
+settings would silently mix incomparable results, so it is an error.
+A truncated final line (the crash landed mid-append despite O_APPEND) is
+skipped with the entry treated as incomplete — exactly the re-run-it
+answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.supervision.atomicio import AppendOnlyLines
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """Unusable journal: bad header, version or config mismatch."""
+
+
+def config_digest(machine_digest: str, **settings) -> str:
+    """Digest of everything that must match between run and resume."""
+    blob = json.dumps(
+        {"machine": machine_digest, **settings}, sort_keys=True
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def entry_key(source: str, name: str) -> str:
+    """Journal key for one loop (source path alone is ambiguous for
+    in-memory loops, which all report ``<memory>``)."""
+    return f"{source}::{name}"
+
+
+class BatchJournal:
+    """Append-side handle for a batch run's journal."""
+
+    def __init__(self, path, digest: str, meta: Optional[dict] = None):
+        self.path = Path(path)
+        existing = read_journal(self.path) if self.path.exists() else None
+        self._writer = AppendOnlyLines(self.path)
+        if existing is None or existing[0] is None:
+            header = {
+                "journal_version": JOURNAL_VERSION,
+                "config_digest": digest,
+                **(meta or {}),
+            }
+            self._writer.append(json.dumps(header, sort_keys=True))
+        else:
+            header = existing[0]
+            if header.get("config_digest") != digest:
+                self._writer.close()
+                raise JournalError(
+                    f"journal {self.path} was written with different "
+                    "settings (machine/backend/budget mismatch); "
+                    "refusing to mix results — use a fresh journal"
+                )
+
+    def record(self, seq: int, source: str, name: str,
+               entry: dict) -> None:
+        """Append one finished loop (atomic single-write line)."""
+        line = json.dumps(
+            {"seq": seq, "source": source, "name": name, "entry": entry},
+            sort_keys=True,
+        )
+        self._writer.append(line)
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(
+    path,
+) -> Tuple[Optional[dict], Dict[str, dict]]:
+    """Parse a journal into ``(header, {entry_key: line_dict})``.
+
+    Later lines for the same loop win (a resumed run re-records its
+    re-runs).  Corrupt or truncated lines are skipped — an unreadable
+    record is indistinguishable from an unwritten one, and both mean
+    "run that loop again".
+    """
+    header: Optional[dict] = None
+    entries: Dict[str, dict] = {}
+    with open(path, encoding="utf-8") as handle:
+        for index, raw in enumerate(handle):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # truncated mid-append; treat as absent
+            if index == 0 and "journal_version" in record:
+                if record["journal_version"] != JOURNAL_VERSION:
+                    raise JournalError(
+                        f"journal {path} has version "
+                        f"{record['journal_version']}, expected "
+                        f"{JOURNAL_VERSION}"
+                    )
+                header = record
+                continue
+            if not isinstance(record, dict) or "entry" not in record:
+                continue
+            key = entry_key(
+                str(record.get("source", "")), str(record.get("name", ""))
+            )
+            entries[key] = record
+    return header, entries
+
+
+def completed_entries(path) -> Tuple[Optional[dict], Dict[str, dict]]:
+    """Like :func:`read_journal`, keeping only non-failed outcomes.
+
+    An entry that recorded an ``error`` (including supervision failures:
+    crash/hang/oom/interrupted) is dropped so the resumed run retries
+    it; a loop that legitimately exhausted its solver budget
+    (``achieved_t`` null, no error) counts as completed.
+    """
+    header, entries = read_journal(path)
+    done = {
+        key: record
+        for key, record in entries.items()
+        if isinstance(record.get("entry"), dict)
+        and record["entry"].get("error") is None
+    }
+    return header, done

@@ -1,0 +1,150 @@
+"""Failure taxonomy and supervision policy shared by every driver.
+
+A supervised solve can end five ways that are *not* a solver status:
+
+* ``crash``        — the worker process died (segfault, ``os._exit``,
+  kernel OOM-killer, broken pipe);
+* ``hang``         — the worker blew through its wall-clock deadline and
+  was killed by the supervisor (the solver's own ``time_limit`` was not
+  honored, or time went somewhere outside the solver);
+* ``oom``          — the worker hit its memory cap (``MemoryError``,
+  typically via the per-worker RLIMIT_AS rlimit);
+* ``solver_error`` — the task body raised (bad model, malformed
+  solution, verification failure, any uncaught exception);
+* ``interrupted``  — the run was asked to stop (SIGINT/SIGTERM) before
+  the task finished.
+
+Each of those becomes a :class:`FailureRecord` attached to the attempt /
+batch entry it felled, instead of an exception that aborts the run.  The
+knobs that decide when the supervisor intervenes live in
+:class:`SupervisionPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Failure kinds (``FailureRecord.kind`` is always one of these).
+CRASH = "crash"
+HANG = "hang"
+OOM = "oom"
+SOLVER_ERROR = "solver_error"
+INTERRUPTED = "interrupted"
+
+FAILURE_KINDS = (CRASH, HANG, OOM, SOLVER_ERROR, INTERRUPTED)
+
+#: Kinds the supervisor retries (a crash or hang may be transient; an
+#: OOM or task-level error will just repeat).
+RETRYABLE_KINDS = (CRASH, HANG)
+
+#: Attempt status for a loop that settled to its best-known incumbent
+#: (heuristic schedule or provisional winner) after failures or an
+#: interrupt, instead of raising.
+DEGRADED = "degraded"
+
+
+@dataclass
+class FailureRecord:
+    """One supervised task's terminal failure, after retries."""
+
+    kind: str  # one of FAILURE_KINDS
+    #: 1-based try number that produced this record (``retries + 1``
+    #: when every retry was consumed).
+    attempt: int = 1
+    #: Retries consumed before giving up.
+    retries: int = 0
+    #: Wall-clock seconds spent across all tries of the task.
+    elapsed: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; "
+                f"expected one of {FAILURE_KINDS}"
+            )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "retries": self.retries,
+            "elapsed": round(self.elapsed, 6),
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FailureRecord":
+        return cls(
+            kind=data["kind"],
+            attempt=int(data.get("attempt", 1)),
+            retries=int(data.get("retries", 0)),
+            elapsed=float(data.get("elapsed", 0.0)),
+            detail=str(data.get("detail", "")),
+        )
+
+    def summary(self) -> str:
+        note = f" ({self.detail})" if self.detail else ""
+        return (
+            f"{self.kind} after {self.attempt} attempt(s), "
+            f"{self.elapsed:.2f}s{note}"
+        )
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Guard-rails for out-of-process solves.
+
+    Frozen and picklable: the policy crosses into pool initializers and
+    journal headers unchanged.
+
+    ``deadline`` is the per-task wall-clock budget in seconds; ``None``
+    lets each driver derive one (the race uses its per-period solver
+    budget; the batch runner runs unbounded unless told otherwise).  A
+    task is killed — SIGKILL, not a polite request — once it exceeds
+    ``deadline + grace``.
+    """
+
+    deadline: Optional[float] = None
+    #: Slack beyond the deadline before the kill, covering model build,
+    #: extraction and verification time around the solve proper.
+    grace: float = 5.0
+    #: Per-worker address-space cap (RLIMIT_AS), in MiB.  ``None``
+    #: leaves the OS limit in place.
+    memory_mb: Optional[int] = None
+    #: How many times a crashed or hung task is re-dispatched before it
+    #: fails for good.
+    max_retries: int = 2
+    #: Base backoff before a retry, doubling each time (0.25s, 0.5s, 1s,
+    #: ...), so a crash-looping worker cannot spin the supervisor.
+    backoff: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if self.grace < 0:
+            raise ValueError(f"grace must be >= 0, got {self.grace}")
+        if self.memory_mb is not None and self.memory_mb < 1:
+            raise ValueError(
+                f"memory_mb must be >= 1, got {self.memory_mb}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+
+    def retry_delay(self, tries: int) -> float:
+        """Backoff before re-dispatching a task that failed ``tries`` times."""
+        if tries < 1:
+            return 0.0
+        return self.backoff * (2.0 ** (tries - 1))
+
+    def kill_after(self, deadline: Optional[float]) -> Optional[float]:
+        """Seconds after task start at which the worker is killed."""
+        budget = deadline if deadline is not None else self.deadline
+        if budget is None:
+            return None
+        return budget + self.grace

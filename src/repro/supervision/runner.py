@@ -1,0 +1,100 @@
+"""Supervised out-of-process execution of the sequential driver's attempts.
+
+:func:`repro.core.schedule_loop` normally solves each candidate period
+in-process; a hung or crashing solve takes the whole program with it.
+:class:`SupervisedAttemptRunner` is a drop-in ``attempt_runner`` for
+:func:`repro.core.scheduler.run_sweep` that ships each
+:func:`~repro.core.scheduler.attempt_period` call to a single supervised
+worker (kept warm across attempts), so the sweep inherits every
+guarantee of :class:`~repro.supervision.executor.SupervisedExecutor`:
+deadline kills, crash recovery with retry, memory caps, and
+failures-as-records.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.supervision.executor import SupervisedExecutor
+from repro.supervision.records import INTERRUPTED, SupervisionPolicy
+from repro.supervision.signals import interrupted
+
+
+def _init_solver_budget(budget: Optional[float]) -> None:
+    """Worker initializer: cap every solve in the worker process."""
+    from repro.ilp import solve as solve_module
+
+    solve_module.set_process_time_budget(budget)
+
+
+class SupervisedAttemptRunner:
+    """Run ``attempt_period`` in a supervised child process.
+
+    Matches the ``attempt_runner`` hook signature of
+    :func:`repro.core.scheduler.run_sweep` and returns an
+    :class:`~repro.core.scheduler.AttemptOutcome` whose attempt carries
+    a :class:`~repro.supervision.records.FailureRecord` when the child
+    crashed, hung, OOMed or was interrupted.  The worker is spawned
+    lazily and reused across attempts; call :meth:`close` (or use as a
+    context manager) when the sweep is done.
+    """
+
+    def __init__(self, policy: Optional[SupervisionPolicy] = None,
+                 time_budget: Optional[float] = None) -> None:
+        self.policy = policy or SupervisionPolicy()
+        self._time_budget = time_budget
+        self._executor: Optional[SupervisedExecutor] = None
+
+    def _ensure_executor(self) -> SupervisedExecutor:
+        if self._executor is None:
+            self._executor = SupervisedExecutor(
+                max_workers=1,
+                policy=self.policy,
+                initializer=_init_solver_budget,
+                initargs=(self._time_budget,),
+            )
+        return self._executor
+
+    def __call__(self, ddg, machine, t_period, config, incumbent=None):
+        from repro.core.scheduler import (
+            AttemptOutcome,
+            ScheduleAttempt,
+            attempt_period,
+        )
+
+        executor = self._ensure_executor()
+        deadline = self.policy.deadline
+        if deadline is None:
+            deadline = config.time_limit
+        task = executor.submit(
+            attempt_period, ddg, machine, t_period, config,
+            incumbent=incumbent, deadline=deadline,
+        )
+        while not task.finished:
+            if interrupted():
+                executor.abort(
+                    INTERRUPTED, "sweep interrupted (SIGINT/SIGTERM)"
+                )
+                break
+            executor.poll(timeout=0.25)
+        if task.failure is not None:
+            return AttemptOutcome(
+                attempt=ScheduleAttempt(
+                    t_period=t_period,
+                    status=task.failure.kind,
+                    seconds=task.failure.elapsed,
+                    failure=task.failure,
+                )
+            )
+        return task.result
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "SupervisedAttemptRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,70 @@
+"""Cooperative SIGINT/SIGTERM handling for long solve loops.
+
+The drivers (sequential sweep, period race, batch runner) poll
+:func:`interrupted` between dispatch steps; :func:`graceful_interrupts`
+turns the first SIGINT/SIGTERM into that flag so a loop can settle to
+its best-known incumbent and flush its journal instead of dying with a
+stack trace.  A second SIGINT falls through to the default handler
+(KeyboardInterrupt) so an impatient Ctrl-C Ctrl-C still works.
+
+The flag is process-global on purpose: one run, one intent to stop.
+Worker processes ignore SIGINT entirely (the supervisor decides their
+fate), so only the parent observes the flag.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator, Tuple
+
+_STOP = threading.Event()
+
+
+def interrupted() -> bool:
+    """True once a graceful-stop signal (or test request) has arrived."""
+    return _STOP.is_set()
+
+
+def request_interrupt() -> None:
+    """Set the stop flag programmatically (tests, embedding apps)."""
+    _STOP.set()
+
+
+def clear_interrupt() -> None:
+    """Reset the stop flag (start of a new supervised run)."""
+    _STOP.clear()
+
+
+@contextlib.contextmanager
+def graceful_interrupts(
+    signums: Tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[None]:
+    """Route the first SIGINT/SIGTERM to the stop flag, the second on.
+
+    No-op (flag-only) when not in the main thread, where Python forbids
+    installing signal handlers.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    previous = {}
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal API
+        if _STOP.is_set():
+            # Second signal: restore the old handler and re-raise so the
+            # default behaviour (KeyboardInterrupt / termination) wins.
+            signal.signal(signum, previous.get(signum, signal.SIG_DFL))
+            raise KeyboardInterrupt
+        _STOP.set()
+
+    for signum in signums:
+        previous[signum] = signal.signal(signum, _handler)
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        _STOP.clear()

@@ -1,0 +1,64 @@
+"""Atomic writes and all-or-nothing journal appends."""
+
+import json
+import os
+
+import pytest
+
+from repro.supervision.atomicio import (
+    AppendOnlyLines,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text(encoding="utf-8") == "hello\n"
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old", encoding="utf-8")
+        atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "new"
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_write_preserves_old_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text('{"ok": true}', encoding="utf-8")
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        assert json.loads(target.read_text(encoding="utf-8")) == {"ok": True}
+
+    def test_json_newline_terminated(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"a": 1})
+        text = target.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": 1}
+
+
+class TestAppendOnlyLines:
+    def test_appends_across_handles(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with AppendOnlyLines(path) as log:
+            log.append("one")
+        with AppendOnlyLines(path) as log:
+            log.append("two")
+        assert path.read_text(encoding="utf-8") == "one\ntwo\n"
+
+    def test_rejects_embedded_newline(self, tmp_path):
+        with AppendOnlyLines(tmp_path / "log.jsonl") as log:
+            with pytest.raises(ValueError, match="newline"):
+                log.append("a\nb")
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = AppendOnlyLines(tmp_path / "log.jsonl")
+        log.close()
+        log.close()

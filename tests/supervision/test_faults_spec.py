@@ -1,0 +1,136 @@
+"""Fault-spec grammar, match counters, and in-process fault behavior.
+
+Only the faults that are safe to run in the test process itself are
+fired here (hang with a tiny duration, simulated OOM, malformed).  The
+crash fault and the supervised recovery paths are exercised end to end
+in ``test_fault_matrix.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.ilp.model import Model
+from repro.ilp.solution import Solution, SolveStatus
+from repro.supervision import faults
+from repro.supervision.faults import (
+    ENV_VAR,
+    FaultSpec,
+    FaultSpecError,
+    parse_faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestParse:
+    def test_empty(self):
+        assert parse_faults("") == []
+
+    def test_kind_only_defaults_to_any_site(self):
+        (spec,) = parse_faults("crash")
+        assert spec == FaultSpec(kind="crash", site="any")
+
+    def test_full_clause(self):
+        (spec,) = parse_faults(
+            "hang@attempt:t=4:loop=dotprod:times=2:after=1:seconds=0.5"
+        )
+        assert spec.kind == "hang"
+        assert spec.site == "attempt"
+        assert dict(spec.match) == {"t": "4", "loop": "dotprod"}
+        assert spec.times == 2
+        assert spec.after == 1
+        assert spec.seconds == 0.5
+
+    def test_multiple_clauses(self):
+        specs = parse_faults("crash@attempt, malformed@solve:times=1")
+        assert [s.kind for s in specs] == ["crash", "malformed"]
+
+    @pytest.mark.parametrize(
+        "text",
+        ["meltdown@attempt", "crash@nowhere", "crash@attempt:times",
+         "hang@any:times=x"],
+    )
+    def test_bad_clause_rejected(self, text):
+        with pytest.raises(FaultSpecError):
+            parse_faults(text)
+
+
+class TestMatching:
+    def test_site_filter(self):
+        spec = FaultSpec(kind="crash", site="attempt")
+        assert spec.matches("attempt", {})
+        assert not spec.matches("batch", {})
+        assert FaultSpec(kind="crash", site="any").matches("batch", {})
+
+    def test_context_filter_compares_as_strings(self):
+        spec = FaultSpec(kind="crash", site="any", match=(("t", "4"),))
+        assert spec.matches("attempt", {"t": 4})
+        assert not spec.matches("attempt", {"t": 5})
+        assert not spec.matches("attempt", {})
+
+
+class TestCounters:
+    def test_times_caps_firings(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "malformed@solve:times=2")
+        assert faults.should_corrupt("solve")
+        assert faults.should_corrupt("solve")
+        assert not faults.should_corrupt("solve")
+
+    def test_after_skips_first_matches(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "malformed@solve:after=2:times=1")
+        assert not faults.should_corrupt("solve")
+        assert not faults.should_corrupt("solve")
+        assert faults.should_corrupt("solve")
+        assert not faults.should_corrupt("solve")
+
+    def test_env_change_resets_counters(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "malformed@solve:times=1")
+        assert faults.should_corrupt("solve")
+        monkeypatch.setenv(ENV_VAR, "malformed@solve:times=1:t=9")
+        assert not faults.should_corrupt("solve")  # new spec, t mismatch
+        assert faults.should_corrupt("solve", t=9)
+
+
+class TestFire:
+    def test_inert_without_env(self):
+        faults.fire("attempt", loop="x", t=1)  # no-op
+
+    def test_hang_sleeps_for_configured_seconds(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "hang@attempt:seconds=0.2:times=1")
+        start = time.monotonic()
+        faults.fire("attempt", loop="x", t=1)
+        assert time.monotonic() - start >= 0.2
+
+    def test_oom_raises_memory_error(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "oom@attempt:mb=16:times=1")
+        with pytest.raises(MemoryError, match="simulated OOM"):
+            faults.fire("attempt", loop="x", t=1)
+        faults.fire("attempt", loop="x", t=1)  # times=1: second is a no-op
+
+
+class TestCorruptSolution:
+    def _solution(self, n=6):
+        model = Model("m")
+        variables = [model.add_binary(f"x{i}") for i in range(n)]
+        values = {v: 1.0 for v in variables}
+        return Solution(status=SolveStatus.OPTIMAL, values=values)
+
+    def test_drops_half_and_makes_one_fractional(self):
+        solution = self._solution(6)
+        corrupted = faults.corrupt_solution(solution)
+        assert len(corrupted.values) == 3
+        fractional = [
+            v for v in corrupted.values.values() if v != int(v)
+        ]
+        assert len(fractional) == 1
+
+    def test_empty_solution_untouched(self):
+        solution = Solution(status=SolveStatus.INFEASIBLE, values={})
+        assert faults.corrupt_solution(solution) is solution

@@ -1,0 +1,119 @@
+"""Batch journal: headers, appends, corrupt-line tolerance, resume keys."""
+
+import json
+
+import pytest
+
+from repro.supervision.journal import (
+    JOURNAL_VERSION,
+    BatchJournal,
+    JournalError,
+    completed_entries,
+    config_digest,
+    entry_key,
+    read_journal,
+)
+
+DIGEST = config_digest("machine-abc", backend="auto", time_limit=10.0)
+
+
+def _write(path, seq, source, name, entry):
+    with BatchJournal(path, DIGEST) as journal:
+        journal.record(seq, source, name, entry)
+
+
+class TestConfigDigest:
+    def test_deterministic_and_order_independent(self):
+        a = config_digest("m", backend="auto", time_limit=10.0)
+        b = config_digest("m", time_limit=10.0, backend="auto")
+        assert a == b
+
+    def test_sensitive_to_every_setting(self):
+        base = config_digest("m", backend="auto", time_limit=10.0)
+        assert config_digest("m2", backend="auto", time_limit=10.0) != base
+        assert config_digest("m", backend="bnb", time_limit=10.0) != base
+        assert config_digest("m", backend="auto", time_limit=30.0) != base
+
+
+class TestBatchJournal:
+    def test_header_then_entries(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, 0, "a.ddg", "a", {"name": "a"})
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        assert header["journal_version"] == JOURNAL_VERSION
+        assert header["config_digest"] == DIGEST
+        record = json.loads(lines[1])
+        assert record == {
+            "seq": 0, "source": "a.ddg", "name": "a",
+            "entry": {"name": "a"},
+        }
+
+    def test_reopen_appends_without_second_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, 0, "a.ddg", "a", {"name": "a"})
+        _write(path, 1, "b.ddg", "b", {"name": "b"})
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 3
+        assert sum("journal_version" in line for line in lines) == 1
+
+    def test_digest_mismatch_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, 0, "a.ddg", "a", {"name": "a"})
+        with pytest.raises(JournalError, match="different settings"):
+            BatchJournal(path, "other-digest")
+
+    def test_version_mismatch_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps({"journal_version": 99, "config_digest": DIGEST})
+            + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(JournalError, match="version"):
+            read_journal(path)
+
+
+class TestReadJournal:
+    def test_later_line_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with BatchJournal(path, DIGEST) as journal:
+            journal.record(0, "a.ddg", "a", {"error": "crash"})
+            journal.record(0, "a.ddg", "a", {"achieved_t": 4})
+        _, entries = read_journal(path)
+        assert entries[entry_key("a.ddg", "a")]["entry"] == {
+            "achieved_t": 4
+        }
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, 0, "a.ddg", "a", {"achieved_t": 4})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 1, "source": "b.ddg", "na')  # torn write
+        header, entries = read_journal(path)
+        assert header is not None
+        assert list(entries) == [entry_key("a.ddg", "a")]
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, 0, "a.ddg", "a", {"achieved_t": 4})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"no_entry_field": true}\n')
+        _, entries = read_journal(path)
+        assert list(entries) == [entry_key("a.ddg", "a")]
+
+
+class TestCompletedEntries:
+    def test_failed_entries_dropped_for_retry(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with BatchJournal(path, DIGEST) as journal:
+            journal.record(0, "a.ddg", "a", {"achieved_t": 4})
+            journal.record(1, "b.ddg", "b", {"error": "crash", "failure":
+                                             {"kind": "crash"}})
+            # Budget exhausted but no error: a legitimate outcome.
+            journal.record(2, "c.ddg", "c", {"achieved_t": None})
+        _, done = completed_entries(path)
+        assert set(done) == {
+            entry_key("a.ddg", "a"), entry_key("c.ddg", "c")
+        }

@@ -1,0 +1,100 @@
+"""Failure taxonomy and policy: validation, round-trips, derived knobs."""
+
+import pickle
+
+import pytest
+
+from repro.supervision.records import (
+    CRASH,
+    FAILURE_KINDS,
+    HANG,
+    INTERRUPTED,
+    OOM,
+    RETRYABLE_KINDS,
+    SOLVER_ERROR,
+    FailureRecord,
+    SupervisionPolicy,
+)
+
+
+class TestFailureRecord:
+    def test_kinds_are_closed_set(self):
+        assert set(FAILURE_KINDS) == {
+            CRASH, HANG, OOM, SOLVER_ERROR, INTERRUPTED
+        }
+        assert set(RETRYABLE_KINDS) == {CRASH, HANG}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown failure kind"):
+            FailureRecord(kind="meltdown")
+
+    @pytest.mark.parametrize("kind", FAILURE_KINDS)
+    def test_json_round_trip(self, kind):
+        record = FailureRecord(
+            kind=kind, attempt=3, retries=2, elapsed=1.25,
+            detail="worker died (exit code 70)",
+        )
+        clone = FailureRecord.from_json_dict(record.to_json_dict())
+        assert clone == record
+
+    def test_json_dict_schema(self):
+        doc = FailureRecord(kind=CRASH).to_json_dict()
+        assert set(doc) == {
+            "kind", "attempt", "retries", "elapsed", "detail"
+        }
+
+    def test_summary_mentions_kind_and_detail(self):
+        record = FailureRecord(kind=HANG, attempt=2, elapsed=3.5,
+                               detail="killed after 3.5s")
+        text = record.summary()
+        assert "hang" in text
+        assert "2 attempt(s)" in text
+        assert "killed after 3.5s" in text
+
+    def test_picklable(self):
+        record = FailureRecord(kind=OOM, detail="cap hit")
+        assert pickle.loads(pickle.dumps(record)) == record
+
+
+class TestSupervisionPolicy:
+    def test_defaults(self):
+        policy = SupervisionPolicy()
+        assert policy.deadline is None
+        assert policy.max_retries == 2
+        assert policy.memory_mb is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline": 0.0},
+            {"deadline": -1.0},
+            {"grace": -0.1},
+            {"memory_mb": 0},
+            {"max_retries": -1},
+            {"backoff": -0.5},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(**kwargs)
+
+    def test_retry_delay_doubles(self):
+        policy = SupervisionPolicy(backoff=0.25)
+        assert policy.retry_delay(0) == 0.0
+        assert policy.retry_delay(1) == 0.25
+        assert policy.retry_delay(2) == 0.5
+        assert policy.retry_delay(3) == 1.0
+
+    def test_kill_after_uses_task_deadline_over_policy(self):
+        policy = SupervisionPolicy(deadline=10.0, grace=2.0)
+        assert policy.kill_after(None) == 12.0
+        assert policy.kill_after(1.0) == 3.0
+
+    def test_kill_after_none_when_unbounded(self):
+        assert SupervisionPolicy().kill_after(None) is None
+
+    def test_frozen_and_picklable(self):
+        policy = SupervisionPolicy(deadline=5.0, memory_mb=128)
+        with pytest.raises(AttributeError):
+            policy.deadline = 1.0
+        assert pickle.loads(pickle.dumps(policy)) == policy
