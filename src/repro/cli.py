@@ -4,6 +4,7 @@ Commands
     schedule     schedule one loop (named kernel or DDG text file)
     batch        schedule a corpus of .ddg files across worker processes
     profile      compare presolve on/off model sizes and phase timings
+    cache        inspect/maintain the persistent schedule store
     motivating   print the paper's §2 artifacts (Figures 1-4, Tables 1-2)
     suite        run a synthetic corpus and print Table 4-style buckets
     list         show available kernels and machine presets
@@ -12,6 +13,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -109,6 +111,22 @@ def _atomic_write(path, text) -> None:
     atomic_write_text(path, text)
 
 
+def _print_store_line(result) -> None:
+    """One-line store outcome for schedule/race results (when enabled)."""
+    stats = result.store
+    if stats is None:
+        return
+    if stats.hit:
+        print(
+            f"store: hit ({stats.tier}, verified, "
+            f"{stats.seconds * 1000:.1f} ms) — sweep skipped"
+        )
+    else:
+        state = "published" if stats.published else "not published"
+        extra = ", stale entry evicted" if stats.evicted else ""
+        print(f"store: miss ({state}{extra})")
+
+
 def _cmd_schedule(args) -> int:
     from repro.supervision import graceful_interrupts
 
@@ -129,8 +147,10 @@ def _cmd_schedule(args) -> int:
             presolve=not args.no_presolve,
             warmstart=not args.no_warmstart,
             supervision=_policy_of(args),
+            store=args.store,
         )
     print(result.summary())
+    _print_store_line(result)
     if args.explain:
         from repro.core.explain import explain_infeasibility
 
@@ -204,6 +224,7 @@ def _cmd_batch(args) -> int:
                 policy=_policy_of(args),
                 journal=args.journal,
                 resume=args.resume,
+                store=args.store,
             )
     except (OSError, ValueError) as exc:
         raise SystemExit(f"batch: {exc}")
@@ -238,10 +259,12 @@ def _cmd_race(args) -> int:
                 jobs=args.jobs,
                 warmstart=not args.no_warmstart,
                 policy=_policy_of(args),
+                store=args.store,
             )
     except SchedulingError as exc:
         raise SystemExit(f"race: {exc}")
     print(result.summary())
+    _print_store_line(result)
     for attempt in result.attempts:
         print(f"  T={attempt.t_period}: {attempt.status} "
               f"({attempt.seconds:.2f}s)")
@@ -338,7 +361,138 @@ def _cmd_profile(args) -> int:
             f"presolve: {rows_cut:.1%} fewer rows, "
             f"{time_cut:.1%} less build+lower+solve time"
         )
+    _print_cache_counters()
     return 0
+
+
+def _print_cache_counters() -> None:
+    """In-process memoization counters (LRU caches + store tiers)."""
+    from repro.parallel.cache import cache_stats
+    from repro.store.tiering import tier_stats
+
+    print()
+    print("in-process caches (this run):")
+    for name, counters in {**cache_stats(), **tier_stats()}.items():
+        total = counters["hits"] + counters["misses"]
+        print(
+            f"  {name:<12} {counters['hits']}/{total} hit(s), "
+            f"{counters['size']} entries"
+        )
+
+
+def _cmd_cache(args) -> int:
+    """Inspect and maintain the persistent schedule store."""
+    import json
+
+    from repro.store import ScheduleStore
+
+    store = ScheduleStore(args.store)
+    action = args.action
+
+    if action == "stats":
+        stats = store.stats()
+        print(f"store {stats['root']}: {stats['entries']} entrie(s), "
+              f"{stats['bytes']} bytes")
+        if stats["oldest_mtime"] is not None:
+            import time as time_module
+
+            age = time_module.time() - stats["oldest_mtime"]
+            print(f"oldest entry: {age / 3600:.1f} h old")
+        return 0
+
+    if action == "ls":
+        count = 0
+        for key, entry in store.entries():
+            prov = entry.get("provenance", {})
+            result = entry.get("result", {})
+            sched = result.get("schedule", {})
+            print(
+                f"{key[:16]}  loop={prov.get('loop', '?'):<16} "
+                f"T={sched.get('t_period', '?'):<3} "
+                f"solve={prov.get('solve_seconds', 0):.2f}s"
+            )
+            count += 1
+        print(f"{count} entrie(s)")
+        return 0
+
+    if action == "gc":
+        removed = store.gc(max_bytes=args.max_bytes, max_age=args.max_age)
+        print(
+            f"gc: removed {removed['removed']} entrie(s), kept "
+            f"{removed['kept']} ({removed['bytes']} bytes)"
+        )
+        return 0
+
+    if action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entrie(s)")
+        return 0
+
+    if action == "verify":
+        from repro.core.errors import CoreError
+        from repro.core.verify import verify_schedule
+        from repro.ddg.builders import parse_ddg
+        from repro.ddg.errors import DdgError
+        from repro.store.entry import EntryError, entry_to_result
+        from repro.store.keys import canonical_machine_digest
+
+        machine = _machine_of(args)
+        machine_digest = canonical_machine_digest(machine)
+        checked = bad = skipped = 0
+        for key, entry in store.entries():
+            if entry.get("machine_digest") != machine_digest:
+                skipped += 1
+                continue
+            checked += 1
+            try:
+                # Canonical text parses to ops in canonical order, so
+                # the stored starts apply with the identity permutation.
+                ddg = parse_ddg(entry["ddg"])
+                result = entry_to_result(
+                    entry, ddg, machine, list(range(ddg.num_ops))
+                )
+                verify_schedule(result.schedule)
+            except (EntryError, DdgError, CoreError, KeyError,
+                    ValueError) as exc:
+                bad += 1
+                print(f"BAD {key[:16]}: {type(exc).__name__}: {exc}")
+                if args.evict:
+                    store.delete(key)
+        state = "evicted" if args.evict and bad else "kept"
+        print(
+            f"verified {checked} entrie(s) for machine "
+            f"{machine.name!r}: {bad} bad ({state}), "
+            f"{skipped} for other machines skipped"
+        )
+        return 1 if bad else 0
+
+    if action == "warm":
+        from repro.core.scheduler import AttemptConfig
+        from repro.store import warm_store
+
+        machine = _machine_of(args)
+        config = AttemptConfig(
+            backend=args.backend,
+            objective=args.objective,
+            time_limit=args.time_limit,
+            presolve=not args.no_presolve,
+            warmstart=not args.no_warmstart,
+        )
+        try:
+            outcome = warm_store(
+                args.journal, store, machine, config, args.max_extra
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cache warm: {exc}")
+        print(
+            f"warmed from {args.journal}: {outcome['published']}/"
+            f"{outcome['examined']} entrie(s) published"
+        )
+        if outcome["skipped"]:
+            print("skipped: " + json.dumps(outcome["skipped"], sort_keys=True))
+        return 0
+
+    raise SystemExit(f"unknown cache action {action!r}")
 
 
 def _cmd_analyze(args) -> int:
@@ -474,6 +628,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_schedule.add_argument("--no-warmstart", action="store_true",
                             help="disable the heuristic warm-start "
                                  "pre-pass")
+    p_schedule.add_argument("--store", metavar="DIR",
+                            help="persistent schedule store directory "
+                                 "(hits skip the solve entirely)")
     _add_supervision_flags(p_schedule)
     p_schedule.set_defaults(func=_cmd_schedule)
 
@@ -510,6 +667,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--resume", metavar="PATH",
                          help="resume from a journal: re-run only loops "
                               "that failed or never finished")
+    p_batch.add_argument("--store", metavar="DIR",
+                         help="persistent schedule store shared by all "
+                              "workers and across runs")
     _add_supervision_flags(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
@@ -533,6 +693,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the ILP presolve pass")
     p_race.add_argument("--no-warmstart", action="store_true",
                         help="disable the heuristic warm-start pre-pass")
+    p_race.add_argument("--store", metavar="DIR",
+                        help="persistent schedule store directory "
+                             "(hits skip the race entirely)")
     _add_supervision_flags(p_race)
     p_race.set_defaults(func=_cmd_race)
 
@@ -559,6 +722,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--time-limit", type=float, default=30.0)
     p_profile.add_argument("--max-extra", type=int, default=10)
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect/maintain the persistent schedule store"
+    )
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+
+    def _cache_action(name: str, help_text: str):
+        action = cache_sub.add_parser(name, help=help_text)
+        action.add_argument("--store", required=True, metavar="DIR",
+                            help="schedule store directory")
+        action.set_defaults(func=_cmd_cache, action=name)
+        return action
+
+    _cache_action("stats", "entry count, bytes, and age of the store")
+    _cache_action("ls", "list entries (key, loop, period, solve time)")
+    c_gc = _cache_action("gc", "evict entries by age and/or total size")
+    c_gc.add_argument("--max-bytes", type=int, metavar="N",
+                      help="shrink the store below N bytes "
+                           "(oldest entries first)")
+    c_gc.add_argument("--max-age", type=float, metavar="SEC",
+                      help="evict entries older than SEC seconds")
+    _cache_action("clear", "remove every entry")
+    c_verify = _cache_action(
+        "verify", "re-verify every entry against a machine"
+    )
+    c_verify.add_argument("--machine", default="powerpc604")
+    c_verify.add_argument("--machine-file", metavar="PATH",
+                          help="machine description file "
+                               "(overrides --machine)")
+    c_verify.add_argument("--evict", action="store_true",
+                          help="delete entries that fail verification")
+    c_warm = _cache_action(
+        "warm", "publish entries from a batch journal/report"
+    )
+    c_warm.add_argument("journal", metavar="PATH",
+                        help="batch journal (.jsonl) or report (.json) "
+                             "with schedule payloads (report v5+)")
+    c_warm.add_argument("--machine", default="powerpc604")
+    c_warm.add_argument("--machine-file", metavar="PATH",
+                        help="machine description file "
+                             "(overrides --machine)")
+    c_warm.add_argument("--backend", default="auto",
+                        choices=("auto", "highs", "bnb"))
+    c_warm.add_argument("--objective", default="feasibility",
+                        choices=("feasibility", "min_sum_t", "min_fu",
+                                 "min_buffers", "min_lifetimes"))
+    c_warm.add_argument("--time-limit", type=float, default=10.0)
+    c_warm.add_argument("--max-extra", type=int, default=10)
+    c_warm.add_argument("--no-presolve", action="store_true")
+    c_warm.add_argument("--no-warmstart", action="store_true")
 
     p_analyze = sub.add_parser(
         "analyze", help="pipeline-hazard analysis of a machine's FUs"
@@ -596,7 +809,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream reader (e.g. ``| head``) closed the pipe; point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

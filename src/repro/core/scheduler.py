@@ -101,6 +101,44 @@ class WarmStartStats:
 
 
 @dataclass
+class StoreStats:
+    """What the persistent schedule store did for one loop's solve.
+
+    Attached to :class:`SchedulingResult` whenever a store was consulted
+    — both on hits (the sweep was skipped entirely) and on misses (the
+    cold result was published back).  Lives here rather than in
+    :mod:`repro.store` so the core result type has no store dependency.
+    """
+
+    enabled: bool
+    #: Content address consulted (None when the store was disabled).
+    key: Optional[str] = None
+    hit: bool = False
+    #: Which tier served the hit: ``"memory"`` or ``"disk"``.
+    tier: Optional[str] = None
+    #: The hit's schedule passed re-verification against the current
+    #: machine (always True on a reported hit — failed verification
+    #: demotes to a miss and sets ``evicted``).
+    verified: bool = False
+    #: A candidate entry was found but failed validation and was removed.
+    evicted: bool = False
+    #: This solve's result was written back to the store.
+    published: bool = False
+    #: Wall-clock spent on store lookup (canonicalization + read + verify).
+    seconds: float = 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "hit": self.hit,
+            "tier": self.tier,
+            "verified": self.verified,
+            "evicted": self.evicted,
+            "published": self.published,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
 class SchedulingResult:
     """Outcome of :func:`schedule_loop`."""
 
@@ -115,6 +153,8 @@ class SchedulingResult:
     #: solves failed or the run was interrupted — the result is usable
     #: but weaker than a clean sweep (no optimality claims).
     degraded: bool = False
+    #: Persistent-store interaction record (None when no store was used).
+    store: Optional[StoreStats] = None
 
     @property
     def achieved_t(self) -> Optional[int]:
@@ -325,6 +365,7 @@ def run_sweep(
         Callable[[Ddg, Machine, int], WarmStart]
     ] = None,
     attempt_runner: Optional[Callable[..., AttemptOutcome]] = None,
+    store=None,
 ) -> SchedulingResult:
     """The §6 increasing-T sweep, warm-start and failure aware.
 
@@ -343,8 +384,26 @@ def run_sweep(
     accept a larger T rather than abort); a graceful interrupt stops the
     sweep and settles to the heuristic incumbent when one exists, marked
     with a ``"degraded"`` attempt instead of raising.
+
+    ``store`` (a :class:`repro.store.ScheduleStore`) short-circuits the
+    entire sweep — heuristic pre-pass included — when a verified entry
+    for this (loop, machine, semantics) content address exists, and
+    publishes the result back on a clean cold solve.  Store misses cost
+    one canonicalization + file probe; hits are re-verified against the
+    current machine before being trusted (see ``docs/performance.md``).
     """
     start_clock = time.monotonic()
+    store_stats: Optional[StoreStats] = None
+    if store is not None:
+        from repro.store.tiering import lookup as store_lookup
+
+        stored, store_stats = store_lookup(
+            store, ddg, machine, config, max_extra
+        )
+        if stored is not None:
+            stored.store = store_stats
+            stored.total_seconds = time.monotonic() - start_clock
+            return stored
     if bounds is None:
         bounds = lower_bounds(ddg, machine)
     ws, ws_stats = heuristic_pass(
@@ -411,7 +470,7 @@ def run_sweep(
             f"no candidate periods for loop {ddg.name!r} "
             f"(T_lb={bounds.t_lb}, max_extra={max_extra})"
         )
-    return SchedulingResult(
+    result = SchedulingResult(
         loop_name=ddg.name,
         bounds=bounds,
         attempts=attempts,
@@ -419,7 +478,16 @@ def run_sweep(
         total_seconds=time.monotonic() - start_clock,
         warmstart=ws_stats,
         degraded=degraded,
+        store=store_stats,
     )
+    if store is not None:
+        from repro.store.tiering import publish as store_publish
+
+        store_publish(
+            store, ddg, machine, config, max_extra, result,
+            stats=store_stats,
+        )
+    return result
 
 
 def schedule_loop(
@@ -435,6 +503,7 @@ def schedule_loop(
     presolve: bool = True,
     warmstart: bool = True,
     supervision=None,
+    store=None,
 ) -> SchedulingResult:
     """Find a rate-optimal software-pipelined schedule for ``ddg``.
 
@@ -458,6 +527,10 @@ def schedule_loop(
     process; crashes, hangs and OOMs then surface as per-attempt
     :class:`~repro.supervision.records.FailureRecord` data and the sweep
     degrades gracefully instead of dying (see ``docs/robustness.md``).
+
+    ``store`` (a :class:`repro.store.ScheduleStore` or a path accepted
+    by :func:`repro.store.open_store`) consults the persistent schedule
+    store before doing any work and publishes clean results back.
     """
     config = AttemptConfig(
         backend=backend,
@@ -469,13 +542,18 @@ def schedule_loop(
         presolve=presolve,
         warmstart=warmstart,
     )
+    if store is not None:
+        from repro.store import open_store
+
+        store = open_store(store)
     if supervision is None:
-        return run_sweep(ddg, machine, config, max_extra)
+        return run_sweep(ddg, machine, config, max_extra, store=store)
     from repro.supervision.runner import SupervisedAttemptRunner
 
     with SupervisedAttemptRunner(
         supervision, time_budget=time_limit_per_t
     ) as runner:
         return run_sweep(
-            ddg, machine, config, max_extra, attempt_runner=runner
+            ddg, machine, config, max_extra, attempt_runner=runner,
+            store=store,
         )

@@ -1,0 +1,239 @@
+"""Canonical DDG forms: digests invariant to naming and statement order.
+
+Real corpora repeat loop bodies almost verbatim — the same compiler
+idiom shows up in many files with different variable names, and the ops
+and dependence edges land in whatever order the frontend emitted them.
+A cache keyed on the literal text serialization misses all of those.
+This module computes a *canonical* form instead:
+
+1. **Iterative neighborhood refinement** (Weisfeiler–Lehman style):
+   every op starts labeled by its instruction class, then repeatedly
+   absorbs the sorted multiset of its in/out edge signatures
+   ``(distance, latency-override)`` together with the neighbor labels,
+   until the label partition stabilizes.  Isomorphic graphs produce
+   identical label multisets; most non-isomorphic ones separate here.
+2. **Deterministic relabeling by minimal code**: ops are placed one at
+   a time, always choosing the candidate whose ``(refined label,
+   sorted adjacency to already-placed ops)`` key is smallest; ties are
+   resolved by branching and keeping the lexicographically smallest
+   complete code — the classic minimum-code canonicalization, so two
+   isomorphic DDGs always map to the *same* canonical text and two
+   graphs with equal canonical text are genuinely isomorphic.
+
+The canonical text deliberately drops everything scheduling-irrelevant:
+loop and op *names* and the free-form dependence ``kind`` label (only
+``distance`` and the optional latency override enter the constraints —
+see :meth:`repro.ddg.graph.Ddg.dep_latencies`).  Machine-dependent op
+latencies stay out of the picture because nodes carry their op class and
+the machine is digested separately.
+
+The branching search is exponential only for highly symmetric graphs
+(e.g. many identical, completely disconnected ops); a placement budget
+guards against that, falling back to a name-sensitive ``raw-`` digest
+that can never produce a false cache hit — a pathological loop body just
+caches less aggressively.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ddg.errors import DdgError
+from repro.ddg.graph import Ddg
+
+#: DFS placements allowed before canonicalization gives up (see module
+#: docstring); generously above anything a realistic loop body needs.
+SEARCH_BUDGET = 50_000
+
+#: Sentinel for "no latency override" in edge signatures and canonical
+#: text (real overrides are >= 0).
+_NO_LATENCY = -1
+
+
+class CanonicalizationError(DdgError):
+    """The canonical-order search exceeded its budget."""
+
+
+def _edge_sig(dep) -> Tuple[int, int]:
+    lat = _NO_LATENCY if dep.latency is None else dep.latency
+    return (dep.distance, lat)
+
+
+def refine_labels(ddg: Ddg) -> List[str]:
+    """Stable per-op labels from iterative neighborhood refinement.
+
+    Invariant to op naming and edge order: labels depend only on each
+    op's class and the structure around it.  Ops that end up with equal
+    labels are either automorphic or WL-indistinguishable; the search in
+    :func:`canonical_order` finishes the job either way.
+    """
+    n = ddg.num_ops
+    labels = [f"class:{op.op_class}" for op in ddg.ops]
+    outs: List[List[Tuple[Tuple[int, int], int]]] = [[] for _ in range(n)]
+    ins: List[List[Tuple[Tuple[int, int], int]]] = [[] for _ in range(n)]
+    for dep in ddg.deps:
+        sig = _edge_sig(dep)
+        outs[dep.src].append((sig, dep.dst))
+        ins[dep.dst].append((sig, dep.src))
+    distinct = len(set(labels))
+    for _ in range(n):
+        blobs = []
+        for i in range(n):
+            out_sig = sorted((sig, labels[j]) for sig, j in outs[i])
+            in_sig = sorted((sig, labels[j]) for sig, j in ins[i])
+            blobs.append(repr((labels[i], out_sig, in_sig)))
+        labels = [
+            hashlib.sha256(blob.encode("utf-8")).hexdigest()
+            for blob in blobs
+        ]
+        now = len(set(labels))
+        if now == distinct or now == n:
+            break
+        distinct = now
+    return labels
+
+
+def canonical_order(ddg: Ddg, budget: int = SEARCH_BUDGET) -> List[int]:
+    """Canonical op order: position ``p`` holds original index ``order[p]``.
+
+    Isomorphic DDGs yield orders that serialize to identical canonical
+    text.  Raises :class:`CanonicalizationError` when the tie-branching
+    search exceeds ``budget`` placements.
+    """
+    n = ddg.num_ops
+    if n == 0:
+        raise DdgError("cannot canonicalize an empty DDG")
+    if n == 1:
+        return [0]
+    labels = refine_labels(ddg)
+    adj: List[List[Tuple[int, int, Tuple[int, int]]]] = [
+        [] for _ in range(n)
+    ]
+    for dep in ddg.deps:
+        sig = _edge_sig(dep)
+        adj[dep.src].append((dep.dst, 0, sig))
+        adj[dep.dst].append((dep.src, 1, sig))
+
+    best_code: Optional[list] = None
+    best_order: Optional[List[int]] = None
+    remaining = [budget]
+
+    def key_of(c: int, pos_of: Dict[int, int], next_pos: int):
+        links = []
+        for other, direction, sig in adj[c]:
+            if other == c:
+                links.append((next_pos, direction, sig))
+            else:
+                pos = pos_of.get(other)
+                if pos is not None:
+                    links.append((pos, direction, sig))
+        return (labels[c], tuple(sorted(links)))
+
+    def dfs(order: List[int], pos_of: Dict[int, int], code: list) -> None:
+        nonlocal best_code, best_order
+        remaining[0] -= 1
+        if remaining[0] < 0:
+            raise CanonicalizationError(
+                f"canonical-order search budget exceeded for "
+                f"{ddg.name!r} ({n} ops) — graph too symmetric"
+            )
+        level = len(order)
+        if level == n:
+            if best_code is None or code < best_code:
+                best_code = list(code)
+                best_order = list(order)
+            return
+        keys = {
+            c: key_of(c, pos_of, level)
+            for c in range(n)
+            if c not in pos_of
+        }
+        low = min(keys.values())
+        code.append(low)
+        # Prune branches whose code prefix is already beaten.
+        if best_code is None or code <= best_code[: len(code)]:
+            for c in sorted(c for c, key in keys.items() if key == low):
+                order.append(c)
+                pos_of[c] = level
+                dfs(order, pos_of, code)
+                del pos_of[c]
+                order.pop()
+        code.pop()
+
+    dfs([], {}, [])
+    assert best_order is not None
+    return best_order
+
+
+def canonical_text(ddg: Ddg, order: Optional[List[int]] = None) -> str:
+    """Canonical serialization under ``order`` (computed if omitted).
+
+    Uses the :mod:`repro.ddg.builders` text format with positional op
+    names (``o0``, ``o1``, ...), sorted dependence lines, a fixed loop
+    name and the ``kind`` field collapsed to ``.`` — so it round-trips
+    through :func:`repro.ddg.builders.parse_ddg` for inspection while
+    carrying zero naming or ordering noise.
+    """
+    if order is None:
+        order = canonical_order(ddg)
+    pos = {old: p for p, old in enumerate(order)}
+    lines = ["loop canonical"]
+    for p, old in enumerate(order):
+        lines.append(f"op o{p} {ddg.ops[old].op_class}")
+    dep_lines = sorted(
+        (pos[dep.src], pos[dep.dst], dep.distance,
+         _NO_LATENCY if dep.latency is None else dep.latency)
+        for dep in ddg.deps
+    )
+    for src, dst, distance, latency in dep_lines:
+        if latency == _NO_LATENCY:
+            lines.append(f"dep o{src} o{dst} {distance}")
+        else:
+            lines.append(f"dep o{src} o{dst} {distance} . {latency}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A DDG's canonical identity.
+
+    ``order`` maps canonical position to original op index, so payloads
+    stored in canonical order transfer onto any isomorphic DDG.  When
+    the search fell back (``fallback=True``), ``text`` is the literal
+    name-sensitive serialization, ``digest`` carries a ``raw-`` prefix
+    (so it can never collide with a canonical digest) and ``order`` is
+    the identity — equality of fallback texts still implies the graphs
+    are identical, just not isomorphism-invariantly so.
+    """
+
+    digest: str
+    text: str
+    order: List[int]
+    fallback: bool = False
+
+
+def canonical_form(ddg: Ddg) -> CanonicalForm:
+    """Compute the canonical identity of ``ddg`` (with safe fallback)."""
+    try:
+        order = canonical_order(ddg)
+    except CanonicalizationError:
+        from repro.ddg.builders import serialize_ddg
+
+        text = serialize_ddg(ddg)
+        digest = "raw-" + hashlib.sha256(
+            text.encode("utf-8")
+        ).hexdigest()
+        return CanonicalForm(
+            digest=digest, text=text, order=list(range(ddg.num_ops)),
+            fallback=True,
+        )
+    text = canonical_text(ddg, order)
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return CanonicalForm(digest=digest, text=text, order=order)
+
+
+def canonical_digest(ddg: Ddg) -> str:
+    """Naming/order-invariant content digest (see :func:`canonical_form`)."""
+    return canonical_form(ddg).digest

@@ -60,6 +60,28 @@ def rename_ops(ddg: Ddg, prefix: str) -> Ddg:
     return renamed
 
 
+def scrambled(ddg: Ddg, rng, name: str = "", prefix: str = "q") -> Ddg:
+    """An isomorphic copy with renamed ops, shuffled op and dep order.
+
+    Structurally identical to ``ddg`` (same classes, same dependence
+    structure) but textually unrecognizable — the adversarial input the
+    canonical digest (:mod:`repro.ddg.canonical`) must see through.
+    ``rng`` is a :class:`random.Random`.
+    """
+    order = list(range(ddg.num_ops))
+    rng.shuffle(order)
+    new_of_old = {old: new for new, old in enumerate(order)}
+    copy = Ddg(name or f"{ddg.name}_scrambled")
+    for new, old in enumerate(order):
+        copy.add_op(f"{prefix}{new}", ddg.ops[old].op_class)
+    deps = list(ddg.deps)
+    rng.shuffle(deps)
+    for dep in deps:
+        copy.add_dep(new_of_old[dep.src], new_of_old[dep.dst],
+                     dep.distance, dep.kind, dep.latency)
+    return copy
+
+
 def concatenate(first: Ddg, second: Ddg, name: str = "") -> Ddg:
     """Disjoint union of two loop bodies (independent fused loops)."""
     merged = Ddg(name or f"{first.name}+{second.name}")

@@ -9,7 +9,7 @@ fine-grained histogram, from the attempt records of a Table 4 run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List
+from typing import Iterable
 
 from repro.core.scheduler import SchedulingResult
 
@@ -62,38 +62,48 @@ class Table5:
 def run_table5_from_batch(report) -> Table5:
     """Build Table 5 from a :class:`repro.parallel.BatchReport`.
 
-    Loops that errored inside the batch are skipped (they have no
-    attempt records to aggregate).
+    Works from the entries' JSON form, so it handles both live results
+    and ``raw`` entries carried over from loaded reports or resume
+    journals.  Loops that errored inside the batch are skipped (they
+    have no attempt records to aggregate).
     """
-    return run_table5(
-        entry.result for entry in report.entries
-        if entry.result is not None
-    )
+    table = Table5()
+    for entry in report.entries:
+        doc = entry.to_json_dict()
+        if doc.get("error") is not None:
+            continue
+        seconds = sum(
+            a.get("seconds", 0.0) for a in doc.get("attempts", [])
+        )
+        _tally(table, seconds, doc.get("achieved_t") is not None)
+    return table
 
 
 def run_table5(results: Iterable[SchedulingResult]) -> Table5:
     """Summarize solver effort from per-loop scheduling results."""
     table = Table5()
-    times: List[float] = []
     for result in results:
         seconds = sum(a.seconds for a in result.attempts)
-        times.append(seconds)
-        table.total_loops += 1
-        if result.schedule is not None:
-            table.scheduled += 1
-            for budget in PAPER_BUDGETS:
-                if seconds <= budget:
-                    table.solved_within[budget] = (
-                        table.solved_within.get(budget, 0) + 1
-                    )
-        for edge in HISTOGRAM_EDGES:
-            if seconds <= edge:
-                table.histogram[edge] = table.histogram.get(edge, 0) + 1
-                break
-        else:
-            table.histogram[float("inf")] = (
-                table.histogram.get(float("inf"), 0) + 1
-            )
-        table.slowest = max(table.slowest, seconds)
-        table.total_seconds += seconds
+        _tally(table, seconds, result.schedule is not None)
     return table
+
+
+def _tally(table: Table5, seconds: float, scheduled: bool) -> None:
+    table.total_loops += 1
+    if scheduled:
+        table.scheduled += 1
+        for budget in PAPER_BUDGETS:
+            if seconds <= budget:
+                table.solved_within[budget] = (
+                    table.solved_within.get(budget, 0) + 1
+                )
+    for edge in HISTOGRAM_EDGES:
+        if seconds <= edge:
+            table.histogram[edge] = table.histogram.get(edge, 0) + 1
+            break
+    else:
+        table.histogram[float("inf")] = (
+            table.histogram.get(float("inf"), 0) + 1
+        )
+    table.slowest = max(table.slowest, seconds)
+    table.total_seconds += seconds

@@ -17,6 +17,7 @@ from repro.parallel.batch import (
     BatchEntry,
     BatchReport,
     collect_sources,
+    load_report,
     run_batch,
 )
 from repro.parallel.cache import (
@@ -44,6 +45,7 @@ __all__ = [
     "collect_sources",
     "ddg_digest",
     "default_jobs",
+    "load_report",
     "machine_digest",
     "race_periods",
     "run_batch",

@@ -76,7 +76,12 @@ from repro.supervision.signals import interrupted
 #: ``failure`` objects (kind/attempt/retries/elapsed/detail, present
 #: only on failures), per-entry ``degraded`` flag, and journal-backed
 #: resume (resumed entries are carried over verbatim).
-REPORT_VERSION = 4
+#: v5: persistent schedule store — per-entry ``store`` object
+#: (hit/verified/tier/published/evicted/seconds) and ``schedule``
+#: payload (the full schedule, so journals/reports can warm a store via
+#: ``repro cache warm``), plus report-level ``store`` and ``cache``
+#: aggregates (store hit counts; per-process LRU hit/miss counters).
+REPORT_VERSION = 5
 
 LoopSource = Union[str, "os.PathLike[str]", Ddg]
 
@@ -97,6 +102,10 @@ class BatchEntry:
     #: Pre-serialized entry carried over from a resume journal; when
     #: set it *is* the JSON form and the other fields are advisory.
     raw: Optional[dict] = None
+    #: Cumulative LRU counters of the process that scheduled this loop
+    #: (``{"pid": ..., "caches": cache_stats()}``) — *cumulative*, so
+    #: report aggregation takes the max per pid, not the sum.
+    cache_snapshot: Optional[dict] = None
 
     @property
     def scheduled(self) -> bool:
@@ -146,6 +155,10 @@ class BatchEntry:
         )
         if result.warmstart is not None:
             entry["warmstart"] = result.warmstart.to_json_dict()
+        if result.store is not None:
+            entry["store"] = result.store.to_json_dict()
+        if result.schedule is not None:
+            entry["schedule"] = result.schedule.to_dict()
         return entry
 
     @classmethod
@@ -199,6 +212,11 @@ class BatchReport:
     jobs: int
     entries: List[BatchEntry] = field(default_factory=list)
     total_seconds: float = 0.0
+    #: Schema version of the document this report was loaded from (or
+    #: the current version for freshly-run batches).  Older documents
+    #: load fine (see :func:`load_report`); fields introduced later
+    #: simply read as absent.
+    version: int = REPORT_VERSION
 
     @property
     def scheduled(self) -> int:
@@ -218,8 +236,70 @@ class BatchReport:
         """Loops the heuristic settled with zero ILP solves."""
         return sum(1 for e in self.entries if e.skipped_ilp)
 
-    def to_json_dict(self) -> dict:
+    def _entry_store(self, entry: BatchEntry) -> Optional[dict]:
+        if entry.raw is not None:
+            return entry.raw.get("store")
+        if entry.result is not None and entry.result.store is not None:
+            return entry.result.store.to_json_dict()
+        return None
+
+    @property
+    def store_hits(self) -> int:
+        return sum(
+            1 for e in self.entries
+            if (self._entry_store(e) or {}).get("hit")
+        )
+
+    def store_summary(self) -> Optional[dict]:
+        """Aggregate store counters, or None if no entry used a store."""
+        docs = [d for d in map(self._entry_store, self.entries) if d]
+        if not docs:
+            return None
         return {
+            "consulted": len(docs),
+            "hits": sum(1 for d in docs if d.get("hit")),
+            "memory_hits": sum(
+                1 for d in docs if d.get("tier") == "memory"
+            ),
+            "disk_hits": sum(1 for d in docs if d.get("tier") == "disk"),
+            "published": sum(1 for d in docs if d.get("published")),
+            "evicted": sum(1 for d in docs if d.get("evicted")),
+            "seconds": round(
+                sum(d.get("seconds", 0.0) for d in docs), 6
+            ),
+        }
+
+    def cache_summary(self) -> Optional[dict]:
+        """Sum the per-process LRU counters across worker snapshots.
+
+        Snapshots are cumulative per pid, so the latest (largest) one
+        per pid stands for that whole process.
+        """
+        latest: dict = {}
+        for entry in self.entries:
+            snap = entry.cache_snapshot
+            if not snap:
+                continue
+            pid = snap.get("pid")
+            caches = snap.get("caches") or {}
+            best = latest.get(pid)
+            if best is None or _snapshot_weight(caches) >= _snapshot_weight(
+                best
+            ):
+                latest[pid] = caches
+        if not latest:
+            return None
+        totals: dict = {}
+        for caches in latest.values():
+            for name, counters in caches.items():
+                slot = totals.setdefault(name, {"hits": 0, "misses": 0})
+                slot["hits"] += counters.get("hits", 0)
+                slot["misses"] += counters.get("misses", 0)
+        totals["processes"] = len(latest)
+        return totals
+
+    def to_json_dict(self) -> dict:
+        doc = {
             "report_version": REPORT_VERSION,
             "machine": self.machine_name,
             "backend": self.backend,
@@ -231,6 +311,39 @@ class BatchReport:
             "total_seconds": round(self.total_seconds, 6),
             "entries": [entry.to_json_dict() for entry in self.entries],
         }
+        store = self.store_summary()
+        if store is not None:
+            doc["store"] = store
+        cache_totals = self.cache_summary()
+        if cache_totals is not None:
+            doc["cache"] = cache_totals
+        return doc
+
+    @classmethod
+    def from_json_dict(cls, doc: dict) -> "BatchReport":
+        """Rehydrate a saved report document (any version >= 3).
+
+        Entries come back in ``raw`` form — the JSON is authoritative —
+        so fields absent from older versions read as missing rather
+        than defaulted wrongly.
+        """
+        version = int(doc.get("report_version", 0))
+        if version < 3:
+            raise ValueError(
+                f"report version {version} is too old to load "
+                f"(supported: 3..{REPORT_VERSION})"
+            )
+        return cls(
+            machine_name=doc.get("machine", "?"),
+            backend=doc.get("backend", "?"),
+            jobs=int(doc.get("jobs", 1)),
+            entries=[
+                BatchEntry.from_json_dict(e)
+                for e in doc.get("entries", [])
+            ],
+            total_seconds=float(doc.get("total_seconds", 0.0)),
+            version=version,
+        )
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_json_dict(), indent=indent)
@@ -269,7 +382,41 @@ class BatchReport:
             f"({self.skipped_ilp} by heuristic alone), "
             f"{self.failed} failed, {self.total_seconds:.2f}s wall-clock"
         )
+        store = self.store_summary()
+        if store is not None:
+            lines.append(
+                f"store: {store['hits']}/{store['consulted']} hit(s) "
+                f"({store['memory_hits']} memory, {store['disk_hits']} "
+                f"disk), {store['published']} published, "
+                f"{store['evicted']} evicted"
+            )
+        cache_totals = self.cache_summary()
+        if cache_totals is not None:
+            parts = ", ".join(
+                f"{name} {c['hits']}/{c['hits'] + c['misses']}"
+                for name, c in sorted(cache_totals.items())
+                if isinstance(c, dict)
+            )
+            lines.append(
+                f"lru hits across {cache_totals['processes']} "
+                f"process(es): {parts}"
+            )
         return "\n".join(lines)
+
+
+def _snapshot_weight(caches: dict) -> int:
+    """Total event count of a cumulative cache snapshot (for max-per-pid)."""
+    return sum(
+        counters.get("hits", 0) + counters.get("misses", 0)
+        for counters in caches.values()
+        if isinstance(counters, dict)
+    )
+
+
+def load_report(path) -> BatchReport:
+    """Load a saved batch report (v3, v4 or v5 schema)."""
+    with open(path, encoding="utf-8") as handle:
+        return BatchReport.from_json_dict(json.load(handle))
 
 
 def collect_sources(paths: Iterable[LoopSource]) -> List[LoopSource]:
@@ -294,7 +441,7 @@ def collect_sources(paths: Iterable[LoopSource]) -> List[LoopSource]:
 
 def _schedule_source(
     text: str, source: str, machine: Machine, config: AttemptConfig,
-    max_extra: int,
+    max_extra: int, store_path: Optional[str] = None,
 ) -> BatchEntry:
     """Worker body: schedule one serialized loop (picklable in and out).
 
@@ -302,10 +449,18 @@ def _schedule_source(
     (:func:`repro.core.scheduler.run_sweep`), but with the worker-local
     bounds/formulation/warm-start caches injected, so corpora with
     repeated loop shapes skip redundant construction and heuristic work.
+    ``store_path`` opens the shared persistent store in this process
+    (concurrent-writer safe); each entry carries a cumulative snapshot
+    of this process's LRU counters for report-level aggregation.
     """
     loop_id = Path(source).stem if source != "<memory>" else source
     faults.fire("batch", loop=loop_id, source=source)
     try:
+        store = None
+        if store_path is not None:
+            from repro.store import open_store
+
+            store = open_store(store_path)
         ddg = parse_ddg(text)
         ddg.validate_against(machine)
         result = run_sweep(
@@ -313,12 +468,17 @@ def _schedule_source(
             bounds=cache.cached_lower_bounds(ddg, machine),
             formulation_builder=cache.cached_formulation,
             warmstart_provider=cache.cached_warmstart,
+            store=store,
         )
         return BatchEntry(
             name=ddg.name,
             source=source,
             num_ops=ddg.num_ops,
             result=result,
+            cache_snapshot={
+                "pid": os.getpid(),
+                "caches": cache.cache_stats(),
+            },
         )
     except MemoryError:
         raise  # let the supervisor classify this as an OOM
@@ -393,6 +553,7 @@ def run_batch(
     policy: Optional[SupervisionPolicy] = None,
     journal: Optional[Union[str, "os.PathLike[str]"]] = None,
     resume: Optional[Union[str, "os.PathLike[str]"]] = None,
+    store: Optional[Union[str, "os.PathLike[str]"]] = None,
 ) -> BatchReport:
     """Schedule every loop reachable from ``paths`` across ``jobs`` workers.
 
@@ -406,6 +567,12 @@ def run_batch(
     journal, re-running only loops that failed or never finished (and
     keeps journaling to the same file unless ``journal`` says
     otherwise).  Journals refuse to resume under changed settings.
+
+    ``store`` points at a persistent schedule store directory shared by
+    all workers (and by other runs): verified hits skip the whole sweep
+    for structurally identical loops, and clean cold results are
+    published back.  Safe under concurrent writers — publication is
+    atomic per entry with last-writer-wins.
     """
     jobs = jobs if jobs is not None else default_jobs()
     if jobs < 1:
@@ -420,6 +587,7 @@ def run_batch(
         presolve=presolve,
         warmstart=warmstart,
     )
+    store_path = str(store) if store is not None else None
     sources = collect_sources(paths)
     tasks = _load_tasks(sources)
     digest = _batch_digest(machine, config, max_extra)
@@ -466,12 +634,13 @@ def run_batch(
 
         if jobs == 1 or len(to_run) <= 1:
             _run_inline(
-                to_run, entries, machine, config, max_extra, writer
+                to_run, entries, machine, config, max_extra, writer,
+                store_path,
             )
         else:
             _run_pool(
                 to_run, entries, machine, config, max_extra, jobs,
-                time_limit_per_t, policy, writer,
+                time_limit_per_t, policy, writer, store_path,
             )
     finally:
         if writer is not None:
@@ -511,6 +680,7 @@ def _run_inline(
     config: AttemptConfig,
     max_extra: int,
     writer: Optional[BatchJournal],
+    store_path: Optional[str] = None,
 ) -> None:
     """jobs=1 path: schedule in-process, still journaled/interruptible."""
     for index, text, label in to_run:
@@ -520,7 +690,7 @@ def _run_inline(
             _journal_entry(writer, index, entries[index])
             continue
         entries[index] = _schedule_source(
-            text, label, machine, config, max_extra
+            text, label, machine, config, max_extra, store_path
         )
         _journal_entry(writer, index, entries[index])
 
@@ -535,6 +705,7 @@ def _run_pool(
     time_limit_per_t: Optional[float],
     policy: SupervisionPolicy,
     writer: Optional[BatchJournal],
+    store_path: Optional[str] = None,
 ) -> None:
     """Supervised pool path: one task per loop, failures isolated."""
     executor = SupervisedExecutor(
@@ -549,7 +720,7 @@ def _run_pool(
         for index, text, label in to_run:
             task = executor.submit(
                 _schedule_source, text, label, machine, config,
-                max_extra, tag=index,
+                max_extra, store_path, tag=index,
             )
             index_of[task] = index
             label_of[task] = label

@@ -60,6 +60,10 @@ class LruCache(Generic[K, V]):
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 
+    def pop(self, key: K) -> Optional[V]:
+        """Remove and return ``key``'s value (None if absent); no counters."""
+        return self._data.pop(key, None)
+
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0
@@ -74,11 +78,13 @@ def ddg_digest(ddg: Ddg) -> str:
 def machine_digest(machine: Machine) -> str:
     """Content digest of a machine description.
 
-    Built from every field that affects scheduling: FU types (count,
+    Built from every field that affects scheduling — FU types (count,
     cost, reservation rows) and op classes (FU binding, latency, table
-    override).
+    override) — and *only* those: the display ``name`` is deliberately
+    excluded, so two machines differing only in what they are called
+    share cache entries.
     """
-    parts = [machine.name]
+    parts = []
     for name in sorted(machine.fu_types):
         fu = machine.fu_types[name]
         parts.append(f"fu {name} {fu.count} {fu.cost} {fu.table!r}")

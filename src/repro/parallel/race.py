@@ -93,6 +93,7 @@ def race_periods(
     window: Optional[int] = None,
     warmstart: bool = True,
     policy: Optional[SupervisionPolicy] = None,
+    store=None,
 ) -> SchedulingResult:
     """Drop-in parallel replacement for :func:`repro.core.schedule_loop`.
 
@@ -113,6 +114,11 @@ def race_periods(
     retries, backoff); the default policy derives each candidate's
     deadline from ``time_limit_per_t``, so a solver that ignores its
     budget is killed rather than trusted.
+
+    ``store`` (a :class:`repro.store.ScheduleStore` or path) is
+    consulted before the heuristic pre-pass or any dispatch: a verified
+    hit returns immediately without spawning workers, and a clean cold
+    result is published back for future runs.
     """
     if max_extra < 0:
         raise SchedulingError(f"max_extra must be >= 0, got {max_extra}")
@@ -131,6 +137,19 @@ def race_periods(
         warmstart=warmstart,
     )
     start_clock = time.monotonic()
+    store_stats = None
+    if store is not None:
+        from repro.store import open_store
+        from repro.store.tiering import lookup as store_lookup
+
+        store = open_store(store)
+        stored, store_stats = store_lookup(
+            store, ddg, machine, config, max_extra
+        )
+        if stored is not None:
+            stored.store = store_stats
+            stored.total_seconds = time.monotonic() - start_clock
+            return stored
     bounds = lower_bounds(ddg, machine)
     ws, ws_stats = heuristic_pass(ddg, machine, config, max_extra)
     upper = bounds.t_lb + max_extra
@@ -220,7 +239,7 @@ def race_periods(
                             DEGRADED)
         and a.failure is None
     )
-    return SchedulingResult(
+    result = SchedulingResult(
         loop_name=ddg.name,
         bounds=bounds,
         attempts=ordered,
@@ -228,7 +247,16 @@ def race_periods(
         total_seconds=time.monotonic() - start_clock,
         warmstart=ws_stats,
         degraded=degraded,
+        store=store_stats,
     )
+    if store is not None:
+        from repro.store.tiering import publish as store_publish
+
+        store_publish(
+            store, ddg, machine, config, max_extra, result,
+            stats=store_stats,
+        )
+    return result
 
 
 def _race_inline(

@@ -1,0 +1,59 @@
+"""Persistent, content-addressed schedule store.
+
+Turns the §6 sweep into a three-tier lookup: per-process LRU entry
+cache -> on-disk store shared across processes and runs -> actual
+solve.  Keys are canonical content addresses (loop structure + machine
+content + sweep semantics; see :mod:`repro.store.keys`), entries are
+schema-versioned JSON blobs published atomically, and every hit is
+re-verified against the current machine before it is trusted
+(:mod:`repro.store.tiering`).  ``docs/performance.md`` documents the
+tiering, invalidation rules and guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.store.disk import ScheduleStore
+from repro.store.entry import EntryError, entry_to_result, result_to_entry
+from repro.store.keys import (
+    STORE_VERSION,
+    canonical_machine_digest,
+    config_fingerprint,
+    fingerprint_digest,
+    store_key,
+)
+from repro.store.tiering import (
+    clear_tiers,
+    lookup,
+    publish,
+    tier_stats,
+)
+from repro.store.warm import warm_store
+
+__all__ = [
+    "STORE_VERSION",
+    "EntryError",
+    "ScheduleStore",
+    "canonical_machine_digest",
+    "clear_tiers",
+    "config_fingerprint",
+    "entry_to_result",
+    "fingerprint_digest",
+    "lookup",
+    "open_store",
+    "publish",
+    "result_to_entry",
+    "store_key",
+    "tier_stats",
+    "warm_store",
+]
+
+
+def open_store(
+    value: Union[None, str, "ScheduleStore"],
+) -> Optional[ScheduleStore]:
+    """Coerce a CLI/API store argument: None, a path, or a live store."""
+    if value is None or isinstance(value, ScheduleStore):
+        return value
+    return ScheduleStore(value)

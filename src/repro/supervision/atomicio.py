@@ -17,10 +17,18 @@ from typing import Union
 PathLike = Union[str, "os.PathLike[str]"]
 
 
-def atomic_write_text(path: PathLike, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``)."""
+def atomic_write_text(path: PathLike, text: str,
+                      tmp_suffix: str = ".tmp") -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    ``tmp_suffix`` names the sibling scratch file.  Callers racing to
+    publish the *same* target from several processes (the schedule
+    store) pass a per-process suffix so writers never truncate each
+    other's scratch file; ``os.replace`` then gives last-writer-wins
+    with readers always seeing a complete document.
+    """
     target = Path(path)
-    tmp = target.with_name(target.name + ".tmp")
+    tmp = target.with_name(target.name + tmp_suffix)
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(text)
         handle.flush()

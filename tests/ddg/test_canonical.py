@@ -1,0 +1,158 @@
+"""Canonical DDG digests: isomorphism invariance and separation."""
+
+import random
+
+import pytest
+
+from repro.ddg import kernels
+from repro.ddg.builders import parse_ddg
+from repro.ddg.canonical import (
+    CanonicalizationError,
+    canonical_digest,
+    canonical_form,
+    canonical_order,
+    canonical_text,
+)
+from repro.ddg.errors import DdgError
+from repro.ddg.generators import suite
+from repro.ddg.graph import Ddg
+from repro.ddg.transforms import scrambled
+from repro.machine.presets import powerpc604
+
+
+def _all_kernels():
+    return [factory() for factory in kernels.KERNELS.values()]
+
+
+class TestInvariance:
+    def test_scramble_preserves_digest_on_all_kernels(self):
+        rng = random.Random(20260806)
+        for ddg in _all_kernels():
+            digest = canonical_digest(ddg)
+            for _ in range(3):
+                copy = scrambled(ddg, rng)
+                assert canonical_digest(copy) == digest, ddg.name
+
+    def test_scramble_preserves_digest_on_synthetic_corpus(self):
+        machine = powerpc604()
+        rng = random.Random(7)
+        for ddg in suite(25, machine, seed=99):
+            form = canonical_form(ddg)
+            assert not form.fallback
+            copy = scrambled(ddg, rng)
+            assert canonical_form(copy).text == form.text
+
+    def test_canonical_text_identical_across_isomorphs(self):
+        ddg = kernels.livermore_kernel5()
+        text = canonical_text(ddg)
+        copy = scrambled(ddg, random.Random(3))
+        assert canonical_text(copy) == text
+
+    def test_order_is_a_permutation(self):
+        ddg = kernels.spice_like()
+        order = canonical_order(ddg)
+        assert sorted(order) == list(range(ddg.num_ops))
+
+
+class TestSeparation:
+    def test_latency_override_changes_digest(self):
+        base = kernels.motivating_example()
+        changed = base.copy()
+        dep = changed.deps[0]
+        original = dep.latency if dep.latency is not None else 0
+        changed.deps[0] = type(dep)(
+            src=dep.src, dst=dep.dst, distance=dep.distance,
+            kind=dep.kind, latency=original + 5,
+        )
+        assert canonical_digest(changed) != canonical_digest(base)
+
+    def test_distance_change_changes_digest(self):
+        base = kernels.motivating_example()
+        changed = base.copy()
+        dep = changed.deps[-1]
+        changed.deps[-1] = type(dep)(
+            src=dep.src, dst=dep.dst, distance=dep.distance + 1,
+            kind=dep.kind, latency=dep.latency,
+        )
+        assert canonical_digest(changed) != canonical_digest(base)
+
+    def test_op_class_change_changes_digest(self):
+        base = kernels.motivating_example()
+        changed = Ddg(base.name)
+        for op in base.ops:
+            cls = "fmul" if op.index == 2 else op.op_class
+            changed.add_op(op.name, cls)
+        for dep in base.deps:
+            changed.add_dep(dep.src, dep.dst, dep.distance, dep.kind,
+                            dep.latency)
+        assert canonical_digest(changed) != canonical_digest(base)
+
+    def test_extra_edge_changes_digest(self):
+        base = kernels.dot_product()
+        changed = base.copy()
+        changed.add_dep(0, base.num_ops - 1, distance=3)
+        assert canonical_digest(changed) != canonical_digest(base)
+
+    def test_kind_label_does_not_change_digest(self):
+        # The dependence kind never enters the scheduling constraints
+        # (see Ddg.dep_latencies), so it must not split cache entries.
+        base = kernels.dot_product()
+        changed = base.copy()
+        dep = changed.deps[0]
+        changed.deps[0] = type(dep)(
+            src=dep.src, dst=dep.dst, distance=dep.distance,
+            kind="renamed_kind", latency=dep.latency,
+        )
+        assert canonical_digest(changed) == canonical_digest(base)
+
+
+class TestCanonicalText:
+    def test_round_trips_through_parser(self):
+        for ddg in _all_kernels():
+            text = canonical_text(ddg)
+            parsed = parse_ddg(text)
+            assert parsed.num_ops == ddg.num_ops
+            assert parsed.num_deps == ddg.num_deps
+            # The canonical text of canonical text is a fixed point.
+            assert canonical_text(parsed) == text
+
+    def test_parse_gives_canonical_order(self):
+        # Ops in the canonical text are already in canonical order, so
+        # re-canonicalizing the parsed graph yields the identity.
+        ddg = kernels.daxpy()
+        parsed = parse_ddg(canonical_text(ddg))
+        assert canonical_order(parsed) == list(range(parsed.num_ops))
+
+
+class TestFallback:
+    def _symmetric(self, n: int) -> Ddg:
+        # n identical disconnected ops: maximally symmetric, the worst
+        # case for tie-branching (every placement level is an n-way tie).
+        ddg = Ddg("symmetric")
+        for i in range(n):
+            ddg.add_op(f"x{i}", "fadd")
+        return ddg
+
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(CanonicalizationError, match="budget"):
+            canonical_order(self._symmetric(30), budget=50)
+
+    def test_fallback_digest_is_prefixed_and_identity_ordered(self):
+        form = canonical_form(self._symmetric(40))
+        assert form.fallback
+        assert form.digest.startswith("raw-")
+        assert form.order == list(range(40))
+
+    def test_fallback_never_false_hits(self):
+        # Two structurally identical but differently-named symmetric
+        # graphs get *different* fallback digests — the fallback loses
+        # hits, never correctness.
+        a = self._symmetric(40)
+        b = Ddg("symmetric")
+        for i in range(40):
+            b.add_op(f"y{i}", "fadd")
+        assert canonical_form(a).digest != canonical_form(b).digest
+
+    def test_empty_ddg_rejected(self):
+        with pytest.raises(DdgError):
+            canonical_order(Ddg("empty"))

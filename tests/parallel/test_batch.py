@@ -187,6 +187,108 @@ class TestBatchCli:
         assert "T=3: infeasible" in out
 
 
+class TestStoreReporting:
+    @pytest.fixture()
+    def warm_report(self, machine, tmp_path):
+        from repro.store.tiering import clear_tiers
+
+        store = tmp_path / "store"
+        clear_tiers()
+        cold = run_batch(SUBSET[:3], machine, jobs=1,
+                         time_limit_per_t=10.0, store=store)
+        clear_tiers()
+        warm = run_batch(SUBSET[:3], machine, jobs=1,
+                         time_limit_per_t=10.0, store=store)
+        clear_tiers()
+        return cold, warm
+
+    def test_v5_entries_carry_store_and_schedule(self, warm_report):
+        cold, warm = warm_report
+        for report, expect_hit in ((cold, False), (warm, True)):
+            doc = report.to_json_dict()
+            assert doc["report_version"] == REPORT_VERSION
+            for entry in doc["entries"]:
+                assert "schedule" in entry
+                store = entry["store"]
+                assert set(store) == {
+                    "hit", "tier", "verified", "evicted", "published",
+                    "seconds",
+                }
+                assert store["hit"] is expect_hit
+
+    def test_store_summary_counts_hits(self, warm_report):
+        cold, warm = warm_report
+        assert cold.store_hits == 0
+        assert cold.store_summary()["published"] == 3
+        summary = warm.store_summary()
+        assert summary["consulted"] == 3
+        assert summary["hits"] == 3
+        assert summary["published"] == 0
+        assert warm.store_hits == 3
+
+    def test_cache_summary_present_and_rendered(self, warm_report):
+        _, warm = warm_report
+        summary = warm.cache_summary()
+        assert summary is not None and summary["processes"] >= 1
+        text = warm.render()
+        assert "3 disk" in text
+        assert "lru hits across" in text
+
+    def test_no_store_no_summary(self, report):
+        assert report.store_summary() is None
+        assert report.store_hits == 0
+
+
+class TestLoaderCompat:
+    def test_current_version_round_trips(self, report, tmp_path):
+        from repro.parallel import load_report
+
+        path = tmp_path / "report.json"
+        report.save_json(path)
+        loaded = load_report(path)
+        assert loaded.version == REPORT_VERSION
+        assert loaded.scheduled == report.scheduled
+        assert loaded.failed == 0
+        assert [e.name for e in loaded.entries] == [
+            e.name for e in report.entries
+        ]
+        # Raw entries still feed the render path.
+        assert loaded.entries[0].name in loaded.render()
+
+    def _downgrade(self, report, version):
+        doc = report.to_json_dict()
+        doc["report_version"] = version
+        doc.pop("store", None)
+        doc.pop("cache", None)
+        for entry in doc["entries"]:
+            entry.pop("store", None)
+            entry.pop("schedule", None)
+        return doc
+
+    @pytest.mark.parametrize("version", [3, 4])
+    def test_pre_v5_documents_load(self, report, version):
+        from repro.parallel.batch import BatchReport
+
+        doc = self._downgrade(report, version)
+        loaded = BatchReport.from_json_dict(doc)
+        assert loaded.version == version
+        assert loaded.scheduled == report.scheduled
+        assert loaded.store_summary() is None
+        assert loaded.cache_summary() is None
+        # table5 runs off raw entries regardless of version.
+        from repro.experiments.table5 import run_table5_from_batch
+
+        table = run_table5_from_batch(loaded)
+        assert table.total_loops == len(SUBSET)
+
+    def test_too_old_document_rejected(self, report):
+        from repro.parallel.batch import BatchReport
+
+        doc = self._downgrade(report, 2)
+        with pytest.raises(ValueError, match="too old"):
+            BatchReport.from_json_dict(doc)
+
+
 class TestExperimentIntegration:
     def test_table4_via_batch_runner(self, machine):
         from repro.ddg.generators import suite

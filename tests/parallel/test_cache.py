@@ -39,6 +39,15 @@ class TestLruCache:
         with pytest.raises(ValueError, match="maxsize"):
             cache.LruCache(maxsize=0)
 
+    def test_pop_removes_without_counting(self):
+        lru = cache.LruCache(maxsize=2)
+        lru.put("a", 1)
+        assert lru.pop("a") == 1
+        assert lru.pop("a") is None
+        assert lru.hits == 0 and lru.misses == 0
+        assert lru.get("a") is None  # really gone: this is the only miss
+        assert lru.misses == 1
+
 
 class TestDigests:
     def test_ddg_digest_is_content_based(self):
@@ -63,6 +72,23 @@ class TestDigests:
     def test_machine_digest_stable(self):
         assert cache.machine_digest(powerpc604()) == cache.machine_digest(
             powerpc604()
+        )
+
+    def test_machine_digest_ignores_display_name(self):
+        # Regression: the digest once folded in ``machine.name``, so two
+        # identical machines loaded under different file names could not
+        # share cache entries (or store keys).
+        from repro.machine.machine import Machine
+        from repro.machine.reservation import ReservationTable
+
+        def build(name):
+            m = Machine(name)
+            m.add_fu_type("FP", count=2, table=ReservationTable.clean(2))
+            m.add_op_class("fadd", "FP", latency=2)
+            return m
+
+        assert cache.machine_digest(build("alpha")) == cache.machine_digest(
+            build("beta")
         )
 
 

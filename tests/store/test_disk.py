@@ -1,0 +1,113 @@
+"""On-disk store: sharding, atomicity, corruption tolerance, gc."""
+
+import json
+import os
+import time
+
+from repro.store.disk import ScheduleStore
+from repro.store.keys import STORE_VERSION
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+
+
+def _entry(payload="x"):
+    return {"store_version": STORE_VERSION, "payload": payload}
+
+
+class TestRoundTrip:
+    def test_write_read_delete(self, tmp_path):
+        store = ScheduleStore(tmp_path / "store")
+        assert store.read(KEY_A) is None
+        store.write(KEY_A, _entry())
+        assert store.read(KEY_A)["payload"] == "x"
+        assert store.delete(KEY_A)
+        assert store.read(KEY_A) is None
+        assert not store.delete(KEY_A)
+
+    def test_sharded_layout(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.write(KEY_A, _entry())
+        assert (tmp_path / "aa" / f"{KEY_A}.json").is_file()
+
+    def test_keys_and_entries_enumerate(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.write(KEY_A, _entry("a"))
+        store.write(KEY_B, _entry("b"))
+        assert sorted(store.keys()) == sorted([KEY_A, KEY_B])
+        assert len(store) == 2
+        assert {e["payload"] for _, e in store.entries()} == {"a", "b"}
+
+    def test_last_writer_wins(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.write(KEY_A, _entry("first"))
+        store.write(KEY_A, _entry("second"))
+        assert store.read(KEY_A)["payload"] == "second"
+
+    def test_no_leftover_tmp_files(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.write(KEY_A, _entry())
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+
+class TestSuspicion:
+    def test_corrupt_json_is_evicted_on_read(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.write(KEY_A, _entry())
+        store.path_for(KEY_A).write_text("{ torn", encoding="utf-8")
+        assert store.read(KEY_A) is None
+        assert not store.path_for(KEY_A).exists()
+
+    def test_non_object_root_is_evicted(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        path = store.path_for(KEY_A)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        assert store.read(KEY_A) is None
+        assert not path.exists()
+
+    def test_version_mismatch_is_miss_without_eviction(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.write(KEY_A, {"store_version": STORE_VERSION + 1})
+        assert store.read(KEY_A) is None
+        assert store.path_for(KEY_A).exists()
+
+
+class TestMaintenance:
+    def test_stats(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        assert store.stats()["entries"] == 0
+        store.write(KEY_A, _entry())
+        stats = store.stats()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+        assert stats["oldest_mtime"] is not None
+
+    def test_gc_by_age(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.write(KEY_A, _entry("old"))
+        old = time.time() - 3600
+        os.utime(store.path_for(KEY_A), (old, old))
+        store.write(KEY_B, _entry("new"))
+        outcome = store.gc(max_age=60)
+        assert outcome["removed"] == 1 and outcome["kept"] == 1
+        assert store.read(KEY_A) is None
+        assert store.read(KEY_B) is not None
+
+    def test_gc_by_size_drops_oldest_first(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.write(KEY_A, _entry("old"))
+        old = time.time() - 100
+        os.utime(store.path_for(KEY_A), (old, old))
+        store.write(KEY_B, _entry("new"))
+        outcome = store.gc(max_bytes=store.path_for(KEY_B).stat().st_size)
+        assert outcome["removed"] == 1
+        assert store.read(KEY_B) is not None
+        assert store.read(KEY_A) is None
+
+    def test_clear(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store.write(KEY_A, _entry())
+        store.write(KEY_B, _entry())
+        assert store.clear() == 2
+        assert len(store) == 0
