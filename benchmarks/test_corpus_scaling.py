@@ -1,0 +1,129 @@
+"""Paper-scale generated corpus: batch characterization sweep.
+
+Runs the ``repro batch`` driver over generated corpora on the two
+hazard-heavy presets (``coreblocks`` and ``deep-unclean``): a
+guaranteed-schedulable slice and an adversarial slice per machine, 140
+loops each (560+ in FULL mode).  Reports, per machine and family, how
+many loops scheduled, the II-gap histogram against the dependence/
+resource lower bound, and per-loop wall-clock percentiles; asserts the
+headline claim that >= 95% of guaranteed-schedulable loops schedule and
+verify.  Writes ``BENCH_corpus.json`` at the repo root.
+"""
+
+import json
+import pathlib
+
+from conftest import FULL, once
+
+from repro.corpusgen import FamilySpec, generate_corpus
+from repro.ddg.generators import GenParams, adversarial_params
+from repro.machine.presets import by_name
+from repro.parallel import run_batch
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_corpus.json"
+)
+PRESETS = ("coreblocks", "deep-unclean")
+SEED = 42
+GUARANTEED = 500 if FULL else 120
+ADVERSARIAL = 100 if FULL else 20
+TIME_LIMIT = 10.0
+MAX_EXTRA = 20
+SCHEDULED_FLOOR = 0.95
+
+
+def _families():
+    return [
+        FamilySpec("guaranteed", GUARANTEED, "ddg", GenParams()),
+        FamilySpec("adversarial", ADVERSARIAL, "ddg",
+                   adversarial_params(max_ops=24)),
+    ]
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return None
+    k = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return round(sorted_values[k], 6)
+
+
+def _characterize(entries):
+    scheduled = [
+        e for e in entries
+        if e.error is None and e.result.schedule is not None
+    ]
+    gaps = {}
+    for e in scheduled:
+        delta = e.result.achieved_t - e.result.bounds.t_lb
+        gaps[str(delta)] = gaps.get(str(delta), 0) + 1
+    seconds = sorted(
+        e.result.total_seconds for e in entries if e.result is not None
+    )
+    return {
+        "loops": len(entries),
+        "scheduled": len(scheduled),
+        "errors": sum(1 for e in entries if e.error is not None),
+        "rate_optimal_proven": sum(
+            1 for e in scheduled if e.result.is_rate_optimal_proven
+        ),
+        "ii_gap_histogram": dict(sorted(gaps.items(), key=lambda x: int(x[0]))),
+        "wall_seconds": {
+            "p50": _percentile(seconds, 0.50),
+            "p90": _percentile(seconds, 0.90),
+            "p99": _percentile(seconds, 0.99),
+            "total": round(sum(seconds), 3),
+        },
+    }
+
+
+def _sweep_machine(preset):
+    machine = by_name(preset)
+    families = _families()
+    loops = generate_corpus(SEED, machine, families)
+    report = run_batch(
+        loops, machine, time_limit_per_t=TIME_LIMIT, max_extra=MAX_EXTRA,
+    )
+    # Split the in-order entries back into their families.
+    split = {}
+    offset = 0
+    for family in families:
+        split[family.name] = report.entries[offset:offset + family.count]
+        offset += family.count
+    return {name: _characterize(entries) for name, entries in split.items()}
+
+
+def test_corpus_scaling(benchmark):
+    stats = once(
+        benchmark,
+        lambda: {preset: _sweep_machine(preset) for preset in PRESETS},
+    )
+    doc = {
+        "seed": SEED,
+        "guaranteed_per_machine": GUARANTEED,
+        "adversarial_per_machine": ADVERSARIAL,
+        "time_limit_per_t": TIME_LIMIT,
+        "max_extra": MAX_EXTRA,
+        "machines": stats,
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n",
+                          encoding="utf-8")
+
+    total = sum(
+        f["loops"] for per in stats.values() for f in per.values()
+    )
+    print(f"\ngenerated-corpus sweep ({total} loops):")
+    for preset, per in stats.items():
+        for family, s in per.items():
+            print(
+                f"  {preset}/{family}: {s['scheduled']}/{s['loops']} "
+                f"scheduled, gaps {s['ii_gap_histogram']}, "
+                f"p50 {s['wall_seconds']['p50']}s "
+                f"p99 {s['wall_seconds']['p99']}s"
+            )
+
+    assert total >= 200
+    for preset, per in stats.items():
+        guaranteed = per["guaranteed"]
+        assert guaranteed["errors"] == 0, preset
+        rate = guaranteed["scheduled"] / guaranteed["loops"]
+        assert rate >= SCHEDULED_FLOOR, (preset, rate)

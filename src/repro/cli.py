@@ -3,6 +3,7 @@
 Commands
     schedule     schedule one loop (named kernel or DDG text file)
     batch        schedule a corpus of .ddg files across worker processes
+    gen          emit a seeded, manifest-reproducible loop corpus
     profile      compare presolve on/off model sizes and phase timings
     cache        inspect/maintain the persistent schedule store
     motivating   print the paper's §2 artifacts (Figures 1-4, Tables 1-2)
@@ -541,6 +542,83 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_gen(args) -> int:
+    """Generate (or audit / regenerate) a manifest-backed corpus."""
+    from repro.corpusgen import (
+        CorpusGenError,
+        default_families,
+        regenerate_from,
+        verify_corpus,
+        write_corpus,
+    )
+    from repro.ddg.generators import GenParams
+
+    try:
+        if args.check:
+            audit = verify_corpus(args.check)
+            for problem in audit["problems"]:
+                print(problem)
+            print(
+                f"checked {len(audit['checked'])} loop(s): "
+                f"{len(audit['problems'])} problem(s)"
+            )
+            return 1 if audit["problems"] else 0
+
+        if args.from_manifest:
+            if not args.out:
+                raise SystemExit("gen: --from-manifest requires --out")
+            manifest = regenerate_from(args.from_manifest, args.out)
+            print(
+                f"regenerated {manifest.count} loop(s) into {args.out} "
+                f"(seed {manifest.seed}, machine {manifest.machine}) — "
+                "byte-identical to the manifest"
+            )
+            return 0
+
+        if not args.out:
+            raise SystemExit("gen: --out is required")
+        base = GenParams(
+            mode="guaranteed",
+            min_ops=args.min_ops,
+            max_ops=args.max_ops,
+            cycles=args.cycles,
+            cycle_depth=args.cycle_depth,
+            max_distance=args.max_distance,
+            distance_dist=args.distance_dist,
+            profile=args.profile,
+        )
+        families = default_families(
+            args.count,
+            mode=args.mode,
+            profile=args.profile,
+            dsl_fraction=args.dsl_frac,
+            adversarial_fraction=args.adversarial_frac,
+            base=base,
+        )
+        manifest = write_corpus(args.out, args.seed, args.machine, families)
+    except CorpusGenError as exc:
+        raise SystemExit(f"gen: {exc}")
+    sizes = [record.ops for record in manifest.loops]
+    split = ", ".join(f"{f.name}={f.count}" for f in manifest.families)
+    print(
+        f"wrote {manifest.count} loop(s) + manifest.json to {args.out} "
+        f"(seed {args.seed}, machine {args.machine}; {split}; sizes "
+        f"{min(sizes)}-{max(sizes)}, mean {sum(sizes) / len(sizes):.1f})"
+    )
+    print(
+        "reproduce with: repro gen --from-manifest "
+        f"{args.out}/manifest.json --out DIR"
+    )
+    # Self-audit: the files we just wrote must verify against their
+    # own manifest (cheap, and catches e.g. a full disk immediately).
+    audit = verify_corpus(args.out)
+    if audit["problems"]:
+        for problem in audit["problems"]:
+            print(problem)
+        return 1
+    return 0
+
+
 def _cmd_corpus(args) -> int:
     """Dump a reproducible synthetic corpus as .ddg text files."""
     import os
@@ -794,6 +872,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list kernels and machines")
     p_list.set_defaults(func=_cmd_list)
+
+    p_gen = sub.add_parser(
+        "gen",
+        help="emit a seeded, manifest-reproducible loop corpus",
+        description="Generate a corpus of loop DDGs plus a "
+        "manifest.json that reproduces it byte-for-byte "
+        "(see docs/corpus.md).",
+    )
+    p_gen.add_argument("--out", metavar="DIR",
+                       help="corpus output directory")
+    p_gen.add_argument("--seed", type=int, default=42)
+    p_gen.add_argument("--count", type=int, default=1000)
+    p_gen.add_argument("--machine", default="powerpc604",
+                       help="machine preset the corpus targets "
+                            "(manifests are preset-based)")
+    p_gen.add_argument("--mode", default="mixed",
+                       choices=("mixed", "guaranteed", "adversarial",
+                                "dsl"),
+                       help="family mix: mixed (default) blends "
+                            "guaranteed-schedulable, DSL-compiled and "
+                            "adversarial loops")
+    p_gen.add_argument("--profile", default="scalar",
+                       choices=("scalar", "fp", "int", "mem", "div"),
+                       help="instruction-class mix profile")
+    p_gen.add_argument("--min-ops", type=int, default=2)
+    p_gen.add_argument("--max-ops", type=int, default=40)
+    p_gen.add_argument("--cycles", type=int, default=1,
+                       help="recurrence cycles per loop")
+    p_gen.add_argument("--cycle-depth", type=int, default=1,
+                       help="max ops per recurrence cycle")
+    p_gen.add_argument("--max-distance", type=int, default=3)
+    p_gen.add_argument("--distance-dist", default="uniform",
+                       choices=("uniform", "geometric", "unit"),
+                       help="loop-carried distance distribution")
+    p_gen.add_argument("--dsl-frac", type=float, default=0.2,
+                       help="fraction of DSL-compiled kernels in "
+                            "mixed mode")
+    p_gen.add_argument("--adversarial-frac", type=float, default=0.1,
+                       help="fraction of adversarial loops in mixed "
+                            "mode")
+    p_gen.add_argument("--from-manifest", metavar="PATH",
+                       help="regenerate a corpus byte-identically from "
+                            "a manifest (ignores the generator knobs)")
+    p_gen.add_argument("--check", metavar="DIR",
+                       help="audit an existing corpus directory "
+                            "against its manifest and exit")
+    p_gen.set_defaults(func=_cmd_gen)
 
     p_corpus = sub.add_parser(
         "corpus", help="dump a synthetic loop corpus as .ddg files"

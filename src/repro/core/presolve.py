@@ -340,9 +340,14 @@ def _classify_pairs(
         for pos, i in enumerate(op_indices):
             for j in op_indices[pos + 1:]:
                 offsets_by_stage: Dict[int, FrozenSet[int]] = {}
+                # Per-class tables may have fewer stages than the FU's
+                # widest table; past-the-end stages are simply unused
+                # (the formulation applies the same rule).
                 for s in range(stages):
-                    ci = cycles[i].stage_cycles(s)
-                    cj = cycles[j].stage_cycles(s)
+                    ci = (cycles[i].stage_cycles(s)
+                          if s < cycles[i].num_stages else [])
+                    cj = (cycles[j].stage_cycles(s)
+                          if s < cycles[j].num_stages else [])
                     if ci and cj:
                         offsets_by_stage[s] = _stage_offsets(
                             ci, cj, t_period

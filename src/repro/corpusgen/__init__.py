@@ -1,0 +1,75 @@
+"""Paper-scale seeded corpus generation (the ``repro gen`` subsystem).
+
+Three loop families — structural guaranteed-schedulable DDGs,
+adversarial stress DDGs (:mod:`repro.ddg.generators`), and random
+kernels compiled through the frontend DSL (:mod:`.dslgen`) — are
+emitted into a corpus directory alongside a ``manifest.json`` that
+makes the corpus reproducible byte-for-byte from the manifest alone
+(:mod:`.manifest`, :mod:`.generate`).
+"""
+
+from repro.corpusgen.dslgen import (
+    DslGenError,
+    DslParams,
+    dsl_ddg,
+    opclass_map_for,
+    random_loop_source,
+)
+from repro.corpusgen.generate import (
+    default_families,
+    generate_corpus,
+    generate_loop,
+    iter_corpus,
+    loop_seed,
+    regenerate_corpus,
+    regenerate_from,
+    resolve_machine,
+    write_corpus,
+)
+from repro.corpusgen.manifest import (
+    KIND_DDG,
+    KIND_DSL,
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    CorpusGenError,
+    FamilySpec,
+    LoopRecord,
+    Manifest,
+    ManifestEntrySource,
+    manifest_path,
+    manifest_sources,
+    read_manifest,
+    sha256_text,
+    verify_corpus,
+)
+
+__all__ = [
+    "CorpusGenError",
+    "DslGenError",
+    "DslParams",
+    "FamilySpec",
+    "KIND_DDG",
+    "KIND_DSL",
+    "LoopRecord",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "Manifest",
+    "ManifestEntrySource",
+    "default_families",
+    "dsl_ddg",
+    "generate_corpus",
+    "generate_loop",
+    "iter_corpus",
+    "loop_seed",
+    "manifest_path",
+    "manifest_sources",
+    "opclass_map_for",
+    "random_loop_source",
+    "read_manifest",
+    "regenerate_corpus",
+    "regenerate_from",
+    "resolve_machine",
+    "sha256_text",
+    "verify_corpus",
+    "write_corpus",
+]

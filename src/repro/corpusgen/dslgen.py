@@ -1,0 +1,173 @@
+"""Seeded random kernels expressed in the frontend loop DSL.
+
+The structural generator (:mod:`repro.ddg.generators`) samples graphs
+directly; this module instead samples *programs* — small affine loop
+bodies in the DSL of :mod:`repro.frontend` — and compiles them through
+the real ``lexer -> parser -> lower`` pipeline.  The resulting DDGs
+carry the dependence idioms only a compiler produces: load CSE, scalar
+reduction self-loops, and exact-distance memory flow/anti/output edges
+between affine references of one array.
+
+Generation is deterministic per ``random.Random`` stream, so a corpus
+manifest that records the per-loop seed reproduces every kernel
+byte-for-byte (see :mod:`repro.corpusgen.manifest`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ddg.graph import Ddg
+from repro.frontend import OpClassMap, compile_loop
+from repro.machine import Machine
+
+
+class DslGenError(ValueError):
+    """The target machine cannot host DSL-compiled kernels."""
+
+
+@dataclass(frozen=True)
+class DslParams:
+    """Knobs for :func:`random_loop_source` (manifest-serializable)."""
+
+    min_stmts: int = 2
+    max_stmts: int = 8
+    #: Distinct arrays the body may read (``a0``..``a{arrays-1}``).
+    arrays: int = 3
+    #: Largest affine offset in array references (``a0[i-2]``).
+    max_offset: int = 2
+    #: Chance the body ends in a loop-carried scalar reduction.
+    reduction_prob: float = 0.6
+    #: Chance the body stores a result to memory.
+    store_prob: float = 0.85
+    #: Chance the store targets an array the body also reads, creating
+    #: exact-distance memory flow/anti/output recurrences.
+    recurrence_prob: float = 0.35
+
+    def validate(self) -> None:
+        if not 1 <= self.min_stmts <= self.max_stmts:
+            raise DslGenError(
+                f"need 1 <= min_stmts <= max_stmts, got "
+                f"{self.min_stmts}..{self.max_stmts}"
+            )
+        if self.arrays < 1 or self.max_offset < 0:
+            raise DslGenError("need arrays >= 1 and max_offset >= 0")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "min_stmts": self.min_stmts,
+            "max_stmts": self.max_stmts,
+            "arrays": self.arrays,
+            "max_offset": self.max_offset,
+            "reduction_prob": self.reduction_prob,
+            "store_prob": self.store_prob,
+            "recurrence_prob": self.recurrence_prob,
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, object]) -> "DslParams":
+        unknown = set(doc) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise DslGenError(
+                f"unknown DSL parameter(s) {sorted(unknown)}"
+            )
+        params = cls(**doc)  # type: ignore[arg-type]
+        params.validate()
+        return params
+
+
+def opclass_map_for(machine: Machine) -> Tuple[OpClassMap, List[str]]:
+    """Pick the operator->class map and usable operators for ``machine``.
+
+    FP-capable machines get the default ``fadd``/``fmul`` map, integer
+    machines the ``add``/``mul`` map; ``*`` and ``/`` are dropped when
+    the mapped class is missing, so generated sources always compile
+    into classes the machine implements.
+    """
+    classes = machine.op_classes
+    if "fadd" in classes:
+        cmap = OpClassMap()
+    elif "add" in classes:
+        cmap = OpClassMap(add="add", sub="add", mul="mul", div="div")
+    else:
+        raise DslGenError(
+            f"machine {machine.name!r} has neither 'fadd' nor 'add'; "
+            "cannot map DSL operators onto it"
+        )
+    if cmap.load not in classes or cmap.store not in classes:
+        raise DslGenError(
+            f"machine {machine.name!r} lacks load/store classes; "
+            "DSL kernels need a memory pipeline"
+        )
+    operators = ["+", "-"]
+    if cmap.mul in classes:
+        operators.append("*")
+    if cmap.div in classes:
+        operators.append("/")
+    return cmap, operators
+
+
+def random_loop_source(
+    rng: random.Random,
+    params: DslParams,
+    operators: List[str],
+) -> str:
+    """Sample one DSL loop body (parseable by ``repro.frontend``)."""
+    params.validate()
+    if not operators:
+        raise DslGenError("need at least one usable operator")
+    arrays = [f"a{k}" for k in range(params.arrays)]
+    temps: List[str] = []
+    use_reduction = rng.random() < params.reduction_prob
+
+    def operand() -> str:
+        roll = rng.random()
+        if temps and roll < 0.30:
+            return rng.choice(temps)
+        if roll < 0.85:
+            array = rng.choice(arrays)
+            offset = rng.randint(-params.max_offset, params.max_offset)
+            index = "i" if offset == 0 else f"i{offset:+d}"
+            return f"{array}[{index}]"
+        return str(rng.randint(2, 9))
+
+    lines = ["for i:"]
+    count = rng.randint(params.min_stmts, params.max_stmts)
+    for k in range(count):
+        # Divides are kept rare even when available: one per ~6 stmts.
+        usable = [
+            op for op in operators if op != "/" or rng.random() < 0.16
+        ] or ["+"]
+        lines.append(
+            f"    t{k} = {operand()} {rng.choice(usable)} {operand()}"
+        )
+        temps.append(f"t{k}")
+    if use_reduction:
+        acc_ops = [op for op in operators if op in "+*"] or ["+"]
+        lines.append(f"    s = s {rng.choice(acc_ops)} {temps[-1]}")
+    if rng.random() < params.store_prob:
+        if rng.random() < params.recurrence_prob:
+            target = rng.choice(arrays)
+        else:
+            target = "out"
+        offset = rng.randint(0, params.max_offset)
+        index = "i" if offset == 0 else f"i+{offset}"
+        value = "s" if use_reduction else temps[-1]
+        lines.append(f"    {target}[{index}] = {value}")
+    return "\n".join(lines) + "\n"
+
+
+def dsl_ddg(
+    rng: random.Random,
+    machine: Machine,
+    params: DslParams,
+    name: str = "dsl",
+) -> Ddg:
+    """Sample a DSL kernel and compile it into a DDG for ``machine``."""
+    cmap, operators = opclass_map_for(machine)
+    source = random_loop_source(rng, params, operators)
+    ddg = compile_loop(source, name=name, classes=cmap)
+    ddg.validate_against(machine)
+    return ddg

@@ -1,0 +1,213 @@
+"""Corpus generation driver: families -> .ddg files + manifest.
+
+Seeding discipline: every loop gets its own *derived seed string*
+``"{master}:{family}:{index}"`` fed to ``random.Random`` (version-2
+string seeding, stable across platforms and Python releases).  A loop
+is therefore a pure function of (master seed, family parameters,
+machine preset, index) — the manifest records all four, so any single
+loop, or the whole corpus, regenerates byte-identically without the
+original process's rng state.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.corpusgen.dslgen import DslParams, dsl_ddg
+from repro.corpusgen.manifest import (
+    KIND_DDG,
+    KIND_DSL,
+    CorpusGenError,
+    FamilySpec,
+    LoopRecord,
+    Manifest,
+    manifest_path,
+    read_manifest,
+    sha256_text,
+)
+from repro.ddg.builders import serialize_ddg
+from repro.ddg.generators import GenParams, adversarial_params, parameterized_ddg
+from repro.ddg.graph import Ddg
+from repro.machine import Machine
+from repro.machine.presets import PRESETS
+from repro.supervision.atomicio import atomic_write_text
+
+#: Default family split of ``mode="mixed"`` corpora.
+MIXED_DSL_FRACTION = 0.2
+MIXED_ADVERSARIAL_FRACTION = 0.1
+
+
+def loop_seed(master_seed: int, family: str, index: int) -> str:
+    """The derived per-loop seed string recorded in the manifest."""
+    return f"{master_seed}:{family}:{index}"
+
+
+def resolve_machine(name: str) -> Machine:
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise CorpusGenError(
+            f"unknown machine preset {name!r} (known: {known}); "
+            "`repro gen` manifests are preset-based so they stay "
+            "self-contained"
+        ) from None
+    return factory()
+
+
+def default_families(
+    count: int,
+    mode: str = "mixed",
+    profile: str = "scalar",
+    dsl_fraction: float = MIXED_DSL_FRACTION,
+    adversarial_fraction: float = MIXED_ADVERSARIAL_FRACTION,
+    base: Optional[GenParams] = None,
+) -> List[FamilySpec]:
+    """The standard family split for ``repro gen``.
+
+    ``mode="mixed"`` (the default) splits ``count`` into a
+    guaranteed-schedulable structural slice, a DSL-compiled kernel
+    slice, and an adversarial slice; ``"guaranteed"``/``"adversarial"``
+    build single-family corpora; ``"dsl"`` compiles everything.
+    """
+    if count < 1:
+        raise CorpusGenError(f"count must be >= 1, got {count}")
+    base = base or GenParams(profile=profile)
+    if mode == "guaranteed":
+        return [FamilySpec("guaranteed", count, KIND_DDG, base)]
+    if mode == "adversarial":
+        return [
+            FamilySpec("adversarial", count, KIND_DDG, adversarial_params())
+        ]
+    if mode == "dsl":
+        return [FamilySpec("dsl", count, KIND_DSL, DslParams())]
+    if mode != "mixed":
+        raise CorpusGenError(
+            f"unknown corpus mode {mode!r}; known: "
+            "mixed, guaranteed, adversarial, dsl"
+        )
+    if (dsl_fraction < 0 or adversarial_fraction < 0
+            or dsl_fraction + adversarial_fraction > 1):
+        raise CorpusGenError(
+            "family fractions must be >= 0 and sum to <= 1"
+        )
+    n_dsl = int(count * dsl_fraction)
+    n_adv = int(count * adversarial_fraction)
+    n_guaranteed = count - n_dsl - n_adv
+    families = [
+        FamilySpec("guaranteed", n_guaranteed, KIND_DDG, base),
+        FamilySpec("dsl", n_dsl, KIND_DSL, DslParams()),
+        FamilySpec("adversarial", n_adv, KIND_DDG, adversarial_params()),
+    ]
+    return [f for f in families if f.count > 0]
+
+
+def generate_loop(
+    machine: Machine, family: FamilySpec, seed: str, name: str
+) -> Ddg:
+    """Regenerate one loop from its manifest coordinates."""
+    rng = random.Random(seed)
+    if family.kind == KIND_DSL:
+        return dsl_ddg(rng, machine, family.params, name)
+    return parameterized_ddg(rng, machine, family.params, name)
+
+
+def iter_corpus(
+    seed: int,
+    machine: Machine,
+    families: Sequence[FamilySpec],
+) -> Iterator[Tuple[FamilySpec, str, Ddg]]:
+    """Yield ``(family, derived_seed, ddg)`` in manifest order."""
+    index = 0
+    for family in families:
+        for k in range(family.count):
+            derived = loop_seed(seed, family.name, k)
+            yield family, derived, generate_loop(
+                machine, family, derived, f"gen{index:05d}"
+            )
+            index += 1
+
+
+def generate_corpus(
+    seed: int,
+    machine: Machine,
+    families: Sequence[FamilySpec],
+) -> List[Ddg]:
+    """In-memory corpus (the pytest-fixture entry point)."""
+    return [ddg for _, _, ddg in iter_corpus(seed, machine, families)]
+
+
+def write_corpus(
+    out_dir,
+    seed: int,
+    machine_name: str,
+    families: Sequence[FamilySpec],
+) -> Manifest:
+    """Emit ``.ddg`` files plus ``manifest.json`` under ``out_dir``."""
+    machine = resolve_machine(machine_name)
+    root = Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    records: List[LoopRecord] = []
+    for family, derived, ddg in iter_corpus(seed, machine, families):
+        text = serialize_ddg(ddg)
+        file_name = f"{ddg.name}.ddg"
+        (root / file_name).write_text(text, encoding="utf-8")
+        records.append(
+            LoopRecord(
+                name=ddg.name,
+                family=family.name,
+                seed=derived,
+                file=file_name,
+                sha256=sha256_text(text),
+                ops=ddg.num_ops,
+                deps=ddg.num_deps,
+            )
+        )
+    manifest = Manifest(
+        seed=seed,
+        machine=machine_name,
+        families=list(families),
+        loops=records,
+    )
+    atomic_write_text(manifest_path(root), manifest.to_json())
+    return manifest
+
+
+def regenerate_corpus(manifest: Manifest, out_dir) -> Manifest:
+    """Rebuild a corpus from its manifest alone (byte-identical).
+
+    Raises :class:`CorpusGenError` if any regenerated loop's checksum
+    disagrees with the manifest — the manifest is the contract, and a
+    generator whose output drifted must not silently overwrite it.
+    """
+    machine = resolve_machine(manifest.machine)
+    by_name = {f.name: f for f in manifest.families}
+    root = Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    for record in manifest.loops:
+        family = by_name.get(record.family)
+        if family is None:
+            raise CorpusGenError(
+                f"loop {record.name!r}: manifest references unknown "
+                f"family {record.family!r}"
+            )
+        ddg = generate_loop(machine, family, record.seed, record.name)
+        text = serialize_ddg(ddg)
+        digest = sha256_text(text)
+        if digest != record.sha256:
+            raise CorpusGenError(
+                f"loop {record.name!r}: regenerated contents do not "
+                f"match the manifest checksum (expected "
+                f"{record.sha256[:16]}…, got {digest[:16]}…) — the "
+                "generator drifted from the published corpus"
+            )
+        (root / record.file).write_text(text, encoding="utf-8")
+    atomic_write_text(manifest_path(root), manifest.to_json())
+    return manifest
+
+
+def regenerate_from(manifest_source, out_dir) -> Manifest:
+    """``repro gen --from-manifest``: read, then rebuild into ``out_dir``."""
+    return regenerate_corpus(read_manifest(manifest_source), out_dir)

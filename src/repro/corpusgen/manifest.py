@@ -1,0 +1,292 @@
+"""Corpus manifests: the reproducibility contract of ``repro gen``.
+
+A generated corpus directory holds one ``.ddg`` file per loop plus a
+``manifest.json`` that records *everything* needed to rebuild the
+corpus byte-for-byte: the master seed, the machine preset, the family
+parameter blocks, and — per loop — the derived seed string, family,
+file name and SHA-256 of the exact file contents.  ``repro gen
+--from-manifest`` regenerates an identical corpus from the manifest
+alone; ``repro gen --check`` audits a directory against its manifest,
+naming every loop and path that is missing, unreadable, corrupt or
+unparsable (the same per-file diagnostics discipline the batch runner
+uses).
+
+``repro batch`` recognizes manifest-bearing directories: the loop list
+comes from the manifest (not a directory glob), so a missing or
+checksum-corrupt file surfaces as a per-loop error entry naming the
+loop and the path instead of being silently skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.corpusgen.dslgen import DslParams
+from repro.ddg.generators import GenParams
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: Family kinds: direct graph sampling vs. DSL-compiled kernels.
+KIND_DDG = "ddg"
+KIND_DSL = "dsl"
+
+
+class CorpusGenError(ValueError):
+    """Malformed corpus spec, manifest, or corpus directory."""
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One corpus slice: ``count`` loops drawn under one parameter set."""
+
+    name: str
+    count: int
+    kind: str
+    params: Union[GenParams, DslParams]
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_DDG, KIND_DSL):
+            raise CorpusGenError(
+                f"family {self.name!r}: unknown kind {self.kind!r}"
+            )
+        if self.count < 0:
+            raise CorpusGenError(
+                f"family {self.name!r}: count must be >= 0"
+            )
+        expected = DslParams if self.kind == KIND_DSL else GenParams
+        if not isinstance(self.params, expected):
+            raise CorpusGenError(
+                f"family {self.name!r}: kind {self.kind!r} needs "
+                f"{expected.__name__} parameters"
+            )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "kind": self.kind,
+            "params": self.params.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: dict) -> "FamilySpec":
+        try:
+            kind = doc["kind"]
+            params_doc = doc["params"]
+            loader = (
+                DslParams if kind == KIND_DSL else GenParams
+            ).from_json_dict
+            return cls(
+                name=doc["name"],
+                count=int(doc["count"]),
+                kind=kind,
+                params=loader(params_doc),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorpusGenError(
+                f"malformed family block: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class LoopRecord:
+    """Per-loop provenance: enough to regenerate and to audit the file."""
+
+    name: str
+    family: str
+    seed: str
+    file: str
+    sha256: str
+    ops: int
+    deps: int
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "seed": self.seed,
+            "file": self.file,
+            "sha256": self.sha256,
+            "ops": self.ops,
+            "deps": self.deps,
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: dict) -> "LoopRecord":
+        try:
+            return cls(
+                name=doc["name"],
+                family=doc["family"],
+                seed=doc["seed"],
+                file=doc["file"],
+                sha256=doc["sha256"],
+                ops=int(doc.get("ops", 0)),
+                deps=int(doc.get("deps", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorpusGenError(f"malformed loop record: {exc}") from exc
+
+
+@dataclass
+class Manifest:
+    """The whole reproducibility record of one generated corpus."""
+
+    seed: int
+    machine: str
+    families: List[FamilySpec] = field(default_factory=list)
+    loops: List[LoopRecord] = field(default_factory=list)
+    version: int = MANIFEST_VERSION
+
+    @property
+    def count(self) -> int:
+        return len(self.loops)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "manifest_version": self.version,
+            "tool": "repro gen",
+            "seed": self.seed,
+            "machine": self.machine,
+            "count": self.count,
+            "families": [f.to_json_dict() for f in self.families],
+            "loops": [r.to_json_dict() for r in self.loops],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2) + "\n"
+
+    @classmethod
+    def from_json_dict(cls, doc: dict) -> "Manifest":
+        if not isinstance(doc, dict):
+            raise CorpusGenError("manifest must be a JSON object")
+        version = doc.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise CorpusGenError(
+                f"unsupported manifest version {version!r} "
+                f"(supported: {MANIFEST_VERSION})"
+            )
+        try:
+            seed = int(doc["seed"])
+            machine = doc["machine"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorpusGenError(f"malformed manifest header: {exc}") from exc
+        return cls(
+            seed=seed,
+            machine=machine,
+            families=[
+                FamilySpec.from_json_dict(f) for f in doc.get("families", [])
+            ],
+            loops=[
+                LoopRecord.from_json_dict(r) for r in doc.get("loops", [])
+            ],
+            version=version,
+        )
+
+
+def manifest_path(directory) -> Path:
+    path = Path(directory)
+    return path if path.name == MANIFEST_NAME else path / MANIFEST_NAME
+
+
+def read_manifest(directory) -> Manifest:
+    """Load ``manifest.json`` from a corpus directory (or direct path)."""
+    path = manifest_path(directory)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise CorpusGenError(
+            f"cannot read corpus manifest {path}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CorpusGenError(
+            f"corpus manifest {path} is not valid JSON: {exc}"
+        ) from exc
+    try:
+        return Manifest.from_json_dict(doc)
+    except CorpusGenError as exc:
+        raise CorpusGenError(f"corpus manifest {path}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ManifestEntrySource:
+    """A batch loop source resolved through a corpus manifest.
+
+    Carries the manifest's loop name and expected checksum so the batch
+    loader can attribute a missing or corrupt file to the exact loop
+    (see :func:`repro.parallel.batch.collect_sources`).
+    """
+
+    name: str
+    path: Path
+    sha256: Optional[str] = None
+
+
+def manifest_sources(directory) -> List[ManifestEntrySource]:
+    """The batch source list of a manifest-bearing corpus directory."""
+    root = Path(directory)
+    manifest = read_manifest(root)
+    return [
+        ManifestEntrySource(
+            name=record.name,
+            path=root / record.file,
+            sha256=record.sha256,
+        )
+        for record in manifest.loops
+    ]
+
+
+def verify_corpus(directory) -> Dict[str, List[str]]:
+    """Audit a corpus directory against its manifest.
+
+    Returns ``{"checked": [...], "problems": [...]}`` where every
+    problem string names the loop and the offending path — the same
+    diagnostics contract as the batch loader.  Parsability is checked
+    with the real parser, so a file that no longer round-trips is
+    caught here rather than mid-batch.
+    """
+    from repro.ddg.builders import parse_ddg
+    from repro.ddg.errors import DdgError
+
+    root = Path(directory)
+    manifest = read_manifest(root)
+    checked: List[str] = []
+    problems: List[str] = []
+    for record in manifest.loops:
+        path = root / record.file
+        checked.append(record.name)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            problems.append(
+                f"loop {record.name!r} ({path}): cannot read corpus "
+                f"file: {type(exc).__name__}: {exc}"
+            )
+            continue
+        digest = sha256_text(text)
+        if digest != record.sha256:
+            problems.append(
+                f"loop {record.name!r} ({path}): corpus file does not "
+                f"match its manifest checksum (expected "
+                f"{record.sha256[:16]}…, got {digest[:16]}…)"
+            )
+            continue
+        try:
+            parse_ddg(text)
+        except DdgError as exc:
+            problems.append(
+                f"loop {record.name!r} ({path}): corpus file does not "
+                f"parse: {exc}"
+            )
+    return {"checked": checked, "problems": problems}

@@ -154,3 +154,270 @@ def suite(
 def suite1066(machine: Machine, seed: int = 604) -> List[Ddg]:
     """The Table 4 / Table 5 stand-in corpus: 1066 loops."""
     return suite(1066, machine, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Parameterized generation (the `repro gen` corpus substrate).
+#
+# Everything below is additive: :func:`random_ddg` keeps its exact
+# sampling sequence (the checked-in corpus/ files pin its output
+# byte-for-byte), while :func:`parameterized_ddg` exposes the knobs a
+# paper-scale corpus needs — recurrence-cycle count and depth, distance
+# distributions, FU-class mix profiles, and an adversarial construction
+# mode alongside the guaranteed-schedulable one.
+# ---------------------------------------------------------------------------
+
+#: Named instruction-class mixes.  Profiles deliberately over-specify
+#: classes; they are filtered to whatever the target machine implements
+#: (:func:`_filter_weights`), so one profile works across presets.
+PROFILES: Dict[str, Dict[str, float]] = {
+    # PowerPC-604-style scalar loop code (the historical default mix).
+    "scalar": dict(DEFAULT_WEIGHTS),
+    # FP-dominated numeric kernels (livermore/linpack regime).
+    "fp": {
+        "load": 0.20, "store": 0.08, "add": 0.06, "fadd": 0.30,
+        "fmul": 0.28, "fdiv": 0.04, "mul": 0.02, "cmp": 0.02,
+    },
+    # Integer/control code (SPECint regime; matches integer cores).
+    "int": {
+        "add": 0.30, "logical": 0.12, "shift": 0.10, "cmp": 0.12,
+        "mul": 0.08, "div": 0.04, "load": 0.16, "store": 0.08,
+    },
+    # Memory-bound streaming loops.
+    "mem": {
+        "load": 0.40, "store": 0.22, "add": 0.18, "fadd": 0.10,
+        "fmul": 0.06, "cmp": 0.04,
+    },
+    # Blocking-unit pressure: divides compete for non-pipelined FUs.
+    "div": {
+        "div": 0.20, "fdiv": 0.18, "mul": 0.12, "fmul": 0.12,
+        "fadd": 0.12, "add": 0.10, "load": 0.16, "store": 0.10,
+    },
+}
+
+#: Construction modes for :func:`parameterized_ddg`.
+MODES = ("guaranteed", "adversarial")
+
+#: Dependence-distance distributions for loop-carried edges.
+DISTANCE_DISTS = ("uniform", "geometric", "unit")
+
+
+@dataclass(frozen=True)
+class GenParams:
+    """Knobs for :func:`parameterized_ddg` (manifest-serializable).
+
+    ``mode`` selects the construction discipline:
+
+    * ``"guaranteed"`` — connected DAG of forward edges plus recurrence
+      cycles whose back edge always carries distance >= 1, so a
+      periodic schedule exists at every large-enough ``T``;
+    * ``"adversarial"`` — same well-formedness invariant (no 0-distance
+      cycle can be built), but the sampler is pointed at solver pain:
+      possibly disconnected bodies, wide layers of interchangeable
+      same-class ops (symmetry), parallel multi-edges, random latency
+      overrides, and deep unit-distance recurrence chains.
+    """
+
+    mode: str = "guaranteed"
+    min_ops: int = 2
+    max_ops: int = 40
+    #: Geometric-tail parameter for sizes; mean ~= min_ops + (1-p)/p.
+    size_p: float = 0.22
+    #: Probability weight of each extra forward (distance-0) edge.
+    edge_prob: float = 0.15
+    #: Number of recurrence cycles threaded through the body.
+    cycles: int = 1
+    #: Maximum ops per recurrence cycle (1 = self-loop accumulators).
+    cycle_depth: int = 1
+    max_distance: int = 3
+    distance_dist: str = "uniform"
+    #: Class-mix profile name (key of :data:`PROFILES`).
+    profile: str = "scalar"
+    #: Chance a forward edge carries an explicit latency override.
+    latency_override_prob: float = 0.0
+    #: Chance an op is left unlinked from the spanning arborescence
+    #: (adversarial: disconnected bodies are legal and stress mapping).
+    disconnect_prob: float = 0.0
+    #: Chance of duplicating a dependence as a parallel multi-edge.
+    multi_edge_prob: float = 0.0
+
+    def validate(self) -> None:
+        if self.mode not in MODES:
+            raise DdgError(
+                f"unknown generator mode {self.mode!r}; known: {MODES}"
+            )
+        if self.distance_dist not in DISTANCE_DISTS:
+            raise DdgError(
+                f"unknown distance distribution {self.distance_dist!r}; "
+                f"known: {DISTANCE_DISTS}"
+            )
+        if self.profile not in PROFILES:
+            raise DdgError(
+                f"unknown class profile {self.profile!r}; "
+                f"known: {sorted(PROFILES)}"
+            )
+        if not 1 <= self.min_ops <= self.max_ops:
+            raise DdgError(
+                f"need 1 <= min_ops <= max_ops, got "
+                f"{self.min_ops}..{self.max_ops}"
+            )
+        if self.cycles < 0 or self.cycle_depth < 1:
+            raise DdgError("cycles must be >= 0 and cycle_depth >= 1")
+        if self.max_distance < 1:
+            raise DdgError("max_distance must be >= 1")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "min_ops": self.min_ops,
+            "max_ops": self.max_ops,
+            "size_p": self.size_p,
+            "edge_prob": self.edge_prob,
+            "cycles": self.cycles,
+            "cycle_depth": self.cycle_depth,
+            "max_distance": self.max_distance,
+            "distance_dist": self.distance_dist,
+            "profile": self.profile,
+            "latency_override_prob": self.latency_override_prob,
+            "disconnect_prob": self.disconnect_prob,
+            "multi_edge_prob": self.multi_edge_prob,
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, object]) -> "GenParams":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(doc) - known
+        if unknown:
+            raise DdgError(
+                f"unknown generator parameter(s) {sorted(unknown)}"
+            )
+        params = cls(**doc)  # type: ignore[arg-type]
+        params.validate()
+        return params
+
+
+#: Adversarial defaults: bigger bodies, deep tight recurrences, broken
+#: connectivity, duplicated edges, override noise, blocking-unit mix.
+ADVERSARIAL_DEFAULTS = dict(
+    mode="adversarial",
+    min_ops=4,
+    max_ops=48,
+    size_p=0.12,
+    edge_prob=0.30,
+    cycles=3,
+    cycle_depth=4,
+    max_distance=2,
+    distance_dist="unit",
+    profile="div",
+    latency_override_prob=0.25,
+    disconnect_prob=0.15,
+    multi_edge_prob=0.10,
+)
+
+
+def adversarial_params(**overrides) -> GenParams:
+    """Adversarial-mode defaults, tweakable per corpus family."""
+    merged = dict(ADVERSARIAL_DEFAULTS)
+    merged.update(overrides)
+    return GenParams(**merged)  # type: ignore[arg-type]
+
+
+def _filter_weights(
+    machine: Machine, weights: Dict[str, float]
+) -> Dict[str, float]:
+    usable = {
+        cls: w for cls, w in weights.items() if cls in machine.op_classes
+    }
+    if not usable:
+        raise DdgError(
+            "none of the configured op classes exist on the machine"
+        )
+    return usable
+
+
+def _sample_param_size(rng: random.Random, params: GenParams) -> int:
+    size = params.min_ops
+    while size < params.max_ops and rng.random() > params.size_p:
+        size += 1
+    return size
+
+
+def _sample_distance(rng: random.Random, params: GenParams) -> int:
+    if params.distance_dist == "unit":
+        return 1
+    if params.distance_dist == "geometric":
+        distance = 1
+        while distance < params.max_distance and rng.random() < 0.4:
+            distance += 1
+        return distance
+    return rng.randint(1, params.max_distance)
+
+
+def parameterized_ddg(
+    rng: random.Random,
+    machine: Machine,
+    params: GenParams,
+    name: str = "gen",
+) -> Ddg:
+    """Generate one loop DDG under ``params``, valid on ``machine``.
+
+    Well-formedness invariant (both modes): forward edges only run from
+    lower to higher op index and every back edge carries distance >= 1,
+    so no 0-distance dependence cycle can exist and ``T_dep`` is always
+    finite.  In guaranteed mode the body is additionally connected and
+    free of parallel edges, the construction the property harness
+    asserts always schedules within a generous sweep budget.
+    """
+    params.validate()
+    weights = _filter_weights(machine, PROFILES[params.profile])
+    classes = list(weights)
+    cum = list(weights.values())
+    n = _sample_param_size(rng, params)
+
+    ddg = Ddg(name)
+    for i in range(n):
+        op_class = rng.choices(classes, weights=cum, k=1)[0]
+        ddg.add_op(f"n{i}", op_class)
+
+    # Spanning arborescence (guaranteed mode: always; adversarial mode:
+    # each op may stay unlinked, yielding disconnected components).
+    for j in range(1, n):
+        if (params.mode == "adversarial"
+                and rng.random() < params.disconnect_prob):
+            continue
+        ddg.add_dep(rng.randrange(j), j)
+    # Extra forward (intra-iteration) edges, denser near the diagonal.
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < params.edge_prob / max(1, (j - i)):
+                if not _has_dep(ddg, i, j):
+                    latency = None
+                    if rng.random() < params.latency_override_prob:
+                        latency = rng.randint(
+                            0, machine.latency(ddg.ops[i].op_class) + 1
+                        )
+                    ddg.add_dep(i, j, latency=latency)
+    # Recurrence cycles: a forward chain of `depth` ops closed by one
+    # back edge carrying the sampled distance.
+    for _ in range(params.cycles):
+        depth = rng.randint(1, min(params.cycle_depth, n))
+        members = sorted(rng.sample(range(n), depth))
+        for src, dst in zip(members, members[1:]):
+            if not _has_dep(ddg, src, dst):
+                ddg.add_dep(src, dst)
+        distance = _sample_distance(rng, params)
+        first, last = members[0], members[-1]
+        if params.mode == "adversarial" or not _has_dep(ddg, last, first):
+            ddg.add_dep(last, first, distance=distance, kind="carried")
+    # Adversarial multi-edges: duplicate sampled dependences with a
+    # different latency override (parallel edges are legal DDG inputs
+    # and must survive serialization, canonicalization and the ILP).
+    if params.multi_edge_prob > 0 and ddg.deps:
+        for dep in list(ddg.deps):
+            if rng.random() < params.multi_edge_prob:
+                ddg.add_dep(
+                    dep.src, dep.dst, distance=dep.distance,
+                    kind="dup",
+                    latency=rng.randint(1, params.max_distance),
+                )
+    return ddg

@@ -115,6 +115,71 @@ def cydra5() -> Machine:
     return m
 
 
+def coreblocks() -> Machine:
+    """RISC-V-style integer core with hazardous long-op units.
+
+    Reservation shapes follow the FU implementations in the coreblocks
+    out-of-order RISC-V core (kuznia-rdzeni/coreblocks): combinational
+    ALU / branch units, a pipelined multiplier whose recombination
+    stage stays busy two consecutive cycles (shared result path —
+    forbidden latency 1), an iterative long divider that blocks its
+    datapath for the full division, and an LSU whose stores occupy the
+    address stage two cycles (request + response handshake).
+    """
+    m = Machine("coreblocks")
+    m.add_fu_type("ALU", count=2, table=ReservationTable.clean(1))
+    m.add_fu_type("MUL", count=1, table=ReservationTable.from_rows(
+        [1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 1, 1]
+    ))
+    m.add_fu_type("DIV", count=1,
+                  table=ReservationTable.non_pipelined(10))
+    m.add_fu_type("LSU", count=1, table=ReservationTable.clean(2))
+    m.add_fu_type("BR", count=1, table=ReservationTable.clean(1))
+    for cls in ("add", "logical", "shift", "cmp"):
+        m.add_op_class(cls, "ALU", latency=1)
+    m.add_op_class("mul", "MUL", latency=4)
+    m.add_op_class("div", "DIV", latency=10)
+    m.add_op_class("load", "LSU", latency=2)
+    m.add_op_class("store", "LSU", latency=1,
+                   table=ReservationTable.from_rows([1, 1]))
+    m.add_op_class("branch", "BR", latency=1)
+    return m
+
+
+def deep_unclean() -> Machine:
+    """Deep unclean FP pipelines with shared stages (stress preset).
+
+    The FPU is a 6-cycle pipeline whose normalize stage is revisited
+    two cycles later (forbidden latency 2), shared by ``fadd``/``fmul``;
+    ``fdiv`` runs on the *same* unit but blocks it end-to-end via a
+    per-class table (multi-function pipeline, paper §7).  The single
+    memory port is banked: every access holds the address stage two
+    consecutive cycles, so back-to-back memory issue is impossible.
+    """
+    m = Machine("deep-unclean")
+    m.add_fu_type("FPU", count=2, table=ReservationTable.from_rows(
+        [1, 0, 0, 0, 0, 0],
+        [0, 1, 0, 0, 0, 0],
+        [0, 0, 1, 0, 1, 0],
+        [0, 0, 0, 1, 0, 0],
+        [0, 0, 0, 0, 0, 1],
+    ))
+    m.add_fu_type("MEM", count=1, table=ReservationTable.from_rows(
+        [1, 1, 0], [0, 0, 1]
+    ))
+    m.add_fu_type("INT", count=1, table=ReservationTable.clean(1))
+    m.add_op_class("fadd", "FPU", latency=4)
+    m.add_op_class("fmul", "FPU", latency=5)
+    m.add_op_class("fdiv", "FPU", latency=12,
+                   table=ReservationTable.non_pipelined(12))
+    m.add_op_class("load", "MEM", latency=4)
+    m.add_op_class("store", "MEM", latency=1,
+                   table=ReservationTable.from_rows([1, 1]))
+    m.add_op_class("add", "INT", latency=1)
+    m.add_op_class("cmp", "INT", latency=1)
+    return m
+
+
 def unclean_demo_machine() -> Machine:
     """A small machine whose only FU is an unclean pipeline; handy in tests."""
     m = Machine("unclean-demo")
@@ -131,6 +196,8 @@ PRESETS = {
     "nonpipelined": nonpipelined_machine,
     "powerpc604": powerpc604,
     "cydra5": cydra5,
+    "coreblocks": coreblocks,
+    "deep-unclean": deep_unclean,
     "unclean-demo": unclean_demo_machine,
 }
 

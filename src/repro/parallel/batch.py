@@ -83,7 +83,14 @@ from repro.supervision.signals import interrupted
 #: aggregates (store hit counts; per-process LRU hit/miss counters).
 REPORT_VERSION = 5
 
-LoopSource = Union[str, "os.PathLike[str]", Ddg]
+from repro.corpusgen.manifest import (
+    MANIFEST_NAME,
+    ManifestEntrySource,
+    manifest_sources,
+    sha256_text,
+)
+
+LoopSource = Union[str, "os.PathLike[str]", Ddg, ManifestEntrySource]
 
 
 @dataclass
@@ -420,20 +427,26 @@ def load_report(path) -> BatchReport:
 
 
 def collect_sources(paths: Iterable[LoopSource]) -> List[LoopSource]:
-    """Expand directories into sorted ``.ddg`` file lists.
+    """Expand directories into deterministic loop-source lists.
 
-    Files and in-memory DDGs pass through unchanged; ordering within a
-    directory is lexicographic, so the batch is deterministic for a
-    given argument list.
+    Files and in-memory DDGs pass through unchanged.  A directory that
+    carries a ``repro gen`` ``manifest.json`` expands to the manifest's
+    loop list (in manifest order, with expected checksums), so a
+    missing or corrupt file becomes a per-loop error entry naming the
+    loop and the path instead of silently vanishing from a glob; any
+    other directory expands to its sorted ``.ddg`` files.
     """
     sources: List[LoopSource] = []
     for item in paths:
-        if isinstance(item, Ddg):
+        if isinstance(item, (Ddg, ManifestEntrySource)):
             sources.append(item)
             continue
         path = Path(item)
         if path.is_dir():
-            sources.extend(sorted(path.glob("*.ddg")))
+            if (path / MANIFEST_NAME).is_file():
+                sources.extend(manifest_sources(path))
+            else:
+                sources.extend(sorted(path.glob("*.ddg")))
         else:
             sources.append(path)
     return sources
@@ -506,8 +519,14 @@ def _load_tasks(
         if isinstance(item, Ddg):
             tasks.append((item.name, serialize_ddg(item), "<memory>", None))
             continue
-        path = Path(item)
-        loop_id = path.stem
+        expected_sha = None
+        if isinstance(item, ManifestEntrySource):
+            path = item.path
+            loop_id = item.name
+            expected_sha = item.sha256
+        else:
+            path = Path(item)
+            loop_id = path.stem
         try:
             text = path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as exc:
@@ -515,6 +534,15 @@ def _load_tasks(
                 loop_id, None, str(path),
                 f"loop {loop_id!r} ({path}): cannot read corpus file: "
                 f"{type(exc).__name__}: {exc}",
+            ))
+            continue
+        if expected_sha is not None and sha256_text(text) != expected_sha:
+            tasks.append((
+                loop_id, None, str(path),
+                f"loop {loop_id!r} ({path}): corpus file does not match "
+                "its manifest checksum — regenerate the corpus with "
+                "'repro gen --from-manifest' or audit it with "
+                "'repro gen --check'",
             ))
             continue
         tasks.append((loop_id, text, str(path), None))

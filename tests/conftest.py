@@ -4,10 +4,13 @@ import random
 
 import pytest
 
+from repro.corpusgen import default_families, generate_corpus
 from repro.ddg.generators import GeneratorConfig, random_ddg
 from repro.ddg.kernels import motivating_example
 from repro.machine.presets import (
     clean_machine,
+    coreblocks,
+    deep_unclean,
     motivating_machine,
     nonpipelined_machine,
     powerpc604,
@@ -52,3 +55,40 @@ def small_corpus(ppc604):
     return [
         random_ddg(rng, ppc604, config, name=f"t{i}") for i in range(10)
     ]
+
+
+@pytest.fixture
+def coreblocks_machine():
+    return coreblocks()
+
+
+@pytest.fixture
+def deep_unclean_machine():
+    return deep_unclean()
+
+
+@pytest.fixture(params=["coreblocks", "deep-unclean"])
+def hazard_machine(request):
+    """Each of the hazard-heavy presets in turn (parameterized)."""
+    return {"coreblocks": coreblocks, "deep-unclean": deep_unclean}[
+        request.param
+    ]()
+
+
+@pytest.fixture
+def corpus_factory():
+    """Factory for seeded in-memory generated corpora.
+
+    ``corpus_factory(count=..., seed=..., machine=..., mode=...)``
+    returns the same loops ``repro gen`` would emit for those knobs —
+    the in-memory face of the corpus generator.
+    """
+    def make(count=12, seed=42, machine=None, mode="mixed",
+             profile="scalar", **family_kwargs):
+        machine = machine or powerpc604()
+        families = default_families(
+            count, mode=mode, profile=profile, **family_kwargs
+        )
+        return generate_corpus(seed, machine, families)
+
+    return make

@@ -1,0 +1,73 @@
+"""Seed-stability regression: golden DDG text for pinned seeds.
+
+Each golden file under ``tests/data/golden_gen/`` pins the *exact*
+serialized output of one (seed, params, machine) tuple.  If any of
+these tests fail, the generator's sampling sequence drifted — which
+silently invalidates every published corpus manifest (``repro gen
+--from-manifest`` would refuse to regenerate them).  Never "fix" a
+failure by regenerating the golden file unless you have consciously
+decided to break manifest compatibility; bump ``MANIFEST_VERSION`` and
+say so in the changelog if you do.
+"""
+
+import pathlib
+import random
+
+import pytest
+
+from repro.corpusgen.dslgen import DslParams, dsl_ddg
+from repro.ddg.builders import serialize_ddg
+from repro.ddg.generators import (
+    GenParams,
+    adversarial_params,
+    parameterized_ddg,
+)
+from repro.machine.presets import by_name
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "data" / \
+    "golden_gen"
+
+#: (file stem, machine preset, kind, params, derived seed string).
+CASES = [
+    (
+        "guaranteed_ppc604", "powerpc604", "ddg",
+        GenParams(), "golden:guaranteed:0",
+    ),
+    (
+        "adversarial_coreblocks", "coreblocks", "ddg",
+        adversarial_params(), "golden:adversarial:0",
+    ),
+    (
+        "mem_geometric_ppc604", "powerpc604", "ddg",
+        GenParams(profile="mem", distance_dist="geometric", cycles=2,
+                  cycle_depth=3, min_ops=6),
+        "golden:mem:0",
+    ),
+    (
+        "dsl_deep_unclean", "deep-unclean", "dsl",
+        DslParams(), "golden:dsl:0",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "stem,preset,kind,params,seed", CASES, ids=[c[0] for c in CASES]
+)
+def test_golden_seed_stability(stem, preset, kind, params, seed):
+    machine = by_name(preset)
+    rng = random.Random(seed)
+    if kind == "dsl":
+        ddg = dsl_ddg(rng, machine, params, stem)
+    else:
+        ddg = parameterized_ddg(rng, machine, params, stem)
+    golden = (GOLDEN_DIR / f"{stem}.ddg").read_text(encoding="utf-8")
+    assert serialize_ddg(ddg) == golden, (
+        f"generator output for {stem} drifted from the golden pin — "
+        "published corpus manifests would no longer regenerate"
+    )
+
+
+def test_goldens_have_no_strays():
+    pinned = {c[0] for c in CASES}
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.ddg")}
+    assert on_disk == pinned

@@ -118,3 +118,97 @@ class TestPowerPc604:
         assert machine.latency("fadd") == 3
         assert machine.latency("load") == 2
         assert machine.latency("div") == 20
+
+
+class TestCoreblocks:
+    def test_registered_and_valid(self):
+        machine = presets.by_name("coreblocks")
+        machine.validate()
+        assert machine.name == "coreblocks"
+
+    def test_multiplier_has_busy_recombination_stage(self):
+        table = presets.coreblocks().reservation_for("mul")
+        assert table.matrix.tolist() == [
+            [1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 1, 1],
+        ]
+        assert not table.is_clean
+
+    def test_divider_blocks_for_ten_cycles(self):
+        table = presets.coreblocks().reservation_for("div")
+        assert table.forbidden_latencies() == set(range(1, 10))
+
+    def test_store_holds_lsu_two_cycles(self):
+        machine = presets.coreblocks()
+        assert not machine.reservation_for("store").is_clean
+        assert machine.reservation_for("load").is_clean
+
+    def test_not_clean(self):
+        assert not presets.coreblocks().is_clean
+
+    def test_generated_int_loops_schedule_on_it(self):
+        import random
+
+        from repro.core import schedule_loop, verify_schedule
+        from repro.ddg.generators import GenParams, parameterized_ddg
+
+        machine = presets.coreblocks()
+        params = GenParams(profile="int", max_ops=10)
+        rng = random.Random("presets:coreblocks:0")
+        for _ in range(3):
+            ddg = parameterized_ddg(rng, machine, params)
+            result = schedule_loop(ddg, machine, max_extra=20)
+            assert result.schedule is not None
+            verify_schedule(result.schedule)
+
+
+class TestDeepUnclean:
+    def test_registered_and_valid(self):
+        machine = presets.by_name("deep-unclean")
+        machine.validate()
+        assert machine.name == "deep-unclean"
+
+    def test_fpu_revisits_a_stage(self):
+        table = presets.deep_unclean().reservation_for("fadd")
+        # Stage 2 is used at cycles 2 and 4 -> forbidden latency 2.
+        assert 2 in table.forbidden_latencies()
+        assert not table.is_clean
+
+    def test_fdiv_nonpipelined(self):
+        table = presets.deep_unclean().reservation_for("fdiv")
+        assert table.forbidden_latencies() == set(range(1, 12))
+
+    def test_mem_port_shared_stage(self):
+        machine = presets.deep_unclean()
+        assert not machine.reservation_for("load").is_clean
+
+    def test_mixed_stage_count_classes_presolve(self):
+        """Regression: store's 1-stage table rides the 2-stage MEM unit.
+
+        Presolve's pair classifier used to index past the end of the
+        narrower per-class table (IndexError); missing stages must be
+        treated as unused, exactly as the formulation treats them.
+        """
+        from repro.core import schedule_loop, verify_schedule
+        from repro.ddg.graph import Ddg
+
+        machine = presets.deep_unclean()
+        ddg = Ddg("mixed_stages")
+        ddg.add_op("ld", "load")
+        ddg.add_op("st", "store")
+        ddg.add_op("ld2", "load")
+        ddg.add_dep(0, 1)
+        ddg.add_dep(1, 2, distance=1)
+        result = schedule_loop(ddg, machine, max_extra=10)
+        assert result.schedule is not None
+        verify_schedule(result.schedule)
+
+    def test_not_clean(self):
+        assert not presets.deep_unclean().is_clean
+
+    def test_kernels_schedule_on_it(self):
+        from repro.core import schedule_loop, verify_schedule
+        from repro.ddg.kernels import dot_product
+
+        result = schedule_loop(dot_product(), presets.deep_unclean())
+        assert result.schedule is not None
+        verify_schedule(result.schedule)

@@ -1,0 +1,186 @@
+"""Corpus manifest plumbing and its failure diagnostics.
+
+The contract under test: a manifest that references a missing, corrupt,
+or unparsable ``.ddg`` file must surface an error that names both the
+loop and the offending path — in ``repro gen --check``, in
+``read_manifest``/``regenerate``, and as per-loop error entries in the
+batch runner (never a silent skip).
+"""
+
+import json
+
+import pytest
+
+from repro.corpusgen import (
+    CorpusGenError,
+    FamilySpec,
+    Manifest,
+    default_families,
+    manifest_sources,
+    read_manifest,
+    regenerate_corpus,
+    regenerate_from,
+    resolve_machine,
+    verify_corpus,
+    write_corpus,
+)
+from repro.ddg.generators import GenParams
+from repro.parallel import run_batch
+
+SMALL = GenParams(max_ops=8)
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    """A 6-loop corpus plus its manifest, written under ``tmp_path``."""
+    out = tmp_path / "corpus"
+    manifest = write_corpus(
+        out, 21, "powerpc604", default_families(6, base=SMALL)
+    )
+    return out, manifest
+
+
+class TestManifestErrors:
+    def test_missing_manifest_names_path(self, tmp_path):
+        with pytest.raises(CorpusGenError, match="cannot read") as exc:
+            read_manifest(tmp_path)
+        assert "manifest.json" in str(exc.value)
+
+    def test_invalid_json_names_path(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{nope", encoding="utf-8")
+        with pytest.raises(CorpusGenError, match="not valid JSON"):
+            read_manifest(tmp_path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"manifest_version": 99}), encoding="utf-8"
+        )
+        with pytest.raises(CorpusGenError, match="version"):
+            read_manifest(tmp_path)
+
+    def test_malformed_family_rejected(self, corpus):
+        out, _ = corpus
+        doc = json.loads(
+            (out / "manifest.json").read_text(encoding="utf-8")
+        )
+        del doc["families"][0]["params"]
+        (out / "manifest.json").write_text(
+            json.dumps(doc), encoding="utf-8"
+        )
+        with pytest.raises(CorpusGenError, match="malformed family"):
+            read_manifest(out)
+
+    def test_unknown_machine_lists_presets(self):
+        with pytest.raises(CorpusGenError, match="unknown machine preset"):
+            resolve_machine("cray1")
+
+    def test_family_kind_param_mismatch(self):
+        with pytest.raises(CorpusGenError, match="needs DslParams"):
+            FamilySpec("x", 1, "dsl", GenParams())
+
+
+class TestVerifyCorpus:
+    def test_missing_file_names_loop_and_path(self, corpus):
+        out, manifest = corpus
+        victim = manifest.loops[2]
+        (out / victim.file).unlink()
+        problems = verify_corpus(out)["problems"]
+        assert len(problems) == 1
+        assert victim.name in problems[0]
+        assert victim.file in problems[0]
+        assert "cannot read" in problems[0]
+
+    def test_corrupt_file_names_loop_and_path(self, corpus):
+        out, manifest = corpus
+        victim = manifest.loops[4]
+        path = out / victim.file
+        path.write_text(path.read_text() + "# tampered\n", encoding="utf-8")
+        problems = verify_corpus(out)["problems"]
+        assert len(problems) == 1
+        assert victim.name in problems[0]
+        assert "checksum" in problems[0]
+
+    def test_unparsable_file_reported(self, corpus):
+        out, manifest = corpus
+        victim = manifest.loops[0]
+        bad = "dep 0 99\n"
+        path = out / victim.file
+        path.write_text(bad, encoding="utf-8")
+        doc = json.loads((out / "manifest.json").read_text())
+        from repro.corpusgen import sha256_text
+
+        doc["loops"][0]["sha256"] = sha256_text(bad)
+        (out / "manifest.json").write_text(json.dumps(doc))
+        problems = verify_corpus(out)["problems"]
+        assert len(problems) == 1
+        assert victim.name in problems[0]
+        assert "parse" in problems[0]
+
+
+class TestRegenerate:
+    def test_refuses_on_checksum_drift(self, corpus, tmp_path):
+        out, manifest = corpus
+        drifted = Manifest(
+            seed=manifest.seed,
+            machine=manifest.machine,
+            families=manifest.families,
+            loops=[
+                manifest.loops[0].__class__(
+                    **{**manifest.loops[0].to_json_dict(),
+                       "sha256": "0" * 64}
+                ),
+                *manifest.loops[1:],
+            ],
+        )
+        with pytest.raises(CorpusGenError, match="drifted"):
+            regenerate_corpus(drifted, tmp_path / "rebuilt")
+
+    def test_refuses_unknown_family(self, corpus, tmp_path):
+        out, manifest = corpus
+        doc = json.loads((out / "manifest.json").read_text())
+        doc["loops"][0]["family"] = "ghost"
+        (out / "manifest.json").write_text(json.dumps(doc))
+        with pytest.raises(CorpusGenError, match="unknown family"):
+            regenerate_from(out, tmp_path / "rebuilt")
+
+
+class TestBatchManifestLoading:
+    def test_batch_follows_manifest_order(self, corpus):
+        out, manifest = corpus
+        sources = manifest_sources(out)
+        assert [s.name for s in sources] == [
+            r.name for r in manifest.loops
+        ]
+        report = run_batch([out], resolve_machine("powerpc604"),
+                           jobs=1, time_limit_per_t=10.0)
+        assert [e.name for e in report.entries] == [
+            r.name for r in manifest.loops
+        ]
+        assert all(e.error is None for e in report.entries)
+
+    def test_missing_file_is_per_loop_error(self, corpus):
+        out, manifest = corpus
+        victim = manifest.loops[1]
+        (out / victim.file).unlink()
+        report = run_batch([out], resolve_machine("powerpc604"),
+                           jobs=1, time_limit_per_t=10.0)
+        entry = next(e for e in report.entries if e.name == victim.name)
+        assert entry.error is not None
+        assert victim.file in entry.error
+        assert "cannot read" in entry.error
+        # The rest of the corpus still schedules.
+        others = [e for e in report.entries if e.name != victim.name]
+        assert all(e.error is None for e in others)
+
+    def test_checksum_mismatch_is_per_loop_error(self, corpus):
+        out, manifest = corpus
+        victim = manifest.loops[3]
+        path = out / victim.file
+        path.write_text(path.read_text() + "op zz add\n", encoding="utf-8")
+        report = run_batch([out], resolve_machine("powerpc604"),
+                           jobs=1, time_limit_per_t=10.0)
+        entry = next(e for e in report.entries if e.name == victim.name)
+        assert entry.error is not None
+        assert "checksum" in entry.error
+        assert victim.name in entry.error or victim.file in entry.error
+        assert "repro gen" in entry.error  # remediation hint

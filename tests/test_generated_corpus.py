@@ -1,0 +1,179 @@
+"""Property harness over the paper-scale generated corpus.
+
+Invariants asserted for seeded (loop, machine) samples drawn exactly the
+way ``repro gen`` draws them:
+
+* every generated loop serializes and re-parses losslessly;
+* canonical labeling is invariant under op scrambling;
+* every schedule returned by the sweep passes ``verify_schedule``;
+* guaranteed-schedulable mode always schedules within a generous
+  sweep budget — on the hazard-heavy presets too;
+* a written corpus regenerates byte-identically from its manifest alone.
+
+The wide sweeps are marked ``slow``; a small subset always runs.
+"""
+
+import filecmp
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core import schedule_loop, verify_schedule
+from repro.corpusgen import (
+    FamilySpec,
+    default_families,
+    generate_corpus,
+    loop_seed,
+    read_manifest,
+    regenerate_from,
+    verify_corpus,
+    write_corpus,
+)
+from repro.ddg.builders import parse_ddg, serialize_ddg
+from repro.ddg.canonical import canonical_digest
+from repro.ddg.generators import GenParams
+from repro.ddg.transforms import scrambled
+from repro.machine.presets import by_name, powerpc604
+
+#: Small params so the fast harness stays inside tier-1 budgets.
+SMALL = GenParams(max_ops=10)
+
+#: Hazard-heavy presets introduced for the generated corpus.
+HAZARD_PRESETS = ("coreblocks", "deep-unclean")
+
+
+def _sample(machine, count, seed=42, base=SMALL):
+    return generate_corpus(
+        seed, machine, default_families(count, base=base)
+    )
+
+
+class TestCorpusProperties:
+    def test_round_trip_and_canonical_invariance(self, corpus_factory):
+        rng = random.Random(99)
+        for g in corpus_factory(count=20, seed=7):
+            text = serialize_ddg(g)
+            back = parse_ddg(text)
+            assert serialize_ddg(back) == text
+            assert canonical_digest(back) == canonical_digest(g)
+            assert canonical_digest(
+                scrambled(g, rng)
+            ) == canonical_digest(g)
+
+    @pytest.mark.parametrize("preset", ("powerpc604",) + HAZARD_PRESETS)
+    def test_guaranteed_mode_always_schedules(self, preset):
+        machine = by_name(preset)
+        for g in _sample(machine, 6, seed=11):
+            result = schedule_loop(
+                g, machine, time_limit_per_t=10.0, max_extra=20
+            )
+            assert result.schedule is not None, g.name
+            verify_schedule(result.schedule)
+
+    def test_loops_valid_on_their_machine(self, hazard_machine):
+        for g in _sample(hazard_machine, 12, seed=3):
+            g.validate_against(hazard_machine)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("preset", ("powerpc604",) + HAZARD_PRESETS)
+    def test_guaranteed_mode_sweep_wide(self, preset):
+        """Wide slow sweep: 40 guaranteed loops per preset, full sizes."""
+        machine = by_name(preset)
+        loops = generate_corpus(
+            1995, machine, default_families(40, mode="guaranteed")
+        )
+        for g in loops:
+            result = schedule_loop(
+                g, machine, time_limit_per_t=10.0, max_extra=25
+            )
+            assert result.schedule is not None, g.name
+            verify_schedule(result.schedule)
+
+
+class TestManifestReproducibility:
+    def test_regenerates_byte_identically(self, tmp_path):
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        families = default_families(15, base=SMALL)
+        manifest = write_corpus(first, 42, "powerpc604", families)
+        assert manifest.count == 15
+        regenerate_from(first, second)
+        names = [r.file for r in manifest.loops] + ["manifest.json"]
+        match, mismatch, errors = filecmp.cmpfiles(
+            first, second, names, shallow=False
+        )
+        assert not mismatch and not errors
+        assert sorted(match) == sorted(names)
+
+    def test_in_memory_matches_written(self, tmp_path):
+        families = default_families(10, base=SMALL)
+        manifest = write_corpus(tmp_path, 5, "coreblocks", families)
+        in_memory = generate_corpus(5, by_name("coreblocks"), families)
+        for record, ddg in zip(manifest.loops, in_memory):
+            on_disk = (tmp_path / record.file).read_text(encoding="utf-8")
+            assert on_disk == serialize_ddg(ddg)
+
+    def test_loop_seeds_are_coordinates(self, tmp_path):
+        manifest = write_corpus(
+            tmp_path, 9, "powerpc604", default_families(6, base=SMALL)
+        )
+        by_family = {}
+        for record in manifest.loops:
+            k = by_family.setdefault(record.family, 0)
+            assert record.seed == loop_seed(9, record.family, k)
+            by_family[record.family] = k + 1
+
+    def test_verify_corpus_clean(self, tmp_path):
+        write_corpus(
+            tmp_path, 1, "deep-unclean",
+            [FamilySpec("guaranteed", 5, "ddg", SMALL)],
+        )
+        audit = verify_corpus(tmp_path)
+        assert audit["problems"] == []
+        assert len(audit["checked"]) == 5
+
+
+class TestGenCli:
+    def test_gen_check_from_manifest_cycle(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        assert main([
+            "gen", "--out", str(out), "--seed", "7", "--count", "12",
+            "--max-ops", "10",
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "12 loop" in stdout
+        manifest = read_manifest(out)
+        assert manifest.count == 12 and manifest.seed == 7
+
+        assert main(["gen", "--check", str(out)]) == 0
+
+        rebuilt = tmp_path / "rebuilt"
+        assert main([
+            "gen", "--from-manifest", str(out), "--out", str(rebuilt),
+        ]) == 0
+        for record in manifest.loops:
+            assert (rebuilt / record.file).read_bytes() == \
+                (out / record.file).read_bytes()
+
+    def test_gen_check_flags_corruption(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        main(["gen", "--out", str(out), "--seed", "1", "--count", "4",
+              "--max-ops", "8"])
+        victim = next(out.glob("gen*.ddg"))
+        victim.write_text("op x add\n", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["gen", "--check", str(out)]) == 1
+        err = capsys.readouterr()
+        combined = err.out + err.err
+        assert victim.name in combined or str(victim) in combined
+
+    def test_gen_modes(self, tmp_path):
+        for mode in ("guaranteed", "adversarial", "dsl"):
+            out = tmp_path / mode
+            assert main([
+                "gen", "--out", str(out), "--seed", "2", "--count", "3",
+                "--mode", mode,
+            ]) == 0
+            manifest = read_manifest(out)
+            assert [f.name for f in manifest.families] == [mode]
