@@ -147,6 +147,7 @@ def _cmd_schedule(args) -> int:
             max_extra=args.max_extra,
             presolve=not args.no_presolve,
             warmstart=not args.no_warmstart,
+            incremental=not args.no_incremental,
             supervision=_policy_of(args),
             store=args.store,
         )
@@ -222,6 +223,7 @@ def _cmd_batch(args) -> int:
                 presolve=not args.no_presolve,
                 jobs=args.jobs,
                 warmstart=not args.no_warmstart,
+                incremental=not args.no_incremental,
                 policy=_policy_of(args),
                 journal=args.journal,
                 resume=args.resume,
@@ -259,6 +261,7 @@ def _cmd_race(args) -> int:
                 presolve=not args.no_presolve,
                 jobs=args.jobs,
                 warmstart=not args.no_warmstart,
+                incremental=not args.no_incremental,
                 policy=_policy_of(args),
                 store=args.store,
             )
@@ -324,25 +327,7 @@ def _cmd_profile(args) -> int:
         )
         outcome = attempt_period(ddg, machine, t_period, config)
         runs[label] = outcome.attempt
-        stats = outcome.attempt.model_stats
-        print()
-        print(f"T={t_period}, {label}: {outcome.attempt.status}")
-        print(
-            f"  model     {stats['variables']} vars, "
-            f"{stats['constraints']} rows, {stats['nonzeros']} nnz"
-        )
-        print(
-            f"  eliminated  {stats['eliminated_variables']} vars, "
-            f"{stats['eliminated_constraints']} rows, "
-            f"{stats['eliminated_nonzeros']} nnz"
-        )
-        print(
-            f"  phases    presolve {stats['presolve_seconds']:.4f}s  "
-            f"build {stats['build_seconds']:.4f}s  "
-            f"lower {stats['lower_seconds']:.4f}s  "
-            f"solve {stats['solve_seconds']:.4f}s  "
-            f"total {stats['total_seconds']:.4f}s"
-        )
+        _print_attempt_profile(t_period, label, outcome.attempt)
 
     on, off = runs["presolve on"], runs["presolve off"]
     if on.status != off.status:
@@ -362,8 +347,51 @@ def _cmd_profile(args) -> int:
             f"presolve: {rows_cut:.1%} fewer rows, "
             f"{time_cut:.1%} less build+lower+solve time"
         )
+
+    # Incremental sweep: rebuild the same attempt against the now-warm
+    # SweepContext, so the reuse the T-sweep gets per follow-up period
+    # is visible next to the cold numbers above.
+    config = AttemptConfig(
+        backend=args.backend,
+        objective=args.objective,
+        time_limit=args.time_limit,
+    )
+    outcome = attempt_period(ddg, machine, t_period, config)
+    _print_attempt_profile(t_period, "warm context", outcome.attempt)
     _print_cache_counters()
     return 0
+
+
+def _print_attempt_profile(t_period: int, label: str, attempt) -> None:
+    """One attempt's model sizes, reuse counters and phase timings."""
+    stats = attempt.model_stats
+    print()
+    print(f"T={t_period}, {label}: {attempt.status}")
+    if "cut_skip" in stats:
+        print(f"  settled by recycled cut: {stats['cut_skip']} (no solve)")
+        return
+    print(
+        f"  model     {stats['variables']} vars, "
+        f"{stats['constraints']} rows, {stats['nonzeros']} nnz"
+    )
+    print(
+        f"  eliminated  {stats['eliminated_variables']} vars, "
+        f"{stats['eliminated_constraints']} rows, "
+        f"{stats['eliminated_nonzeros']} nnz"
+    )
+    print(
+        f"  reuse     {stats.get('reused_rows', 0)} rows reused, "
+        f"{stats.get('rebuilt_rows', stats['constraints'])} rebuilt "
+        f"(analysis {stats.get('analysis_seconds', 0.0):.4f}s)"
+    )
+    print(
+        f"  phases    presolve {stats['presolve_seconds']:.4f}s  "
+        f"build {stats['build_seconds']:.4f}s  "
+        f"lower {stats['lower_seconds']:.4f}s  "
+        f"solve {stats['solve_seconds']:.4f}s  "
+        f"verify {stats.get('verify_seconds', 0.0):.4f}s  "
+        f"total {stats['total_seconds']:.4f}s"
+    )
 
 
 def _print_cache_counters() -> None:
@@ -374,6 +402,14 @@ def _print_cache_counters() -> None:
     print()
     print("in-process caches (this run):")
     for name, counters in {**cache_stats(), **tier_stats()}.items():
+        if name == "incremental":
+            print(
+                f"  {name:<12} {counters['contexts']} context(s), "
+                f"{counters['analysis_hits']} analysis hit(s), "
+                f"{counters['cuts_harvested']} cut(s) banked, "
+                f"{counters['attempts_skipped']} attempt(s) cut-skipped"
+            )
+            continue
         total = counters["hits"] + counters["misses"]
         print(
             f"  {name:<12} {counters['hits']}/{total} hit(s), "
@@ -706,6 +742,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_schedule.add_argument("--no-warmstart", action="store_true",
                             help="disable the heuristic warm-start "
                                  "pre-pass")
+    p_schedule.add_argument("--no-incremental", action="store_true",
+                            help="rebuild every sweep attempt cold "
+                                 "(no shared analysis / recycled cuts)")
     p_schedule.add_argument("--store", metavar="DIR",
                             help="persistent schedule store directory "
                                  "(hits skip the solve entirely)")
@@ -739,6 +778,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the ILP presolve pass")
     p_batch.add_argument("--no-warmstart", action="store_true",
                          help="disable the heuristic warm-start pre-pass")
+    p_batch.add_argument("--no-incremental", action="store_true",
+                         help="rebuild every sweep attempt cold "
+                              "(no shared analysis / recycled cuts)")
     p_batch.add_argument("--journal", metavar="PATH",
                          help="append every finished loop to this JSONL "
                               "checkpoint file")
@@ -771,6 +813,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the ILP presolve pass")
     p_race.add_argument("--no-warmstart", action="store_true",
                         help="disable the heuristic warm-start pre-pass")
+    p_race.add_argument("--no-incremental", action="store_true",
+                        help="rebuild every sweep attempt cold "
+                             "(no shared analysis / recycled cuts)")
     p_race.add_argument("--store", metavar="DIR",
                         help="persistent schedule store directory "
                              "(hits skip the race entirely)")

@@ -210,6 +210,16 @@ class AttemptConfig:
     #: Run the iterative-modulo heuristic first and use its schedule to
     #: bracket the sweep / seed the solver (see repro.core.warmstart).
     warmstart: bool = True
+    #: Carry a :class:`repro.core.incremental.SweepContext` across the
+    #: T-sweep: T-independent analysis products feed each formulation
+    #: build, and infeasibility certificates from earlier periods skip
+    #: attempts they already prove.  Reuse is outcome-identical — the
+    #: fed build produces a byte-identical model, and cuts fire only
+    #: where the cold path deterministically returns INFEASIBLE — so
+    #: toggling this never changes schedules, bounds, or proof flags.
+    #: Only takes effect alongside ``presolve`` (the cut validity
+    #: arguments lean on presolve's checks).
+    incremental: bool = True
 
 
 @dataclass
@@ -229,6 +239,7 @@ def attempt_period(
         Callable[[Ddg, Machine, int, FormulationOptions], Formulation]
     ] = None,
     incumbent: Optional[Schedule] = None,
+    context=None,
 ) -> AttemptOutcome:
     """Run the §6 procedure's body for one candidate period.
 
@@ -248,6 +259,16 @@ def attempt_period(
     schedule that cannot be converted — wrong period, machine repaired
     by delay insertion, or any row of the built model unsatisfied — is
     silently dropped and the solve runs cold.
+
+    ``context`` is the loop's :class:`~repro.core.incremental.SweepContext`
+    (the sequential sweep fetches one and passes it down); when omitted
+    under an incremental config the per-process registry self-serves it,
+    which is how each race / supervised worker process gets its own
+    without anything crossing a pickle boundary.  Before building, the
+    context's cut pool is consulted: a certificate covering this attempt
+    returns INFEASIBLE immediately, with ``model_stats["cut_skip"]``
+    naming the cut kind.  After an infeasible attempt, the verdict is
+    harvested back into the pool.
     """
     config = config or AttemptConfig()
     faults.fire("attempt", loop=ddg.name, t=t_period)
@@ -265,6 +286,32 @@ def attempt_period(
             )
         attempt_machine = patched
         repaired = True
+    if not (config.incremental and config.presolve):
+        context = None
+    elif context is None:
+        from repro.core.incremental import context_for
+
+        context = context_for(ddg, machine)
+    machine_key: Optional[str] = None
+    if context is not None:
+        if repaired:
+            from repro.core.incremental import machine_key as key_of
+
+            machine_key = key_of(attempt_machine)
+        else:
+            machine_key = context.base_machine_key
+        kind = context.cuts.consult(
+            machine_key, t_period, config.objective, None, config.mapping
+        )
+        if kind is not None:
+            return AttemptOutcome(
+                ScheduleAttempt(
+                    t_period=t_period,
+                    status=SolveStatus.INFEASIBLE.value,
+                    repaired=repaired,
+                    model_stats={"cut_skip": kind},
+                )
+            )
     options = FormulationOptions(
         mapping=config.mapping, objective=config.objective,
         presolve=config.presolve,
@@ -274,7 +321,9 @@ def attempt_period(
             ddg, attempt_machine, t_period, options
         )
     else:
-        formulation = Formulation(ddg, attempt_machine, t_period, options)
+        formulation = Formulation(
+            ddg, attempt_machine, t_period, options, context=context
+        )
     formulation.build()
     mip_start = None
     if (incumbent is not None and not repaired
@@ -284,12 +333,28 @@ def attempt_period(
         backend=config.backend, time_limit=config.time_limit,
         mip_start=mip_start,
     )
+    schedule: Optional[Schedule] = None
+    verify_seconds = 0.0
+    if solution.status.has_solution:
+        require_mapping = config.mapping is not False
+        schedule = formulation.extract(
+            solution, require_mapping=require_mapping
+        )
+        if config.verify:
+            verify_start = time.monotonic()
+            verify_schedule(schedule, check_mapping=require_mapping)
+            verify_seconds = time.monotonic() - verify_start
+    if context is not None and machine_key is not None:
+        _harvest_cuts(
+            context, machine_key, formulation, solution, t_period, config
+        )
     stats = formulation.model_stats.to_dict()
     stats["lower_seconds"] = solution.lower_seconds
     stats["solve_seconds"] = solution.solve_seconds
+    stats["verify_seconds"] = verify_seconds
     stats["total_seconds"] = (
         stats["presolve_seconds"] + stats["build_seconds"]
-        + solution.solve_seconds
+        + solution.solve_seconds + verify_seconds
     )
     attempt = ScheduleAttempt(
         t_period=t_period,
@@ -302,15 +367,45 @@ def attempt_period(
         gap=solution.gap,
         warm_started=mip_start is not None,
     )
-    schedule: Optional[Schedule] = None
-    if solution.status.has_solution:
-        require_mapping = config.mapping is not False
-        schedule = formulation.extract(
-            solution, require_mapping=require_mapping
-        )
-        if config.verify:
-            verify_schedule(schedule, check_mapping=require_mapping)
     return AttemptOutcome(attempt=attempt, schedule=schedule)
+
+
+def _harvest_cuts(
+    context,
+    machine_key: str,
+    formulation: Formulation,
+    solution,
+    t_period: int,
+    config: AttemptConfig,
+) -> None:
+    """Bank this attempt's infeasibility evidence into the cut pool.
+
+    A presolve-proven verdict also certifies the machine's dependence
+    and capacity floors (both properties of the (ddg, machine) pair, not
+    of the period that exposed them); a solver-completed INFEASIBLE is
+    memoized for exact-tuple replay only.
+    """
+    from repro.core.incremental import CAPACITY_FLOOR, CYCLE_FLOOR
+
+    info = formulation.presolve_info
+    if info is not None and info.infeasible:
+        context.cuts.memoize_infeasible(
+            machine_key, t_period, config.objective, None, config.mapping,
+            source="presolve",
+        )
+        analysis = formulation.analysis
+        if analysis is not None:
+            context.cuts.assert_floor(
+                CYCLE_FLOOR, machine_key, analysis.t_dep()
+            )
+            context.cuts.assert_floor(
+                CAPACITY_FLOOR, machine_key, analysis.t_res_floor
+            )
+    elif solution.status is SolveStatus.INFEASIBLE:
+        context.cuts.memoize_infeasible(
+            machine_key, t_period, config.objective, None, config.mapping,
+            source="solver",
+        )
 
 
 def heuristic_pass(
@@ -406,6 +501,14 @@ def run_sweep(
             return stored
     if bounds is None:
         bounds = lower_bounds(ddg, machine)
+    context = None
+    if config.incremental and config.presolve and attempt_runner is None:
+        # One context serves the whole sweep; supervised runners can't
+        # take it across the pickle boundary — their worker processes
+        # self-serve from the per-process registry inside attempt_period.
+        from repro.core.incremental import context_for
+
+        context = context_for(ddg, machine)
     ws, ws_stats = heuristic_pass(
         ddg, machine, config, max_extra, warmstart_provider
     )
@@ -438,6 +541,7 @@ def run_sweep(
                 ddg, machine, t_period, config,
                 formulation_builder=formulation_builder,
                 incumbent=incumbent,
+                context=context,
             )
         attempts.append(outcome.attempt)
         if outcome.attempt.failure is not None:
@@ -502,6 +606,7 @@ def schedule_loop(
     repair_modulo: bool = False,
     presolve: bool = True,
     warmstart: bool = True,
+    incremental: bool = True,
     supervision=None,
     store=None,
 ) -> SchedulingResult:
@@ -531,6 +636,13 @@ def schedule_loop(
     ``store`` (a :class:`repro.store.ScheduleStore` or a path accepted
     by :func:`repro.store.open_store`) consults the persistent schedule
     store before doing any work and publishes clean results back.
+
+    ``incremental`` (the default) carries a
+    :class:`~repro.core.incremental.SweepContext` across the sweep —
+    shared T-independent analysis plus recycled infeasibility cuts; see
+    ``docs/performance.md``.  Disabling it reproduces the fully cold
+    per-attempt behavior bit-for-bit (same schedules, bounds and proof
+    flags — only timings and reuse counters change).
     """
     config = AttemptConfig(
         backend=backend,
@@ -541,6 +653,7 @@ def schedule_loop(
         repair_modulo=repair_modulo,
         presolve=presolve,
         warmstart=warmstart,
+        incremental=incremental,
     )
     if store is not None:
         from repro.store import open_store

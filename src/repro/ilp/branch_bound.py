@@ -33,14 +33,15 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.ilp.model import Model, Variable
-from repro.ilp.simplex import solve_lp
+from repro.ilp.simplex import LpEngine, LpResult, solve_lp
 from repro.ilp.solution import Solution, SolveStatus, relative_gap
 from repro.ilp.standard import ArrayForm, start_vector, to_arrays
 
@@ -52,6 +53,32 @@ ROW_TOL = 1e-6
 
 #: Cap on LP re-solves a single root dive may spend.
 DIVE_LIMIT = 60
+
+#: Environment override for the node LP engine: "warm" (persistent
+#: dual-simplex restarts, the default) or "cold" (a fresh two-phase
+#: solve per node — the pre-incremental behavior, kept for differential
+#: benchmarking).
+LP_ENGINE_ENV = "REPRO_LP_ENGINE"
+
+#: A node LP solver: (lb, ub) -> LpResult.
+NodeLp = Callable[[Optional[np.ndarray], Optional[np.ndarray]], LpResult]
+
+
+def _node_lp_solver(form: ArrayForm, lp_engine: Optional[str]) -> NodeLp:
+    """Build the node-relaxation solver for one search.
+
+    The warm engine keeps a live tableau across node re-solves (rhs
+    retargeting + dual simplex; see :class:`repro.ilp.simplex.LpEngine`)
+    and works on the CSR matrix directly — the dense tableau of the old
+    path is never materialized.  Both engines answer every node with an
+    LP optimum of the same relaxation; only the vertex returned for
+    degenerate optima (and hence the branching order) may differ.
+    """
+    mode = lp_engine or os.environ.get(LP_ENGINE_ENV, "warm")
+    if mode == "cold":
+        return lambda lb=None, ub=None: solve_lp(form, lb=lb, ub=ub)
+    engine = LpEngine(form)
+    return engine.solve
 
 
 @dataclass(order=True)
@@ -105,6 +132,7 @@ def _round_probe(
 
 def _dive(
     form: ArrayForm,
+    node_lp: NodeLp,
     x: np.ndarray,
     deadline: Optional[float],
 ) -> Tuple[Optional[np.ndarray], int]:
@@ -123,7 +151,7 @@ def _dive(
             return None, lps
         pinned = min(max(round(point[j]), lb[j]), ub[j])
         lb[j] = ub[j] = pinned
-        result = solve_lp(form, lb=lb, ub=ub)
+        result = node_lp(lb, ub)
         lps += 1
         if result.status != "optimal":
             return None, lps
@@ -137,12 +165,19 @@ def solve_bnb(
     gap: float = 1e-6,
     node_limit: int = 200000,
     mip_start: Optional[Dict[Variable, float]] = None,
+    lp_engine: Optional[str] = None,
 ) -> Solution:
-    """Solve ``model`` with branch-and-bound; returns a :class:`Solution`."""
+    """Solve ``model`` with branch-and-bound; returns a :class:`Solution`.
+
+    ``lp_engine`` selects the node LP backend ("warm"/"cold", default
+    warm; overridable via ``REPRO_LP_ENGINE``).  No dense matrix is ever
+    materialized — a model settled by its start or an infeasible root
+    pays only the CSR lowering.
+    """
     start = time.monotonic()
     deadline = None if time_limit is None else start + time_limit
     form = to_arrays(model)
-    form.a_matrix  # materialize the dense tableau the simplex works on
+    node_lp = _node_lp_solver(form, lp_engine)
     lower_seconds = time.monotonic() - start
     counter = itertools.count()
 
@@ -153,7 +188,7 @@ def solve_bnb(
         incumbent_x = x0
         incumbent_obj = float(form.c @ x0 + form.c0)
 
-    root = solve_lp(form)
+    root = node_lp(None, None)
     if root.status == "infeasible":
         # An LP-infeasible model cannot have had a valid start; the
         # start validator already rejected anything row-violating.
@@ -177,7 +212,7 @@ def solve_bnb(
 
     if (incumbent_x is None
             and _most_fractional(root.x, form.integrality) is not None):
-        dived, dive_lps = _dive(form, root.x, deadline)
+        dived, dive_lps = _dive(form, node_lp, root.x, deadline)
         nodes += dive_lps
         if dived is not None:
             incumbent_x = dived
@@ -197,7 +232,7 @@ def solve_bnb(
         if node.x is not None:
             lp_obj, x = node.bound, node.x
         else:
-            result = solve_lp(form, lb=node.lb, ub=node.ub)
+            result = node_lp(node.lb, node.ub)
             nodes += 1
             if result.status != "optimal":
                 continue

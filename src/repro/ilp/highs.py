@@ -5,8 +5,10 @@ budgets; HiGHS plays that role here with identical semantics (statuses map
 to :class:`repro.ilp.SolveStatus`, the time budget maps to
 ``TIME_LIMIT``).
 
-scipy's ``milp`` wrapper exposes no MIP-start parameter, so a warm start
-is injected by the two moves it does allow:
+scipy's ``milp`` wrapper exposes no MIP-start parameter — and no basis
+I/O either (HiGHS itself has ``setSolution``/``setBasis``, but the scipy
+surface carries neither) — so hints are injected by the two moves the
+wrapper does allow:
 
 * a **feasibility model** (constant objective) is answered from the start
   directly — any feasible integer point is optimal, no solve needed;
@@ -15,6 +17,16 @@ is injected by the two moves it does allow:
   the incumbent, and if the budget still expires without HiGHS finding a
   point, the validated start itself is returned as the ``FEASIBLE``
   fallback instead of an empty ``TIME_LIMIT``.
+
+The same constraint shapes the incremental T-sweep
+(:mod:`repro.core.incremental`): a simplex basis cannot be carried into
+the next period's solve on this backend, so cross-attempt reuse here is
+entirely formulation-side — shared T-independent analysis, recycled
+infeasibility cuts, and the cutoff-row adapter above as the only
+solution-hint channel.  Warm *LP* bases across branch-and-bound nodes
+exist only in the pure-python backend (:class:`repro.ilp.simplex.
+LpEngine`); HiGHS keeps its own internal node warm-starting, which this
+wrapper neither sees nor needs to manage.
 """
 
 from __future__ import annotations

@@ -1,22 +1,43 @@
-"""Dense two-phase primal simplex solver (pure numpy).
+"""Two-phase primal simplex with a persistent warm-restart engine.
 
-This is the LP engine underneath :mod:`repro.ilp.branch_bound`.  It is a
-classical tableau implementation: the model is lowered to the standard
-form ``min c y  s.t.  A y = b, y >= 0`` with slack/surplus/artificial
-columns, phase 1 minimizes the artificial sum, phase 2 the real objective.
-Dantzig pricing is used until stalling is detected, then Bland's rule
-guarantees termination.
+This is the LP layer underneath :mod:`repro.ilp.branch_bound`.  Two
+entry points share one tableau implementation:
 
-The implementation favours clarity over speed; the production backend for
-large models is HiGHS (:mod:`repro.ilp.highs`).  It is nonetheless exact
-enough to drive branch-and-bound on every model the test-suite and the
-motivating-example experiments build.
+:func:`solve_lp`
+    The classical cold solve: the model is lowered to standard form
+    ``min c y  s.t.  A y = b, y >= 0`` with slack/surplus/artificial
+    columns (in the shifted space ``y = x - lb``), phase 1 minimizes the
+    artificial sum, phase 2 the real objective.  Dantzig pricing is used
+    until stalling is detected, then Bland's rule guarantees
+    termination.  The tableau is assembled straight from the CSR matrix
+    — the dense ``ArrayForm.a_matrix`` view is never materialized.
+
+:class:`LpEngine`
+    A persistent solver for the *sequence* of closely related LPs a
+    branch-and-bound search generates.  The tableau is built once, in
+    the space ``y = x - root_lb`` with one bound row per finite root
+    span, and kept alive across node re-solves.  A node's branching
+    bounds differ from the parent's only in right-hand sides, and every
+    row carries an identity column (its slack or artificial started as
+    ``e_r``), so the current tableau holds ``B^-1 e_r`` explicitly:
+    a bound change is an O(m) rhs update ``b += delta * B^-1 e_r``
+    followed by a **dual simplex** run that restores primal feasibility
+    — the basis stays dual-feasible across rhs-only changes, so phase 1
+    is never repeated.  Bounds with no root row (new lower bounds,
+    upper bounds on free variables) are appended as new rows, expressed
+    in the current basis by one vector elimination.
+
+    Numerical safety: every optimal answer is audited against the
+    original rows/bounds at ``1e-6``; an audit failure, an iteration
+    blow-up, or ``REFRESH_SOLVES`` accumulated warm solves resets the
+    engine and falls back to a cold solve for that call.  The engine
+    therefore never returns an answer the cold path could not.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +48,12 @@ TOL = 1e-9
 
 #: After this many consecutive non-improving pivots, switch to Bland's rule.
 STALL_LIMIT = 50
+
+#: Post-solve audit tolerance (matches the branch-and-bound row checks).
+AUDIT_TOL = 1e-6
+
+#: Warm solves between preventive engine rebuilds (bounds numerical drift).
+REFRESH_SOLVES = 512
 
 
 @dataclass
@@ -49,7 +76,7 @@ def solve_lp(
     ub: Optional[np.ndarray] = None,
     max_iterations: int = 20000,
 ) -> LpResult:
-    """Solve the LP relaxation of ``form``.
+    """Solve the LP relaxation of ``form`` from a cold start.
 
     ``lb``/``ub`` optionally override the variable bounds (used by
     branch-and-bound to impose branching decisions without copying the
@@ -67,8 +94,7 @@ def solve_lp(
             return LpResult(status="optimal", x=np.zeros(0), objective=form.c0)
         return LpResult(status="infeasible")
 
-    rows_a, rows_b, senses = _collect_rows(form, lb, ub)
-    tableau = _Tableau(np.asarray(rows_a), np.asarray(rows_b), senses, n)
+    tableau = _build_tableau(form, lb, ub)
     status, iterations = tableau.run_phase1(max_iterations)
     if status != "optimal":
         return LpResult(status=status, iterations=iterations)
@@ -89,68 +115,65 @@ def solve_lp(
                     iterations=iterations)
 
 
-def _collect_rows(form: ArrayForm, lb: np.ndarray, ub: np.ndarray):
-    """Lower two-sided rows and finite upper bounds to single-sense rows.
-
-    Works in the shifted space ``y = x - lb`` so all variables are
-    non-negative.  Returns (coefficient rows, rhs values, senses) where
-    senses are "<=", ">=", or "==".
+def _build_tableau(form: ArrayForm, lb: np.ndarray, ub: np.ndarray) -> "_Tableau":
+    """Lower two-sided rows and finite bound spans to a standard-form
+    tableau, working in the shifted space ``y = x - lb`` so all
+    variables are non-negative.  Rows are assembled straight from the
+    CSR matrix; the dense view is never touched.
     """
-    rows_a = []
-    rows_b = []
-    senses = []
-    # The tableau solver is the one consumer of the dense view; grab it
-    # once (ArrayForm caches the materialization across LP re-solves).
-    dense = form.a_matrix if form.num_rows else None
-    shift = dense @ lb if form.num_rows else np.zeros(0)
+    n = form.num_vars
+    csr = form.a_csr
+    shift = csr @ lb if form.num_rows else np.zeros(0)
+    # (coeff dict over struct columns, rhs, sense) in emission order:
+    # model rows first (<= before >= for two-sided rows), then one bound
+    # row per finite span, then a vacuous row if nothing else exists.
+    entries: List[Tuple[Dict[int, float], float, str]] = []
+    indices, indptr, data = csr.indices, csr.indptr, csr.data
     for r in range(form.num_rows):
-        row = dense[r]
+        cols = indices[indptr[r]:indptr[r + 1]]
+        vals = data[indptr[r]:indptr[r + 1]]
+        coeffs = dict(zip(cols, vals))
         lo = form.row_lower[r] - shift[r]
         hi = form.row_upper[r] - shift[r]
         if lo == hi:
-            rows_a.append(row)
-            rows_b.append(lo)
-            senses.append("==")
+            entries.append((coeffs, lo, "=="))
             continue
         if np.isfinite(hi):
-            rows_a.append(row)
-            rows_b.append(hi)
-            senses.append("<=")
+            entries.append((coeffs, hi, "<="))
         if np.isfinite(lo):
-            rows_a.append(row)
-            rows_b.append(lo)
-            senses.append(">=")
-    n = form.num_vars
+            entries.append((coeffs, lo, ">="))
+    bound_rows: Dict[int, int] = {}
     for j in range(n):
         span = ub[j] - lb[j]
         if np.isfinite(span):
-            bound_row = np.zeros(n)
-            bound_row[j] = 1.0
-            rows_a.append(bound_row)
-            rows_b.append(span)
-            senses.append("<=")
-    if not rows_a:
-        rows_a = [np.zeros(n)]
-        rows_b = [0.0]
-        senses = ["<="]
-    return rows_a, rows_b, senses
+            bound_rows[j] = len(entries)
+            entries.append(({j: 1.0}, span, "<="))
+    if not entries:
+        entries.append(({}, 0.0, "<="))
+    tableau = _Tableau(entries, n)
+    tableau.bound_row = bound_rows
+    return tableau
 
 
 class _Tableau:
-    """Standard-form tableau with slack, surplus and artificial columns."""
+    """Standard-form tableau with slack, surplus and artificial columns.
 
-    def __init__(self, a_rows: np.ndarray, b: np.ndarray, senses, n: int):
-        m = a_rows.shape[0]
+    Each row records its *identity column* — the slack (``<=``) or
+    artificial (``>=`` / ``==``) whose original column was ``e_r`` — so
+    the current tableau always exposes ``B^-1 e_r``; :class:`LpEngine`
+    uses it for O(m) right-hand-side updates.
+    """
+
+    def __init__(self, entries, n: int):
+        m = len(entries)
         self.n_struct = n
-        a_rows = a_rows.astype(float).copy()
-        b = b.astype(float).copy()
+        b = np.array([rhs for _, rhs, _ in entries], dtype=float)
         # Normalize to b >= 0 so artificial starts are feasible.
         flip = b < 0
-        a_rows[flip] *= -1.0
         b[flip] *= -1.0
         senses = [
             {"<=": ">=", ">=": "<=", "==": "=="}[s] if f else s
-            for s, f in zip(senses, flip)
+            for (_, _, s), f in zip(entries, flip)
         ]
 
         n_slack = sum(1 for s in senses if s == "<=")
@@ -158,8 +181,12 @@ class _Tableau:
         n_art = sum(1 for s in senses if s in (">=", "=="))
         total = n + n_slack + n_surplus + n_art
         matrix = np.zeros((m, total))
-        matrix[:, :n] = a_rows
+        for r, (coeffs, _, _) in enumerate(entries):
+            sign = -1.0 if flip[r] else 1.0
+            for j, v in coeffs.items():
+                matrix[r, j] = sign * v
         basis = np.empty(m, dtype=int)
+        identity_col = np.empty(m, dtype=int)
         slack_at = n
         surplus_at = n + n_slack
         art_at = n + n_slack + n_surplus
@@ -168,16 +195,19 @@ class _Tableau:
             if sense == "<=":
                 matrix[r, slack_at] = 1.0
                 basis[r] = slack_at
+                identity_col[r] = slack_at
                 slack_at += 1
             elif sense == ">=":
                 matrix[r, surplus_at] = -1.0
                 surplus_at += 1
                 matrix[r, art_at] = 1.0
                 basis[r] = art_at
+                identity_col[r] = art_at
                 art_at += 1
             else:
                 matrix[r, art_at] = 1.0
                 basis[r] = art_at
+                identity_col[r] = art_at
                 art_at += 1
         self.matrix = matrix
         self.b = b
@@ -185,6 +215,11 @@ class _Tableau:
         self.m = m
         self.total = total
         self.blocked = np.zeros(total, dtype=bool)
+        self.identity_col = identity_col
+        #: Post-flip rhs currently reflected in the tableau, per row.
+        self.applied_rhs = b.copy()
+        #: struct var -> row index of its upper-bound row (engine use).
+        self.bound_row: Dict[int, int] = {}
 
     # -- phases ---------------------------------------------------------------
     def run_phase1(self, max_iterations: int):
@@ -265,20 +300,313 @@ class _Tableau:
             last_obj = obj
         return "iteration_limit", iterations
 
+    def dual_iterate(self, max_iterations: int):
+        """Dual simplex: restore primal feasibility after rhs changes.
+
+        Assumes the current basis is dual-feasible for ``self._cost``
+        (true right after an optimal primal run, and preserved by every
+        dual pivot).  Returns ``("optimal" | "infeasible" |
+        "iteration_limit", pivots)``; "infeasible" means some row cannot
+        be repaired (dual unbounded — the primal LP is empty).
+        """
+        iterations = 0
+        while iterations < max_iterations:
+            leave = int(np.argmin(self.b))
+            if self.b[leave] >= -TOL:
+                return "optimal", iterations
+            row = self.matrix[leave]
+            eligible = (row < -TOL) & ~self.blocked
+            if not np.any(eligible):
+                return "infeasible", iterations
+            reduced = self._reduced_costs()
+            ratios = np.full(self.total, np.inf)
+            ratios[eligible] = reduced[eligible] / -row[eligible]
+            min_ratio = ratios.min()
+            ties = np.where(ratios <= min_ratio + TOL)[0]
+            enter = int(ties[0])  # deterministic Bland-style tie-break
+            self._pivot(leave, enter)
+            iterations += 1
+        return "iteration_limit", iterations
+
     def _pivot(self, row: int, col: int) -> None:
         pivot_value = self.matrix[row, col]
         self.matrix[row] /= pivot_value
         self.b[row] /= pivot_value
-        for r in range(self.m):
-            if r == row:
-                continue
-            factor = self.matrix[r, col]
-            if factor != 0.0:
-                self.matrix[r] -= factor * self.matrix[row]
-                self.b[r] -= factor * self.b[row]
+        factors = self.matrix[:, col].copy()
+        factors[row] = 0.0
+        touched = np.nonzero(factors)[0]
+        if touched.size:
+            # Rank-1 update; elementwise identical to the row-by-row
+            # loop (same multiply-then-subtract per entry).
+            self.matrix[touched] -= np.outer(
+                factors[touched], self.matrix[row]
+            )
+            self.b[touched] -= factors[touched] * self.b[row]
         self.basis[row] = col
+
+    # -- engine support -----------------------------------------------------------
+    def set_rhs(self, row: int, rhs: float) -> None:
+        """Point row ``row``'s original rhs at ``rhs`` (post-flip space).
+
+        O(m): the identity column holds ``B^-1 e_row`` explicitly.
+        Only rows that are never flipped at build time (bound rows,
+        dynamically added rows) may be retargeted.
+        """
+        delta = rhs - self.applied_rhs[row]
+        if delta == 0.0:
+            return
+        self.b += delta * self.matrix[:, self.identity_col[row]]
+        self.applied_rhs[row] = rhs
+
+    def add_row(self, coeffs: Dict[int, float], rhs: float) -> int:
+        """Append ``sum coeffs + slack == rhs`` expressed in the current
+        basis; the new slack becomes basic (possibly at a negative
+        value — the caller runs the dual simplex afterwards).
+        Returns the new row index."""
+        a_vec = np.zeros(self.total + 1)
+        for j, v in coeffs.items():
+            a_vec[j] = v
+        a_vec[self.total] = 1.0
+        matrix = np.hstack(
+            [self.matrix, np.zeros((self.m, 1))]
+        )
+        a_basic = a_vec[self.basis]
+        new_row = a_vec - a_basic @ matrix
+        new_b = rhs - float(a_basic @ self.b)
+        self.matrix = np.vstack([matrix, new_row[None, :]])
+        self.b = np.append(self.b, new_b)
+        slack = self.total
+        self.total += 1
+        self.m += 1
+        self.basis = np.append(self.basis, slack)
+        self.identity_col = np.append(self.identity_col, slack)
+        self.applied_rhs = np.append(self.applied_rhs, rhs)
+        self.blocked = np.append(self.blocked, False)
+        self._cost = np.append(self._cost, 0.0)
+        return self.m - 1
 
     def primal_solution(self) -> np.ndarray:
         y = np.zeros(self.total)
         y[self.basis] = self.b
         return y[: self.n_struct]
+
+
+@dataclass
+class EngineStats:
+    """Counters for one :class:`LpEngine` (diagnostics / tests)."""
+
+    cold_solves: int = 0
+    warm_solves: int = 0
+    fallbacks: int = 0
+    audit_failures: int = 0
+    rows_added: int = 0
+    dual_pivots: int = 0
+    primal_pivots: int = 0
+
+
+class LpEngine:
+    """Warm-restart LP solver for one :class:`ArrayForm`.
+
+    Built for branch-and-bound: node LPs differ from the root only in
+    variable bounds, which the engine applies as rhs updates / appended
+    bound rows on a live tableau and repairs with the dual simplex (see
+    the module docstring).  The engine is *self-auditing*: any answer
+    that fails the post-solve feasibility audit, exceeds the pivot
+    budget, or requires an unrepresentable bound relaxation falls back
+    to a cold :func:`solve_lp` for that call — correctness never
+    depends on the warm path.
+    """
+
+    def __init__(self, form: ArrayForm, max_iterations: int = 20000) -> None:
+        self.form = form
+        self.max_iterations = max_iterations
+        self.root_lb = form.lb.copy()
+        self.root_ub = form.ub.copy()
+        self.stats = EngineStats()
+        self._tab: Optional[_Tableau] = None
+        self._root_infeasible = False
+        self._lb_row: Dict[int, int] = {}
+        self._applied_lb: Optional[np.ndarray] = None
+        self._applied_ub: Optional[np.ndarray] = None
+        self._warm_since_refresh = 0
+
+    # -- public ---------------------------------------------------------------
+    def solve(
+        self,
+        lb: Optional[np.ndarray] = None,
+        ub: Optional[np.ndarray] = None,
+    ) -> LpResult:
+        """Solve the LP with the given bounds (defaults: root bounds)."""
+        form = self.form
+        lb = self.root_lb if lb is None else lb
+        ub = self.root_ub if ub is None else ub
+        if np.any(lb > ub + TOL):
+            return LpResult(status="infeasible")
+        if form.num_vars == 0:
+            return solve_lp(form, lb, ub, self.max_iterations)
+        if np.any(lb < self.root_lb - TOL):
+            # Below-root lower bounds can't be expressed in the shifted
+            # tableau (y >= 0); branch-and-bound never produces them.
+            return self._fallback(lb, ub)
+        if self._root_infeasible:
+            # Bounds only ever tighten relative to the root box; an
+            # infeasible root relaxation rules every node out.
+            return LpResult(status="infeasible")
+        if self._tab is None:
+            result = self._cold_start()
+            if self._root_infeasible:
+                return LpResult(
+                    status="infeasible", iterations=result.iterations
+                )
+            if self._tab is None:
+                # Unbounded / iteration-limited root: not a warmable
+                # state, answer tighter boxes with a cold solve.
+                return result if self._same_as_root(lb, ub) else (
+                    self._fallback(lb, ub)
+                )
+            if self._same_as_root(lb, ub):
+                return result
+        return self._warm_solve(lb, ub)
+
+    def reset(self) -> None:
+        """Drop the live tableau; the next solve rebuilds from the root."""
+        self._tab = None
+        self._lb_row = {}
+        self._applied_lb = None
+        self._applied_ub = None
+        self._warm_since_refresh = 0
+
+    # -- internals ------------------------------------------------------------
+    def _same_as_root(self, lb: np.ndarray, ub: np.ndarray) -> bool:
+        return (
+            np.array_equal(lb, self.root_lb)
+            and np.array_equal(ub, self.root_ub)
+        )
+
+    def _fallback(self, lb: np.ndarray, ub: np.ndarray) -> LpResult:
+        self.stats.fallbacks += 1
+        return solve_lp(self.form, lb, ub, self.max_iterations)
+
+    def _cold_start(self) -> LpResult:
+        """Build the root tableau and run both phases on it."""
+        self.stats.cold_solves += 1
+        form = self.form
+        tab = _build_tableau(form, self.root_lb, self.root_ub)
+        status, iterations = tab.run_phase1(self.max_iterations)
+        if status != "optimal":
+            return LpResult(status=status, iterations=iterations)
+        if tab.phase1_objective() > 1e-7:
+            self._root_infeasible = True
+            return LpResult(status="infeasible", iterations=iterations)
+        tab.drop_artificials()
+        status2, iters2 = tab.run_phase2(form.c.copy(), self.max_iterations)
+        iterations += iters2
+        self.stats.primal_pivots += iterations
+        if status2 != "optimal":
+            # Unbounded / iteration-limit roots are not warmable states.
+            return LpResult(status=status2, iterations=iterations)
+        self._tab = tab
+        self._lb_row = {}
+        self._applied_lb = self.root_lb.copy()
+        self._applied_ub = self.root_ub.copy()
+        self._warm_since_refresh = 0
+        y = tab.primal_solution()
+        x = y + self.root_lb
+        return LpResult(
+            status="optimal", x=x,
+            objective=float(form.c @ x + form.c0),
+            iterations=iterations,
+        )
+
+    def _apply_bounds(self, lb: np.ndarray, ub: np.ndarray) -> bool:
+        """Retarget the live tableau at the node box; False if a change
+        cannot be represented (relaxing a bound past the root box)."""
+        tab = self._tab
+        root_lb = self.root_lb
+        for j in np.nonzero(ub != self._applied_ub)[0]:
+            new_ub = ub[j]
+            row = tab.bound_row.get(j)
+            if np.isfinite(new_ub):
+                span = new_ub - root_lb[j]
+                if row is None:
+                    tab.bound_row[j] = tab.add_row({int(j): 1.0}, span)
+                    self.stats.rows_added += 1
+                else:
+                    tab.set_rhs(row, span)
+            else:
+                if row is None:
+                    pass  # free at the root, free now: nothing to do
+                elif np.isfinite(self.root_ub[j]):
+                    # Vacuous at the root span: y_j <= root span is the
+                    # loosest this row ever needs to be.
+                    tab.set_rhs(row, self.root_ub[j] - root_lb[j])
+                else:
+                    return False  # can't relax a dynamic row to +inf
+            self._applied_ub[j] = new_ub
+        for j in np.nonzero(lb != self._applied_lb)[0]:
+            shift = lb[j] - root_lb[j]
+            row = self._lb_row.get(j)
+            if row is None:
+                if shift > 0.0:
+                    # -y_j <= -shift  <=>  y_j >= shift.
+                    self._lb_row[j] = tab.add_row({int(j): -1.0}, -shift)
+                    self.stats.rows_added += 1
+            else:
+                tab.set_rhs(row, -shift)
+            self._applied_lb[j] = lb[j]
+        return True
+
+    def _warm_solve(self, lb: np.ndarray, ub: np.ndarray) -> LpResult:
+        if self._warm_since_refresh >= REFRESH_SOLVES:
+            # Preventive rebuild: rhs updates and appended rows slowly
+            # accumulate round-off in the shared tableau.
+            self.reset()
+            return self.solve(lb, ub)
+        tab = self._tab
+        if not self._apply_bounds(lb, ub):
+            self.reset()
+            return self._fallback(lb, ub)
+        self._warm_since_refresh += 1
+        self.stats.warm_solves += 1
+        status, dual_iters = tab.dual_iterate(self.max_iterations)
+        self.stats.dual_pivots += dual_iters
+        if status == "infeasible":
+            return LpResult(status="infeasible", iterations=dual_iters)
+        if status != "optimal":
+            self.reset()
+            return self._fallback(lb, ub)
+        # Polish with the primal phase (handles tolerance drift in the
+        # reduced costs; normally zero pivots).
+        status2, primal_iters = tab._iterate(
+            self.max_iterations, allow_unbounded=True
+        )
+        self.stats.primal_pivots += primal_iters
+        iterations = dual_iters + primal_iters
+        if status2 == "unbounded":
+            return LpResult(status="unbounded", iterations=iterations)
+        if status2 != "optimal":
+            self.reset()
+            return self._fallback(lb, ub)
+        y = tab.primal_solution()
+        x = y + self.root_lb
+        if not self._audit(x, lb, ub):
+            self.stats.audit_failures += 1
+            self.reset()
+            return self._fallback(lb, ub)
+        form = self.form
+        return LpResult(
+            status="optimal", x=x,
+            objective=float(form.c @ x + form.c0),
+            iterations=iterations,
+        )
+
+    def _audit(self, x: np.ndarray, lb: np.ndarray, ub: np.ndarray) -> bool:
+        form = self.form
+        if np.any(x < lb - AUDIT_TOL) or np.any(x > ub + AUDIT_TOL):
+            return False
+        if form.num_rows:
+            ax = form.a_csr @ x
+            if (np.any(ax < form.row_lower - AUDIT_TOL)
+                    or np.any(ax > form.row_upper + AUDIT_TOL)):
+                return False
+        return True

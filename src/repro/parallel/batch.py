@@ -81,7 +81,13 @@ from repro.supervision.signals import interrupted
 #: payload (the full schedule, so journals/reports can warm a store via
 #: ``repro cache warm``), plus report-level ``store`` and ``cache``
 #: aggregates (store hit counts; per-process LRU hit/miss counters).
-REPORT_VERSION = 5
+#: v6: incremental sweep core — per-attempt ``model`` gains
+#: ``reused_rows``/``rebuilt_rows``/``analysis_seconds`` and a
+#: ``verify_seconds`` phase timing (or a ``cut_skip`` marker when a
+#: recycled infeasibility cut settled the attempt without a solve), and
+#: the report-level ``cache`` aggregate gains an ``incremental`` block
+#: (context registry, analysis reuse and cut-pool counters).
+REPORT_VERSION = 6
 
 from repro.corpusgen.manifest import (
     MANIFEST_NAME,
@@ -299,6 +305,14 @@ class BatchReport:
         totals: dict = {}
         for caches in latest.values():
             for name, counters in caches.items():
+                if name == "incremental":
+                    # Not an LRU: sum its scalar counters directly
+                    # (the per-kind cut_skips dict stays per-process).
+                    slot = totals.setdefault(name, {})
+                    for key, value in counters.items():
+                        if isinstance(value, (int, float)):
+                            slot[key] = slot.get(key, 0) + value
+                    continue
                 slot = totals.setdefault(name, {"hits": 0, "misses": 0})
                 slot["hits"] += counters.get("hits", 0)
                 slot["misses"] += counters.get("misses", 0)
@@ -402,12 +416,20 @@ class BatchReport:
             parts = ", ".join(
                 f"{name} {c['hits']}/{c['hits'] + c['misses']}"
                 for name, c in sorted(cache_totals.items())
-                if isinstance(c, dict)
+                if isinstance(c, dict) and "hits" in c
             )
             lines.append(
                 f"lru hits across {cache_totals['processes']} "
                 f"process(es): {parts}"
             )
+            inc = cache_totals.get("incremental")
+            if inc:
+                lines.append(
+                    f"incremental: {inc.get('analysis_hits', 0)} analysis "
+                    f"hit(s), {inc.get('cuts_harvested', 0)} cut(s) "
+                    f"banked, {inc.get('attempts_skipped', 0)} attempt(s) "
+                    f"settled by recycled cuts"
+                )
         return "\n".join(lines)
 
 
@@ -421,7 +443,7 @@ def _snapshot_weight(caches: dict) -> int:
 
 
 def load_report(path) -> BatchReport:
-    """Load a saved batch report (v3, v4 or v5 schema)."""
+    """Load a saved batch report (any v3..v6 schema)."""
     with open(path, encoding="utf-8") as handle:
         return BatchReport.from_json_dict(json.load(handle))
 
@@ -551,7 +573,12 @@ def _load_tasks(
 
 def _batch_digest(machine: Machine, config: AttemptConfig,
                   max_extra: int) -> str:
-    """Journal config digest: everything that must match on resume."""
+    """Journal config digest: everything that must match on resume.
+
+    ``incremental`` is deliberately excluded: toggling it never changes
+    schedules, bounds or proof flags (only timings and reuse counters),
+    so a journal from either mode is safe to resume in the other.
+    """
     return config_digest(
         cache.machine_digest(machine),
         backend=config.backend,
@@ -578,6 +605,7 @@ def run_batch(
     presolve: bool = True,
     jobs: Optional[int] = None,
     warmstart: bool = True,
+    incremental: bool = True,
     policy: Optional[SupervisionPolicy] = None,
     journal: Optional[Union[str, "os.PathLike[str]"]] = None,
     resume: Optional[Union[str, "os.PathLike[str]"]] = None,
@@ -614,6 +642,7 @@ def run_batch(
         verify=verify,
         presolve=presolve,
         warmstart=warmstart,
+        incremental=incremental,
     )
     store_path = str(store) if store is not None else None
     sources = collect_sources(paths)

@@ -143,7 +143,17 @@ def cached_formulation(
     )
     formulation = _FORMULATION_CACHE.get(key)
     if formulation is None:
-        formulation = Formulation(ddg, machine, t_period, options)
+        # Cold builds still draw on the loop's SweepContext: the shared
+        # T-independent analysis feeds the build (byte-identical model,
+        # less recomputation) and repeated periods of one loop reuse it.
+        from repro.core.incremental import context_for
+
+        context = context_for(
+            ddg, machine, ddg_key=key[0], machine_key=key[1]
+        )
+        formulation = Formulation(
+            ddg, machine, t_period, options, context=context
+        )
         formulation.build()
         _FORMULATION_CACHE.put(key, formulation)
     return formulation
@@ -167,6 +177,8 @@ def cached_warmstart(ddg: Ddg, machine: Machine, max_extra: int) -> WarmStart:
 
 def cache_stats() -> dict:
     """Hit/miss counters for all caches (diagnostics / tests)."""
+    from repro.core.incremental import incremental_stats
+
     return {
         "bounds": {
             "hits": _BOUNDS_CACHE.hits,
@@ -183,11 +195,15 @@ def cache_stats() -> dict:
             "misses": _WARMSTART_CACHE.misses,
             "size": len(_WARMSTART_CACHE),
         },
+        "incremental": incremental_stats(),
     }
 
 
 def clear_caches() -> None:
-    """Drop all caches (tests, or to bound memory in long runs)."""
+    """Drop all caches and sweep contexts (tests / long-run memory)."""
+    from repro.core.incremental import clear_contexts
+
     _BOUNDS_CACHE.clear()
     _FORMULATION_CACHE.clear()
     _WARMSTART_CACHE.clear()
+    clear_contexts()

@@ -92,6 +92,7 @@ def race_periods(
     jobs: Optional[int] = None,
     window: Optional[int] = None,
     warmstart: bool = True,
+    incremental: bool = True,
     policy: Optional[SupervisionPolicy] = None,
     store=None,
 ) -> SchedulingResult:
@@ -119,6 +120,12 @@ def race_periods(
     consulted before the heuristic pre-pass or any dispatch: a verified
     hit returns immediately without spawning workers, and a clean cold
     result is published back for future runs.
+
+    With ``incremental`` (the default) every worker process self-serves
+    a :class:`~repro.core.incremental.SweepContext` from its own
+    per-process registry inside :func:`attempt_period` — nothing crosses
+    a pickle boundary, and a worker handling several periods of the same
+    loop reuses the shared analysis and banked cuts across them.
     """
     if max_extra < 0:
         raise SchedulingError(f"max_extra must be >= 0, got {max_extra}")
@@ -135,6 +142,7 @@ def race_periods(
         repair_modulo=repair_modulo,
         presolve=presolve,
         warmstart=warmstart,
+        incremental=incremental,
     )
     start_clock = time.monotonic()
     store_stats = None

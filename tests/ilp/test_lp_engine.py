@@ -1,0 +1,220 @@
+"""Warm-restart LP engine vs the cold simplex, on real and random LPs.
+
+:class:`repro.ilp.simplex.LpEngine` carries a live tableau across
+branch-and-bound node solves.  Whatever sequence of bound changes the
+search throws at it, every answer must match a cold :func:`solve_lp` of
+the same (form, lb, ub) — status and objective value both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.formulation import Formulation
+from repro.ddg.generators import suite
+from repro.ddg.kernels import motivating_example
+from repro.ilp import Model
+from repro.ilp.simplex import LpEngine, solve_lp
+from repro.ilp.standard import to_arrays
+from repro.machine.presets import motivating_machine
+
+
+def _form(build):
+    model = Model("lp")
+    build(model)
+    return to_arrays(model)
+
+
+def _assert_matches_cold(engine, form, lb, ub, tag=""):
+    warm = engine.solve(lb, ub)
+    cold = solve_lp(form, lb, ub)
+    assert warm.status == cold.status, (tag, warm.status, cold.status)
+    if cold.is_optimal:
+        assert warm.objective == pytest.approx(
+            cold.objective, rel=1e-7, abs=1e-7
+        ), tag
+    return warm
+
+
+class TestBoundSequences:
+    def test_repeated_tightening_and_relaxing(self):
+        form = _form(lambda m: (
+            (x := m.add_var("x", lb=0, ub=10)),
+            (y := m.add_var("y", lb=0, ub=10)),
+            m.add(x + y >= 4),
+            m.add(2 * x + y <= 14),
+            m.minimize(2 * x + 3 * y),
+        ))
+        engine = LpEngine(form)
+        lb, ub = form.lb.copy(), form.ub.copy()
+        _assert_matches_cold(engine, form, lb, ub, "root")
+        # Tighten x down (ub), then up (lb), then restore — the classic
+        # branch / backtrack pattern.
+        for x_lb, x_ub in [(0, 1), (3, 10), (0, 10), (4, 4), (0, 2)]:
+            lb[0], ub[0] = x_lb, x_ub
+            _assert_matches_cold(engine, form, lb, ub, (x_lb, x_ub))
+        assert engine.stats.warm_solves > 0
+
+    def test_transition_into_and_out_of_infeasible(self):
+        form = _form(lambda m: (
+            (x := m.add_var("x", lb=0, ub=10)),
+            (y := m.add_var("y", lb=0, ub=10)),
+            m.add(x + y >= 6),
+            m.minimize(x + y),
+        ))
+        engine = LpEngine(form)
+        lb, ub = form.lb.copy(), form.ub.copy()
+        _assert_matches_cold(engine, form, lb, ub, "root")
+        # Cap both vars so the >= 6 row cannot be met.
+        ub[0] = ub[1] = 2.0
+        result = _assert_matches_cold(engine, form, lb, ub, "capped")
+        assert result.status == "infeasible"
+        # ... and recover.
+        ub[0] = ub[1] = 10.0
+        result = _assert_matches_cold(engine, form, lb, ub, "restored")
+        assert result.is_optimal
+
+    def test_root_infeasible_short_circuits(self):
+        form = _form(lambda m: (
+            (x := m.add_var("x", lb=0, ub=1)),
+            m.add(x >= 3),
+            m.minimize(x),
+        ))
+        engine = LpEngine(form)
+        assert engine.solve().status == "infeasible"
+        # Tightening bounds further can never recover feasibility: the
+        # engine answers without touching a tableau.
+        lb, ub = form.lb.copy(), form.ub.copy()
+        ub[0] = 0.5
+        assert engine.solve(lb, ub).status == "infeasible"
+        assert engine.stats.warm_solves == 0
+
+    def test_contradictory_bounds(self):
+        form = _form(lambda m: (
+            (x := m.add_var("x", lb=0, ub=10)),
+            m.add(x >= 1),
+            m.minimize(x),
+        ))
+        engine = LpEngine(form)
+        lb, ub = form.lb.copy(), form.ub.copy()
+        lb[0], ub[0] = 5.0, 3.0
+        assert engine.solve(lb, ub).status == "infeasible"
+
+    def test_relaxing_below_root_falls_back(self):
+        """Bounds looser than the root aren't representable warm."""
+        form = _form(lambda m: (
+            (x := m.add_var("x", lb=2, ub=10)),
+            m.add(x <= 8),
+            m.minimize(x),
+        ))
+        engine = LpEngine(form)
+        engine.solve()
+        lb, ub = form.lb.copy(), form.ub.copy()
+        lb[0] = 0.0  # below the root lower bound
+        warm = engine.solve(lb, ub)
+        cold = solve_lp(form, lb, ub)
+        assert warm.status == cold.status
+        assert warm.objective == pytest.approx(cold.objective)
+
+
+class TestOnSchedulingModels:
+    """Drive the engine with dive-style bound fixings on real models."""
+
+    @staticmethod
+    def _models():
+        machine = motivating_machine()
+        loops = [motivating_example()] + suite(3, machine, seed=42)
+        for ddg in loops:
+            if ddg.num_ops > 8:
+                continue
+            for t_period in (3, 4, 5):
+                formulation = Formulation(ddg, machine, t_period)
+                formulation.build()
+                yield ddg.name, t_period, to_arrays(formulation.model)
+
+    def test_fixing_sequences_match_cold(self):
+        rng = np.random.default_rng(7)
+        for name, t_period, form in self._models():
+            engine = LpEngine(form)
+            lb, ub = form.lb.copy(), form.ub.copy()
+            root = _assert_matches_cold(
+                engine, form, lb, ub, (name, t_period, "root")
+            )
+            if not root.is_optimal:
+                continue
+            # Fix a random walk of integer variables to rounded LP
+            # values, the way _dive does, checking parity at each step.
+            candidates = np.flatnonzero(form.integrality)
+            rng.shuffle(candidates)
+            for step, j in enumerate(candidates[:6]):
+                value = float(np.clip(round(root.x[j]), lb[j], ub[j]))
+                lb[j] = ub[j] = value
+                result = _assert_matches_cold(
+                    engine, form, lb, ub, (name, t_period, "fix", step)
+                )
+                if not result.is_optimal:
+                    break
+            assert engine.stats.warm_solves > 0, (name, t_period)
+
+    def test_branching_with_backtrack_matches_cold(self):
+        for name, t_period, form in self._models():
+            engine = LpEngine(form)
+            lb, ub = form.lb.copy(), form.ub.copy()
+            root = engine.solve(lb, ub)
+            if not root.is_optimal:
+                continue
+            candidates = np.flatnonzero(form.integrality)[:4]
+            for j in candidates:
+                value = round(root.x[j])
+                # Down branch ...
+                saved = ub[j]
+                ub[j] = max(lb[j], value - 1)
+                _assert_matches_cold(
+                    engine, form, lb, ub, (name, t_period, "down", int(j))
+                )
+                ub[j] = saved
+                # ... then the up branch from the same engine state.
+                saved = lb[j]
+                lb[j] = min(ub[j], value + 1)
+                _assert_matches_cold(
+                    engine, form, lb, ub, (name, t_period, "up", int(j))
+                )
+                lb[j] = saved
+
+
+class TestRandomized:
+    def test_random_bound_boxes_match_cold(self):
+        rng = np.random.default_rng(20260807)
+        for trial in range(20):
+            n_vars = int(rng.integers(2, 6))
+            n_rows = int(rng.integers(1, 5))
+            model = Model(f"rand{trial}")
+            xs = [
+                model.add_var(f"x{i}", lb=0, ub=float(rng.integers(2, 8)))
+                for i in range(n_vars)
+            ]
+            for _ in range(n_rows):
+                coeffs = rng.integers(-3, 4, size=n_vars)
+                expr = sum(
+                    int(c) * x for c, x in zip(coeffs, xs)
+                    if c != 0
+                )
+                if isinstance(expr, int):
+                    continue
+                rhs = float(rng.integers(-5, 10))
+                model.add(expr <= rhs if rng.random() < 0.5 else expr >= rhs)
+            model.minimize(sum(
+                int(c) * x
+                for c, x in zip(rng.integers(-2, 3, size=n_vars), xs)
+            ) + 0 * xs[0])
+            form = to_arrays(model)
+            engine = LpEngine(form)
+            lb, ub = form.lb.copy(), form.ub.copy()
+            _assert_matches_cold(engine, form, lb, ub, (trial, "root"))
+            for step in range(8):
+                j = int(rng.integers(0, n_vars))
+                new_lb = float(rng.integers(0, int(form.ub[j]) + 1))
+                lb[j] = max(form.lb[j], new_lb)
+                ub[j] = min(form.ub[j], float(
+                    rng.integers(int(lb[j]), int(form.ub[j]) + 1)
+                ))
+                _assert_matches_cold(engine, form, lb, ub, (trial, step))
