@@ -112,6 +112,16 @@ def _atomic_write(path, text) -> None:
     atomic_write_text(path, text)
 
 
+def _backends_of(args):
+    """Parse ``--backends 'highs,bnb,sat'`` into a roster tuple (or None)."""
+    raw = getattr(args, "backends", None)
+    if raw is None:
+        return None
+    return tuple(
+        name.strip() for name in raw.split(",") if name.strip()
+    )
+
+
 def _print_store_line(result) -> None:
     """One-line store outcome for schedule/race results (when enabled)."""
     stats = result.store
@@ -208,6 +218,7 @@ def _cmd_schedule(args) -> int:
 
 
 def _cmd_batch(args) -> int:
+    from repro.core.errors import SchedulingError
     from repro.parallel import run_batch
     from repro.supervision import graceful_interrupts
 
@@ -228,8 +239,9 @@ def _cmd_batch(args) -> int:
                 journal=args.journal,
                 resume=args.resume,
                 store=args.store,
+                backends=_backends_of(args),
             )
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, SchedulingError) as exc:
         raise SystemExit(f"batch: {exc}")
     if args.json:
         print(report.to_json())
@@ -264,13 +276,23 @@ def _cmd_race(args) -> int:
                 incremental=not args.no_incremental,
                 policy=_policy_of(args),
                 store=args.store,
+                backends=_backends_of(args),
             )
     except SchedulingError as exc:
         raise SystemExit(f"race: {exc}")
     print(result.summary())
     _print_store_line(result)
+    if result.portfolio is not None:
+        port = result.portfolio
+        print(
+            f"  portfolio [{', '.join(port['backends'])}]: "
+            f"winner={port['winner_backend'] or 'none'}, "
+            f"{port['killed_running']} loser(s) killed, "
+            f"{port['cancelled_queued']} cancelled in queue"
+        )
     for attempt in result.attempts:
-        print(f"  T={attempt.t_period}: {attempt.status} "
+        tag = f" [{attempt.backend}]" if attempt.backend else ""
+        print(f"  T={attempt.t_period}: {attempt.status}{tag} "
               f"({attempt.seconds:.2f}s)")
     if result.schedule is None:
         print("no schedule found within the budget")
@@ -366,7 +388,8 @@ def _print_attempt_profile(t_period: int, label: str, attempt) -> None:
     """One attempt's model sizes, reuse counters and phase timings."""
     stats = attempt.model_stats
     print()
-    print(f"T={t_period}, {label}: {attempt.status}")
+    via = f" via {attempt.backend}" if attempt.backend else ""
+    print(f"T={t_period}, {label}: {attempt.status}{via}")
     if "cut_skip" in stats:
         print(f"  settled by recycled cut: {stats['cut_skip']} (no solve)")
         return
@@ -392,6 +415,20 @@ def _print_attempt_profile(t_period: int, label: str, attempt) -> None:
         f"verify {stats.get('verify_seconds', 0.0):.4f}s  "
         f"total {stats['total_seconds']:.4f}s"
     )
+    if "sat_encode_seconds" in stats:
+        print(
+            f"  sat       encode {stats['sat_encode_seconds']:.4f}s  "
+            f"search {stats.get('sat_search_seconds', 0.0):.4f}s  "
+            f"decode {stats.get('sat_decode_seconds', 0.0):.4f}s  "
+            f"({stats.get('sat_vars', 0):.0f} vars, "
+            f"{stats.get('sat_clauses', 0):.0f} clauses)"
+        )
+        print(
+            f"  sat       {stats.get('sat_conflicts', 0):.0f} conflicts, "
+            f"{stats.get('sat_decisions', 0):.0f} decisions, "
+            f"{stats.get('sat_learned_clauses', 0):.0f} learned clauses "
+            f"({stats.get('sat_restarts', 0):.0f} restarts)"
+        )
 
 
 def _print_cache_counters() -> None:
@@ -411,10 +448,10 @@ def _print_cache_counters() -> None:
             )
             continue
         total = counters["hits"] + counters["misses"]
-        print(
-            f"  {name:<12} {counters['hits']}/{total} hit(s), "
-            f"{counters['size']} entries"
-        )
+        line = f"  {name:<12} {counters['hits']}/{total} hit(s)"
+        if "size" in counters:
+            line += f", {counters['size']} entries"
+        print(line)
 
 
 def _cmd_cache(args) -> int:
@@ -720,7 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="machine description file "
                                  "(overrides --machine)")
     p_schedule.add_argument("--backend", default="auto",
-                            choices=("auto", "highs", "bnb"))
+                            choices=("auto", "highs", "bnb", "sat"))
     p_schedule.add_argument("--objective", default="min_sum_t",
                             choices=("feasibility", "min_sum_t", "min_fu",
                                      "min_buffers", "min_lifetimes"))
@@ -764,7 +801,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine description file (overrides "
                               "--machine)")
     p_batch.add_argument("--backend", default="auto",
-                         choices=("auto", "highs", "bnb"))
+                         choices=("auto", "highs", "bnb", "sat",
+                                  "portfolio"))
+    p_batch.add_argument("--backends", metavar="LIST",
+                         help="explicit portfolio roster, e.g. "
+                              "'highs,bnb,sat' (implies "
+                              "--backend portfolio)")
     p_batch.add_argument("--time-limit", type=float, default=10.0,
                          help="per-period solver budget (seconds)")
     p_batch.add_argument("--max-extra", type=int, default=10)
@@ -805,7 +847,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_race.add_argument("--machine", default="motivating")
     p_race.add_argument("--machine-file", metavar="PATH")
     p_race.add_argument("--backend", default="auto",
-                        choices=("auto", "highs", "bnb"))
+                        choices=("auto", "highs", "bnb", "sat",
+                                 "portfolio"))
+    p_race.add_argument("--backends", metavar="LIST",
+                        help="explicit portfolio roster, e.g. "
+                             "'highs,bnb,sat' (implies "
+                             "--backend portfolio)")
     p_race.add_argument("--time-limit", type=float, default=30.0)
     p_race.add_argument("--max-extra", type=int, default=10)
     p_race.add_argument("--jobs", type=int, default=None)
@@ -835,7 +882,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--machine", default="motivating")
     p_profile.add_argument("--machine-file", metavar="PATH")
     p_profile.add_argument("--backend", default="auto",
-                           choices=("auto", "highs", "bnb"))
+                           choices=("auto", "highs", "bnb", "sat"))
     p_profile.add_argument("--objective", default="feasibility",
                            choices=("feasibility", "min_sum_t", "min_fu",
                                     "min_buffers", "min_lifetimes"))
@@ -887,7 +934,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine description file "
                              "(overrides --machine)")
     c_warm.add_argument("--backend", default="auto",
-                        choices=("auto", "highs", "bnb"))
+                        choices=("auto", "highs", "bnb", "sat"))
     c_warm.add_argument("--objective", default="feasibility",
                         choices=("feasibility", "min_sum_t", "min_fu",
                                  "min_buffers", "min_lifetimes"))

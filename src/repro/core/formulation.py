@@ -127,6 +127,10 @@ class Formulation:
             )
         self._built = False
         self.model: Model = Model(f"{ddg.name}@T={t_period}")
+        # Backref for backends that need formulation structure rather
+        # than bare rows (the SAT lowering reads slot windows, pair
+        # verdicts and reservation shapes straight from here).
+        self.model._formulation = self
         self.a: List[List[Optional[Variable]]] = []   # a[t][i]; None = pruned
         self.k: List[Variable] = []
         self.t_expr: List[LinExpr] = []
@@ -158,6 +162,9 @@ class Formulation:
         self._analysis: Optional["LoopAnalysis"] = None
         self._analysis_seconds = 0.0
         self._reused_rows = 0
+        self._usage: Optional[
+            Dict[Tuple[int, int, int], Dict[Variable, float]]
+        ] = None
 
     @property
     def analysis(self) -> Optional["LoopAnalysis"]:
@@ -327,6 +334,7 @@ class Formulation:
             )
 
         usage = self._usage_terms()
+        self._usage = usage
         self._add_capacity_rows(usage, active)
         self._add_coloring(usage, info if active else None)
         self._set_objective()
@@ -693,6 +701,23 @@ class Formulation:
                 + self.t_period * dep.distance
                 for dep in self.ddg.deps
             ))
+
+    # -- public structure accessors (used by the SAT lowering) -------------------
+    def usage_terms(
+        self,
+    ) -> Dict[Tuple[int, int, int], Dict[Variable, float]]:
+        """The built Eq. 25 usage structure, keyed (op, stage, slot)."""
+        self.build()
+        assert self._usage is not None
+        return self._usage
+
+    def stage_cycles(self, op_index: int, stage: int) -> List[int]:
+        """Reservation-table cycles op ``op_index`` holds ``stage``."""
+        return self._stage_cycles(op_index, stage)
+
+    def ops_by_type(self) -> Dict[str, List[int]]:
+        """Op indices grouped by FU type (analysis-backed when shared)."""
+        return self._ops_by_type()
 
     # -- solve / extract ----------------------------------------------------------------
     def solve(

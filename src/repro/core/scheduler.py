@@ -67,6 +67,11 @@ class ScheduleAttempt:
     #: Terminal supervision failure (crash/hang/oom/solver_error/
     #: interrupted) that ended this attempt, after any retries.
     failure: Optional[FailureRecord] = None
+    #: Which solver actually produced this attempt's verdict ("highs",
+    #: "bnb", "sat"; "" for attempts that never reached a backend —
+    #: modulo-infeasible, cut skips, heuristic settles, cancellations).
+    #: Provenance only: never part of any cache or store fingerprint.
+    backend: str = ""
 
 
 @dataclass
@@ -155,6 +160,10 @@ class SchedulingResult:
     degraded: bool = False
     #: Persistent-store interaction record (None when no store was used).
     store: Optional[StoreStats] = None
+    #: Portfolio-race bookkeeping (None for single-backend runs): the
+    #: backend roster, the winning backend, and loser kill/cancel
+    #: counters (see :func:`repro.parallel.race_periods`).
+    portfolio: Optional[Dict[str, object]] = None
 
     @property
     def achieved_t(self) -> Optional[int]:
@@ -162,18 +171,30 @@ class SchedulingResult:
 
     @property
     def is_rate_optimal_proven(self) -> bool:
-        """Schedule found and every smaller admissible T proven infeasible."""
+        """Schedule found and every smaller admissible T proven infeasible.
+
+        Judged per period, not per attempt: a period below the winner
+        counts as settled when *any* attempt at it proved infeasibility
+        (solver INFEASIBLE, a recycled cut, or the modulo-admissibility
+        check).  Portfolio races legitimately leave extra attempts at a
+        settled period — cancelled losers, timed-out stragglers — and
+        those must not retract a proof a sibling backend already
+        delivered.  Every period in ``[t_lb, T)`` must carry a proof;
+        a gap (no attempt at all, or only non-proof attempts) means the
+        claim would be unsupported.
+        """
         if self.schedule is None:
             return False
-        for attempt in self.attempts:
-            if attempt.t_period >= self.schedule.t_period:
-                continue
-            if attempt.status not in (
-                SolveStatus.INFEASIBLE.value,
-                "modulo_infeasible",
-            ):
-                return False
-        return True
+        proof_statuses = (SolveStatus.INFEASIBLE.value, "modulo_infeasible")
+        proven = {
+            attempt.t_period
+            for attempt in self.attempts
+            if attempt.status in proof_statuses
+        }
+        return all(
+            t in proven
+            for t in range(self.bounds.t_lb, self.schedule.t_period)
+        )
 
     @property
     def delta_from_lb(self) -> Optional[int]:
@@ -271,7 +292,8 @@ def attempt_period(
     harvested back into the pool.
     """
     config = config or AttemptConfig()
-    faults.fire("attempt", loop=ddg.name, t=t_period)
+    faults.fire("attempt", loop=ddg.name, t=t_period,
+                backend=config.backend)
     attempt_machine = machine
     repaired = False
     if not modulo_feasible_t(ddg, machine, t_period):
@@ -356,6 +378,13 @@ def attempt_period(
         stats["presolve_seconds"] + stats["build_seconds"]
         + solution.solve_seconds + verify_seconds
     )
+    # Backend-specific phase counters (the SAT backend's encode/search/
+    # decode split, learned-clause counts, ...) ride along so `repro
+    # profile` can break attempts down per backend.
+    stats.update(solution.stats)
+    if solution.time_limit_clamped:
+        stats["effective_time_limit"] = solution.effective_time_limit
+        stats["time_limit_clamped"] = 1.0
     attempt = ScheduleAttempt(
         t_period=t_period,
         status=solution.status.value,
@@ -366,6 +395,7 @@ def attempt_period(
         bound=solution.bound,
         gap=solution.gap,
         warm_started=mip_start is not None,
+        backend=solution.backend,
     )
     return AttemptOutcome(attempt=attempt, schedule=schedule)
 
@@ -644,6 +674,13 @@ def schedule_loop(
     per-attempt behavior bit-for-bit (same schedules, bounds and proof
     flags — only timings and reuse counters change).
     """
+    if backend == "portfolio":
+        raise SchedulingError(
+            "backend='portfolio' races several backends per period and "
+            "needs a racing driver: use repro.parallel.race_periods(..., "
+            "backend='portfolio') or repro.parallel.run_batch(..., "
+            "backend='portfolio') instead of schedule_loop"
+        )
     config = AttemptConfig(
         backend=backend,
         objective=objective,

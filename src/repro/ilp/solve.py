@@ -17,7 +17,7 @@ from repro.ilp.errors import SolverError
 from repro.ilp.model import Model, Variable
 from repro.ilp.solution import Solution
 
-_BACKENDS = ("auto", "highs", "bnb")
+_BACKENDS = ("auto", "highs", "bnb", "sat")
 
 #: Process-wide cap on any single solve's time limit (None = uncapped).
 _PROCESS_TIME_BUDGET: Optional[float] = None
@@ -72,12 +72,38 @@ def solve(
         raise SolverError(f"gap must be a number >= 0, got {gap!r}")
     if math.isnan(gap) or gap < 0:
         raise SolverError(f"gap must be >= 0, got {gap!r}")
+    requested = time_limit
     if _PROCESS_TIME_BUDGET is not None:
         time_limit = (
             _PROCESS_TIME_BUDGET
             if time_limit is None
             else min(time_limit, _PROCESS_TIME_BUDGET)
         )
+    solution = _dispatch(model, backend, time_limit, gap, mip_start)
+    # Record the budget the backend actually ran under — the process
+    # cap must not silently shrink a caller's limit (portfolio
+    # deadline accounting reads these).
+    solution.effective_time_limit = time_limit
+    solution.time_limit_clamped = (
+        requested is not None
+        and time_limit is not None
+        and time_limit < requested
+    )
+    return solution
+
+
+def _dispatch(
+    model: Model,
+    backend: str,
+    time_limit: Optional[float],
+    gap: float,
+    mip_start: Optional[Dict[Variable, float]],
+) -> Solution:
+    if backend == "sat":
+        from repro.sat.backend import solve_sat
+
+        return _checked(solve_sat(model, time_limit=time_limit,
+                                  gap=gap, mip_start=mip_start))
     if backend in ("auto", "highs"):
         try:
             from repro.ilp.highs import solve_highs

@@ -30,12 +30,20 @@ from repro.parallel.cache import (
     ddg_digest,
     machine_digest,
 )
-from repro.parallel.race import CANCELLED, default_jobs, race_periods
+from repro.parallel.race import (
+    CANCELLED,
+    PORTFOLIO_BACKENDS,
+    default_jobs,
+    default_portfolio,
+    race_periods,
+)
 
 __all__ = [
     "BatchEntry",
     "BatchReport",
     "CANCELLED",
+    "PORTFOLIO_BACKENDS",
+    "default_portfolio",
     "LruCache",
     "cache_stats",
     "cached_formulation",

@@ -40,16 +40,21 @@ import json
 import math
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.scheduler import AttemptConfig, SchedulingResult, run_sweep
 from repro.ddg.builders import parse_ddg, serialize_ddg
 from repro.ddg.graph import Ddg
 from repro.machine import Machine
 from repro.parallel import cache
-from repro.parallel.race import _init_worker, default_jobs
+from repro.parallel.race import (
+    _init_worker,
+    _validate_roster,
+    default_jobs,
+    default_portfolio,
+)
 from repro.supervision import faults
 from repro.supervision.atomicio import atomic_write_text
 from repro.supervision.journal import (
@@ -87,7 +92,13 @@ from repro.supervision.signals import interrupted
 #: recycled infeasibility cut settled the attempt without a solve), and
 #: the report-level ``cache`` aggregate gains an ``incremental`` block
 #: (context registry, analysis reuse and cut-pool counters).
-REPORT_VERSION = 6
+#: v7: portfolio racing — per-attempt ``backend`` (which solver
+#: produced the verdict), per-entry ``portfolio`` object (roster,
+#: winning backend, loser dispositions, kill/cancel counters) when the
+#: loop was raced across backends, and a report-level ``portfolio``
+#: aggregate (per-backend win counts plus total losers killed/
+#: cancelled).
+REPORT_VERSION = 7
 
 from repro.corpusgen.manifest import (
     MANIFEST_NAME,
@@ -119,6 +130,10 @@ class BatchEntry:
     #: (``{"pid": ..., "caches": cache_stats()}``) — *cumulative*, so
     #: report aggregation takes the max per pid, not the sum.
     cache_snapshot: Optional[dict] = None
+    #: Loop-level portfolio record when the loop was raced across
+    #: backends: roster, winning backend, per-loser dispositions and
+    #: kill/cancel counters.  None for single-backend batches.
+    portfolio: Optional[dict] = None
 
     @property
     def scheduled(self) -> bool:
@@ -149,6 +164,8 @@ class BatchEntry:
             entry["error"] = self.error
             if self.failure is not None:
                 entry["failure"] = self.failure.to_json_dict()
+            if self.portfolio is not None:
+                entry["portfolio"] = self.portfolio
             return entry
         result = self.result
         entry.update(
@@ -170,6 +187,10 @@ class BatchEntry:
             entry["warmstart"] = result.warmstart.to_json_dict()
         if result.store is not None:
             entry["store"] = result.store.to_json_dict()
+        if self.portfolio is not None:
+            entry["portfolio"] = self.portfolio
+        elif result.portfolio is not None:
+            entry["portfolio"] = result.portfolio
         if result.schedule is not None:
             entry["schedule"] = result.schedule.to_dict()
         return entry
@@ -194,6 +215,7 @@ def _attempt_json(attempt) -> dict:
     doc = {
         "t": attempt.t_period,
         "status": attempt.status,
+        "backend": attempt.backend,
         "seconds": round(attempt.seconds, 6),
         "nodes": attempt.nodes,
         "repaired": attempt.repaired,
@@ -282,6 +304,38 @@ class BatchReport:
             ),
         }
 
+    def _entry_portfolio(self, entry: BatchEntry) -> Optional[dict]:
+        if entry.raw is not None:
+            return entry.raw.get("portfolio")
+        if entry.portfolio is not None:
+            return entry.portfolio
+        if entry.result is not None:
+            return entry.result.portfolio
+        return None
+
+    def portfolio_summary(self) -> Optional[dict]:
+        """Aggregate portfolio counters, or None for single-backend runs."""
+        docs = [
+            d for d in map(self._entry_portfolio, self.entries) if d
+        ]
+        if not docs:
+            return None
+        wins: Dict[str, int] = {}
+        for doc in docs:
+            winner = doc.get("winner_backend")
+            if winner:
+                wins[winner] = wins.get(winner, 0) + 1
+        return {
+            "raced": len(docs),
+            "wins": dict(sorted(wins.items())),
+            "killed_running": sum(
+                int(d.get("killed_running", 0)) for d in docs
+            ),
+            "cancelled_queued": sum(
+                int(d.get("cancelled_queued", 0)) for d in docs
+            ),
+        }
+
     def cache_summary(self) -> Optional[dict]:
         """Sum the per-process LRU counters across worker snapshots.
 
@@ -338,6 +392,9 @@ class BatchReport:
         cache_totals = self.cache_summary()
         if cache_totals is not None:
             doc["cache"] = cache_totals
+        portfolio = self.portfolio_summary()
+        if portfolio is not None:
+            doc["portfolio"] = portfolio
         return doc
 
     @classmethod
@@ -430,6 +487,17 @@ class BatchReport:
                     f"banked, {inc.get('attempts_skipped', 0)} attempt(s) "
                     f"settled by recycled cuts"
                 )
+        portfolio = self.portfolio_summary()
+        if portfolio is not None:
+            wins = ", ".join(
+                f"{name} {count}"
+                for name, count in portfolio["wins"].items()
+            ) or "none"
+            lines.append(
+                f"portfolio: {portfolio['raced']} loop(s) raced, wins: "
+                f"{wins}; losers: {portfolio['killed_running']} killed, "
+                f"{portfolio['cancelled_queued']} cancelled"
+            )
         return "\n".join(lines)
 
 
@@ -443,7 +511,7 @@ def _snapshot_weight(caches: dict) -> int:
 
 
 def load_report(path) -> BatchReport:
-    """Load a saved batch report (any v3..v6 schema)."""
+    """Load a saved batch report (any v3..v7 schema)."""
     with open(path, encoding="utf-8") as handle:
         return BatchReport.from_json_dict(json.load(handle))
 
@@ -489,7 +557,8 @@ def _schedule_source(
     of this process's LRU counters for report-level aggregation.
     """
     loop_id = Path(source).stem if source != "<memory>" else source
-    faults.fire("batch", loop=loop_id, source=source)
+    faults.fire("batch", loop=loop_id, source=source,
+                backend=config.backend)
     try:
         store = None
         if store_path is not None:
@@ -610,6 +679,7 @@ def run_batch(
     journal: Optional[Union[str, "os.PathLike[str]"]] = None,
     resume: Optional[Union[str, "os.PathLike[str]"]] = None,
     store: Optional[Union[str, "os.PathLike[str]"]] = None,
+    backends: Optional[Sequence[str]] = None,
 ) -> BatchReport:
     """Schedule every loop reachable from ``paths`` across ``jobs`` workers.
 
@@ -629,11 +699,29 @@ def run_batch(
     for structurally identical loops, and clean cold results are
     published back.  Safe under concurrent writers — publication is
     atomic per entry with last-writer-wins.
+
+    ``backend="portfolio"`` (or an explicit ``backends`` roster) races
+    the backends at *loop* granularity: each backend runs the loop's
+    whole sweep in its own worker, the first to come back with a
+    schedule wins the loop, and the sibling workers are killed (worker
+    processes cannot nest pools, so the per-period portfolio of
+    :func:`repro.parallel.race_periods` stays a race-driver feature).
+    The winning entry carries a ``portfolio`` record naming the winner
+    and every loser's disposition.
     """
     jobs = jobs if jobs is not None else default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     policy = policy or SupervisionPolicy()
+    roster: Optional[Tuple[str, ...]] = None
+    if backends is not None:
+        roster = _validate_roster(backends, objective)
+        backend = "portfolio"
+    elif backend == "portfolio":
+        roster = default_portfolio(objective)
+    if roster is not None and len(roster) == 1:
+        backend = roster[0]
+        roster = None
     config = AttemptConfig(
         backend=backend,
         objective=objective,
@@ -689,7 +777,18 @@ def run_batch(
                 continue
             to_run.append((index, text, label))
 
-        if jobs == 1 or len(to_run) <= 1:
+        if roster is not None:
+            if jobs == 1:
+                _run_inline_portfolio(
+                    to_run, entries, machine, config, roster, max_extra,
+                    writer, store_path,
+                )
+            else:
+                _run_pool_portfolio(
+                    to_run, entries, machine, config, roster, max_extra,
+                    jobs, time_limit_per_t, policy, writer, store_path,
+                )
+        elif jobs == 1 or len(to_run) <= 1:
             _run_inline(
                 to_run, entries, machine, config, max_extra, writer,
                 store_path,
@@ -824,5 +923,245 @@ def _run_pool(
                 entries[index] = entry
                 _journal_entry(writer, index, entry)
                 outstanding -= 1
+    finally:
+        executor.shutdown()
+
+
+def _pick_fallback(
+    candidates: Dict[str, BatchEntry], roster: Tuple[str, ...]
+) -> Tuple[str, BatchEntry]:
+    """The entry that stands for a loop no backend scheduled.
+
+    Prefer (in roster order) a clean-but-unscheduled sweep over an
+    errored one: a real attempt log with timeouts beats a stack trace.
+    """
+    for name in roster:
+        entry = candidates.get(name)
+        if entry is not None and entry.error is None:
+            return name, entry
+    for name in roster:
+        if name in candidates:
+            return name, candidates[name]
+    raise AssertionError("no candidate entries to fall back to")
+
+
+def _loser_disposition(entry: Optional[BatchEntry]) -> str:
+    if entry is None:
+        return "cancelled"
+    if entry.failure is not None:
+        return entry.failure.kind
+    if entry.error is not None:
+        return "error"
+    return "unscheduled"
+
+
+def _run_inline_portfolio(
+    to_run: List[tuple],
+    entries: List[Optional[BatchEntry]],
+    machine: Machine,
+    config: AttemptConfig,
+    roster: Tuple[str, ...],
+    max_extra: int,
+    writer: Optional[BatchJournal],
+    store_path: Optional[str] = None,
+) -> None:
+    """jobs=1 portfolio: per loop, backends as an ordered fallback chain.
+
+    The first backend that schedules the loop wins it; the rest never
+    run (recorded as cancelled losers).  In the common case — the first
+    backend succeeds — this costs exactly one sweep, same as a
+    single-backend batch.
+    """
+    configs = {
+        name: replace(config, backend=name) for name in roster
+    }
+    for index, text, label in to_run:
+        if interrupted():
+            name = Path(label).stem if label != "<memory>" else label
+            entries[index] = _interrupted_entry(name, label)
+            _journal_entry(writer, index, entries[index])
+            continue
+        candidates: Dict[str, BatchEntry] = {}
+        winner_backend: Optional[str] = None
+        for name in roster:
+            entry = _schedule_source(
+                text, label, machine, configs[name], max_extra,
+                store_path,
+            )
+            candidates[name] = entry
+            if entry.scheduled:
+                winner_backend = name
+                break
+        if winner_backend is not None:
+            winner = candidates[winner_backend]
+            rep_name = winner_backend
+        else:
+            rep_name, winner = _pick_fallback(candidates, roster)
+        losers = {
+            name: _loser_disposition(candidates.get(name))
+            for name in roster if name != rep_name
+        }
+        winner.portfolio = {
+            "backends": list(roster),
+            "winner_backend": winner_backend,
+            "losers": losers,
+            "killed_running": 0,
+            "cancelled_queued": sum(
+                1 for name in roster if name not in candidates
+            ),
+        }
+        entries[index] = winner
+        _journal_entry(writer, index, winner)
+
+
+def _run_pool_portfolio(
+    to_run: List[tuple],
+    entries: List[Optional[BatchEntry]],
+    machine: Machine,
+    config: AttemptConfig,
+    roster: Tuple[str, ...],
+    max_extra: int,
+    jobs: int,
+    time_limit_per_t: Optional[float],
+    policy: SupervisionPolicy,
+    writer: Optional[BatchJournal],
+    store_path: Optional[str] = None,
+) -> None:
+    """Portfolio pool: one worker task per (loop, backend) cell.
+
+    The first backend to return a *scheduled* entry wins the loop and
+    its sibling cells are killed on the spot (running workers reaped
+    with bounded escalation, queued cells dropped).  A backend that
+    fails or comes back unscheduled loses only its own cell; if every
+    backend misses, the loop settles to the best fallback entry
+    (:func:`_pick_fallback`) with the other dispositions recorded.
+    """
+    from repro.supervision.executor import RUNNING
+
+    configs = {
+        name: replace(config, backend=name) for name in roster
+    }
+    executor = SupervisedExecutor(
+        max_workers=min(jobs, len(to_run) * len(roster)),
+        policy=policy,
+        initializer=_init_worker,
+        initargs=(time_limit_per_t,),
+    )
+    tasks_of: Dict[int, Dict[str, object]] = {}
+    label_of: Dict[int, str] = {}
+    candidates: Dict[int, Dict[str, BatchEntry]] = {}
+    settled: set = set()
+
+    def settle(index: int, winner_backend: Optional[str],
+               winner: BatchEntry) -> None:
+        killed = 0
+        cancelled = 0
+        for name, task in tasks_of[index].items():
+            if name == winner_backend:
+                continue
+            was_running = task.state == RUNNING
+            if executor.kill_task(task):
+                if was_running:
+                    killed += 1
+                else:
+                    cancelled += 1
+        losers = {
+            name: _loser_disposition(candidates[index].get(name))
+            for name in roster if name != winner_backend
+        }
+        winner.portfolio = {
+            "backends": list(roster),
+            "winner_backend": winner_backend,
+            "losers": losers,
+            "killed_running": killed,
+            "cancelled_queued": cancelled,
+        }
+        entries[index] = winner
+        _journal_entry(writer, index, winner)
+        settled.add(index)
+
+    try:
+        for index, text, label in to_run:
+            label_of[index] = label
+            candidates[index] = {}
+            tasks_of[index] = {}
+            for name in roster:
+                task = executor.submit(
+                    _schedule_source, text, label, machine,
+                    configs[name], max_extra, store_path,
+                    tag=(index, name),
+                )
+                tasks_of[index][name] = task
+        while len(settled) < len(to_run):
+            if interrupted():
+                executor.abort(
+                    INTERRUPTED, "batch interrupted (SIGINT/SIGTERM)"
+                )
+                for index, _text, label in to_run:
+                    if index in settled:
+                        continue
+                    name = (
+                        Path(label).stem if label != "<memory>"
+                        else label
+                    )
+                    entry = _interrupted_entry(name, label)
+                    entry.portfolio = {
+                        "backends": list(roster),
+                        "winner_backend": None,
+                        "losers": {
+                            b: _loser_disposition(
+                                candidates[index].get(b)
+                            )
+                            for b in roster
+                        },
+                        "killed_running": 0,
+                        "cancelled_queued": 0,
+                    }
+                    entries[index] = entry
+                    _journal_entry(writer, index, entry)
+                    settled.add(index)
+                break
+            for task in executor.poll(timeout=0.25):
+                index, name = task.tag
+                if index in settled:
+                    continue
+                if task.failure is not None:
+                    label = label_of[index]
+                    loop_name = (
+                        Path(label).stem if label != "<memory>"
+                        else label
+                    )
+                    cell = BatchEntry(
+                        name=loop_name, source=label, num_ops=0,
+                        error=f"loop {loop_name!r} ({label}): "
+                              f"{task.failure.summary()}",
+                        failure=task.failure,
+                    )
+                else:
+                    cell = task.result
+                candidates[index][name] = cell
+                if cell.scheduled:
+                    settle(index, name, cell)
+                elif len(candidates[index]) == len(roster):
+                    # Every backend reported and none scheduled: settle
+                    # to the least-bad entry.
+                    fallback_name, fallback = _pick_fallback(
+                        candidates[index], roster
+                    )
+                    fallback.portfolio = {
+                        "backends": list(roster),
+                        "winner_backend": None,
+                        "losers": {
+                            b: _loser_disposition(
+                                candidates[index].get(b)
+                            )
+                            for b in roster if b != fallback_name
+                        },
+                        "killed_running": 0,
+                        "cancelled_queued": 0,
+                    }
+                    entries[index] = fallback
+                    _journal_entry(writer, index, fallback)
+                    settled.add(index)
     finally:
         executor.shutdown()

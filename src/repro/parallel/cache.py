@@ -111,6 +111,12 @@ def cached_lower_bounds(ddg: Ddg, machine: Machine) -> LowerBounds:
 
 
 def _options_key(options: FormulationOptions) -> tuple:
+    # Deliberately backend-free: a cached formulation is a *model*, and
+    # every backend (HiGHS, branch-and-bound, SAT) solves that same
+    # model — portfolio cells racing one (loop, T) share a single
+    # cached build, and the SAT backend memoizes its CNF on the
+    # formulation object itself (`_sat_encoding`), so the lowering
+    # piggybacks on this cache too.
     return (
         options.mapping,
         options.objective,
@@ -176,9 +182,17 @@ def cached_warmstart(ddg: Ddg, machine: Machine, max_extra: int) -> WarmStart:
 
 
 def cache_stats() -> dict:
-    """Hit/miss counters for all caches (diagnostics / tests)."""
-    from repro.core.incremental import incremental_stats
+    """Hit/miss counters for all caches (diagnostics / tests).
 
+    The ``sat_encode`` block mirrors the SAT backend's per-formulation
+    CNF memo (an encode is a miss, a reuse is a hit), reported in the
+    same hits/misses shape as the LRUs so batch aggregation sums it
+    uniformly.
+    """
+    from repro.core.incremental import incremental_stats
+    from repro.sat.backend import encode_stats
+
+    sat = encode_stats()
     return {
         "bounds": {
             "hits": _BOUNDS_CACHE.hits,
@@ -195,6 +209,10 @@ def cache_stats() -> dict:
             "misses": _WARMSTART_CACHE.misses,
             "size": len(_WARMSTART_CACHE),
         },
+        "sat_encode": {
+            "hits": sat["memo_hits"],
+            "misses": sat["encodes"],
+        },
         "incremental": incremental_stats(),
     }
 
@@ -202,8 +220,10 @@ def cache_stats() -> dict:
 def clear_caches() -> None:
     """Drop all caches and sweep contexts (tests / long-run memory)."""
     from repro.core.incremental import clear_contexts
+    from repro.sat.backend import reset_encode_stats
 
     _BOUNDS_CACHE.clear()
     _FORMULATION_CACHE.clear()
     _WARMSTART_CACHE.clear()
+    reset_encode_stats()
     clear_contexts()

@@ -31,13 +31,38 @@ Every attempt funnels through :func:`repro.core.scheduler.attempt_period`
 — the same body the sequential driver runs — so the two drivers return
 identical achieved periods and proof flags (asserted corpus-wide by
 ``tests/test_parallel_equivalence.py``).
+
+**Portfolio racing** (``backend="portfolio"`` or an explicit
+``backends=(...)`` roster) widens the race from periods to
+``(period x backend)`` pairs: every candidate ``T`` is attempted by
+every solver in the roster simultaneously, and
+
+* the **first backend** to deliver a verdict settles its period for the
+  whole roster — a feasible point makes it the (provisional) winner and
+  same-/larger-``T`` losers are *killed* (running workers reaped with
+  bounded TERM->KILL escalation, queued tasks dropped); an INFEASIBLE
+  proof cancels the sibling backends still chewing on that period;
+* a backend that crashes or errors on a period it cannot express (the
+  SAT backend only lowers feasibility formulations) loses **only its
+  own (period, backend) cell** — the siblings keep racing, so the
+  portfolio's verdict per period is as strong as its strongest member;
+* the achieved period and proof flag are identical to any single
+  backend's (agreement is structural: every cell funnels through
+  ``attempt_period``) — only wall-clock changes, tracking whichever
+  backend is fastest per period.
+
+Per-period losers are recorded as ``"cancelled"`` attempts tagged with
+their backend, and :attr:`SchedulingResult.portfolio` carries the
+roster plus kill/cancel counters for the batch report.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
-from typing import Dict, List, Optional
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bounds import lower_bounds, modulo_feasible_t
 from repro.core.errors import SchedulingError
@@ -53,11 +78,19 @@ from repro.core.scheduler import (
     heuristic_pass,
 )
 from repro.ddg.graph import Ddg
+from repro.ilp.errors import SolverError
+from repro.ilp.solution import SolveStatus
 from repro.machine import Machine
-from repro.supervision.executor import SupervisedExecutor, SupervisedTask
+from repro.supervision.executor import (
+    RUNNING,
+    SupervisedExecutor,
+    SupervisedTask,
+)
 from repro.supervision.records import (
     DEGRADED,
     INTERRUPTED,
+    SOLVER_ERROR,
+    FailureRecord,
     SupervisionPolicy,
 )
 from repro.supervision.signals import interrupted
@@ -65,10 +98,65 @@ from repro.supervision.signals import interrupted
 #: Attempt status recorded for periods abandoned after a smaller win.
 CANCELLED = "cancelled"
 
+#: Statuses that settle a period as "no schedule exists here".
+_PROOFS = (SolveStatus.INFEASIBLE.value, "modulo_infeasible")
+
+#: Backends a portfolio roster may name (``auto`` excluded on purpose —
+#: a roster is exactly the set of *distinct* solvers to race).
+PORTFOLIO_BACKENDS = ("highs", "bnb", "sat")
+
 
 def default_jobs() -> int:
     """Worker count when the caller does not choose one."""
     return max(1, os.cpu_count() or 1)
+
+
+def default_portfolio(objective: str = "feasibility") -> Tuple[str, ...]:
+    """The backends worth racing for ``objective`` on this interpreter.
+
+    HiGHS joins only when scipy's MILP interface imports; the SAT
+    backend joins only under the pure-feasibility objective (it lowers
+    the presolved feasibility formulation, nothing else).  The built-in
+    branch-and-bound is always present, so the roster is never empty.
+    """
+    roster: List[str] = []
+    try:
+        from scipy.optimize import milp  # noqa: F401
+
+        roster.append("highs")
+    except ImportError:
+        pass
+    roster.append("bnb")
+    if objective == "feasibility":
+        roster.append("sat")
+    return tuple(roster)
+
+
+def _validate_roster(
+    backends: Sequence[str], objective: str
+) -> Tuple[str, ...]:
+    roster = tuple(backends)
+    if not roster:
+        raise SchedulingError("portfolio roster must name >= 1 backend")
+    seen = set()
+    for name in roster:
+        if name not in PORTFOLIO_BACKENDS:
+            raise SchedulingError(
+                f"unknown portfolio backend {name!r}; expected a subset "
+                f"of {PORTFOLIO_BACKENDS}"
+            )
+        if name in seen:
+            raise SchedulingError(
+                f"portfolio roster lists {name!r} twice"
+            )
+        seen.add(name)
+    if "sat" in seen and objective != "feasibility":
+        raise SchedulingError(
+            "the sat backend only solves the feasibility objective; "
+            f"drop it from the roster or use objective='feasibility' "
+            f"(got {objective!r})"
+        )
+    return roster
 
 
 def _init_worker(time_budget: Optional[float]) -> None:
@@ -95,6 +183,7 @@ def race_periods(
     incremental: bool = True,
     policy: Optional[SupervisionPolicy] = None,
     store=None,
+    backends: Optional[Sequence[str]] = None,
 ) -> SchedulingResult:
     """Drop-in parallel replacement for :func:`repro.core.schedule_loop`.
 
@@ -126,6 +215,15 @@ def race_periods(
     per-process registry inside :func:`attempt_period` — nothing crosses
     a pickle boundary, and a worker handling several periods of the same
     loop reuses the shared analysis and banked cuts across them.
+
+    ``backend="portfolio"`` (or an explicit ``backends`` roster) races
+    every solver over every candidate period and takes the first
+    verdict per period, killing the losers — see the module docstring.
+    The achieved period, schedule validity and proof flag are the same
+    as any single backend's; the backend column and the wall-clock are
+    what change.  With ``jobs=1`` the portfolio degenerates to an
+    ordered fallback chain per period: backends run in roster order
+    until one settles the period, the rest are recorded cancelled.
     """
     if max_extra < 0:
         raise SchedulingError(f"max_extra must be >= 0, got {max_extra}")
@@ -133,6 +231,16 @@ def race_periods(
     if jobs < 1:
         raise SchedulingError(f"jobs must be >= 1, got {jobs}")
     policy = policy or SupervisionPolicy()
+    roster: Optional[Tuple[str, ...]] = None
+    if backends is not None:
+        roster = _validate_roster(backends, objective)
+        backend = "portfolio"
+    elif backend == "portfolio":
+        roster = default_portfolio(objective)
+    if roster is not None and len(roster) == 1:
+        # A one-solver "portfolio" is just that solver.
+        backend = roster[0]
+        roster = None
     config = AttemptConfig(
         backend=backend,
         objective=objective,
@@ -195,7 +303,43 @@ def race_periods(
             dispatch.append(t_period)
 
     degraded = False
-    if jobs == 1 or len(dispatch) <= 1:
+    losers: List[ScheduleAttempt] = []
+    portfolio_stats: Optional[Dict[str, object]] = None
+    if roster is not None:
+        if jobs == 1:
+            winner, recs, kill_stats = _race_portfolio_inline(
+                ddg, machine, dispatch, config, roster,
+                initial=initial, incumbent=incumbent,
+                incumbent_t=incumbent_t,
+            )
+        else:
+            window = window if window is not None else 2 * jobs
+            if window < 1:
+                raise SchedulingError(
+                    f"window must be >= 1, got {window}"
+                )
+            winner, recs, kill_stats = _race_portfolio_pool(
+                ddg, machine, dispatch, config, roster, jobs, window,
+                time_limit_per_t, policy,
+                initial=initial, incumbent=incumbent,
+                incumbent_t=incumbent_t,
+            )
+        for t_period, cell_attempts in recs.items():
+            rep = _period_rep(cell_attempts)
+            attempts[t_period] = rep
+            losers.extend(a for a in cell_attempts if a is not rep)
+        portfolio_stats = {
+            "backends": list(roster),
+            # The backend that produced the winning attempt; falls back
+            # to the status label for wins no solver produced (a
+            # heuristic settle or a degraded incumbent).
+            "winner_backend": (
+                (winner.attempt.backend or winner.attempt.status)
+                if winner is not None else None
+            ),
+        }
+        portfolio_stats.update(kill_stats)
+    elif jobs == 1 or len(dispatch) <= 1:
         winner = _race_inline(
             ddg, machine, dispatch, config, attempts,
             initial=initial, incumbent=incumbent, incumbent_t=incumbent_t,
@@ -235,7 +379,13 @@ def race_periods(
         # interrupt: optimality below the winner is unproven.
         degraded = True
 
-    ordered = [attempts[t] for t in sorted(attempts)]
+    # One attempt per period for single-backend races; per-(period,
+    # backend) cells for portfolios.  Sorted by (T, backend) so the log
+    # is deterministic; the per-period proof scan is order-independent.
+    ordered = sorted(
+        list(attempts.values()) + losers,
+        key=lambda a: (a.t_period, a.backend),
+    )
     if winner is None and not ordered:
         raise SchedulingError(
             f"no candidate periods for loop {ddg.name!r} "
@@ -256,6 +406,7 @@ def race_periods(
         warmstart=ws_stats,
         degraded=degraded,
         store=store_stats,
+        portfolio=portfolio_stats,
     )
     if store is not None:
         from repro.store.tiering import publish as store_publish
@@ -415,3 +566,252 @@ def _race_pool(
                     ScheduleAttempt(t_period=t_period, status=CANCELLED),
                 )
     return winner
+
+
+def _period_rep(cells: List[ScheduleAttempt]) -> ScheduleAttempt:
+    """The attempt that best summarizes one period's portfolio cells.
+
+    Priority: a feasible point, then an infeasibility proof, then a
+    clean non-verdict (timeout), then a cancellation, then a failure.
+    The representative is what the period-level post-processing reads:
+    the incumbent fallback checks its ``failure``, and the degraded
+    scan sees a failure only when *every* backend at the period failed
+    — one backend crashing while a sibling delivered (or at least ran
+    cleanly) must not degrade the result.
+    """
+    def rank(attempt: ScheduleAttempt) -> int:
+        if attempt.status in _PROOFS:
+            return 1
+        if attempt.failure is not None:
+            return 4
+        if attempt.status == CANCELLED:
+            return 3
+        if attempt.status == SolveStatus.TIME_LIMIT.value:
+            return 2
+        return 0  # feasible/optimal/heuristic/degraded
+
+    return min(cells, key=lambda a: (rank(a), a.backend))
+
+
+def _race_portfolio_inline(
+    ddg: Ddg,
+    machine: Machine,
+    dispatch: List[int],
+    config: AttemptConfig,
+    roster: Tuple[str, ...],
+    initial: Optional[AttemptOutcome] = None,
+    incumbent: Optional[Schedule] = None,
+    incumbent_t: Optional[int] = None,
+):
+    """The ``jobs=1`` portfolio: an ordered fallback chain per period.
+
+    Backends run in roster order until one settles the period — a
+    feasible point or an infeasibility proof — and the remaining
+    siblings are recorded cancelled.  An in-process
+    :class:`~repro.ilp.errors.SolverError` (e.g. the SAT backend handed
+    a formulation it cannot lower) loses only its own cell; the next
+    backend in the roster picks the period up.
+    """
+    winner = initial
+    recs: Dict[int, List[ScheduleAttempt]] = defaultdict(list)
+    kill_stats = {"killed_running": 0, "cancelled_queued": 0}
+    configs = {
+        name: dataclasses.replace(config, backend=name) for name in roster
+    }
+    for t_period in dispatch:
+        if interrupted():
+            break
+        settled = False
+        for name in roster:
+            if settled:
+                recs[t_period].append(ScheduleAttempt(
+                    t_period=t_period, status=CANCELLED, backend=name,
+                ))
+                kill_stats["cancelled_queued"] += 1
+                continue
+            start = time.monotonic()
+            try:
+                outcome = attempt_period(
+                    ddg, machine, t_period, configs[name],
+                    incumbent=(
+                        incumbent if t_period == incumbent_t else None
+                    ),
+                )
+            except SolverError as exc:
+                elapsed = time.monotonic() - start
+                failure = FailureRecord(
+                    kind=SOLVER_ERROR, attempt=1, retries=0,
+                    elapsed=elapsed,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+                recs[t_period].append(ScheduleAttempt(
+                    t_period=t_period, status=SOLVER_ERROR,
+                    seconds=elapsed, failure=failure, backend=name,
+                ))
+                continue
+            attempt = outcome.attempt
+            if not attempt.backend:
+                attempt.backend = name
+            recs[t_period].append(attempt)
+            if outcome.schedule is not None:
+                if winner is None or t_period < winner.attempt.t_period:
+                    winner = outcome
+                settled = True
+            elif attempt.status in _PROOFS:
+                settled = True
+        if winner is not None and winner.attempt.t_period == t_period:
+            break
+    return winner, recs, kill_stats
+
+
+def _race_portfolio_pool(
+    ddg: Ddg,
+    machine: Machine,
+    dispatch: List[int],
+    config: AttemptConfig,
+    roster: Tuple[str, ...],
+    jobs: int,
+    window: int,
+    time_budget: Optional[float],
+    policy: SupervisionPolicy,
+    initial: Optional[AttemptOutcome] = None,
+    incumbent: Optional[Schedule] = None,
+    incumbent_t: Optional[int] = None,
+):
+    """Windowed supervised race over ``(period x backend)`` cells.
+
+    Dispatch order is ``(T, roster index)`` increasing, so every
+    backend gets the smallest open period before anyone speculates
+    upward.  First verdict per period wins it for the roster:
+
+    * feasible -> provisional winner; every cell at or beyond the
+      winning period is killed (running workers included — bounded
+      TERM->KILL escalation via
+      :meth:`~repro.supervision.SupervisedExecutor.kill_task`);
+    * INFEASIBLE / modulo-infeasible -> the period is settled, sibling
+      backends still racing it are killed;
+    * crash/hang/oom/solver-error -> that cell alone fails; siblings
+      carry the period.
+
+    ``kill_stats`` counts actual executor actions (running workers
+    killed vs queued tasks dropped); cells that were never submitted
+    are backfilled as plain cancelled attempts without counting.
+    """
+    winner: Optional[AttemptOutcome] = initial
+    deadline = policy.deadline if policy.deadline is not None else time_budget
+    configs = {
+        name: dataclasses.replace(config, backend=name) for name in roster
+    }
+    recs: Dict[int, List[ScheduleAttempt]] = defaultdict(list)
+    kill_stats = {"killed_running": 0, "cancelled_queued": 0}
+    pending: List[Tuple[int, str]] = [
+        (t, name) for t in dispatch for name in roster
+    ]
+    settled: set = set()
+    in_flight: Dict[SupervisedTask, Tuple[int, str]] = {}
+    executor = SupervisedExecutor(
+        max_workers=min(jobs, max(1, len(pending))),
+        policy=policy,
+        initializer=_init_worker,
+        initargs=(time_budget,),
+    )
+
+    def reap_loser(task: SupervisedTask, t_period: int, name: str) -> None:
+        was_running = task.state == RUNNING
+        if executor.kill_task(task):
+            key = "killed_running" if was_running else "cancelled_queued"
+            kill_stats[key] += 1
+            del in_flight[task]
+            recs[t_period].append(ScheduleAttempt(
+                t_period=t_period, status=CANCELLED, backend=name,
+            ))
+        # kill_task returning False means the task already finished:
+        # leave it in flight so the next poll records its real outcome.
+
+    try:
+        while True:
+            if interrupted():
+                for task in executor.abort(
+                    INTERRUPTED, "race interrupted (SIGINT/SIGTERM)"
+                ):
+                    key = in_flight.pop(task, None)
+                    if key is None:
+                        continue
+                    t_period, name = key
+                    recs[t_period].append(ScheduleAttempt(
+                        t_period=t_period, status=task.failure.kind,
+                        seconds=task.failure.elapsed,
+                        failure=task.failure, backend=name,
+                    ))
+                break
+            best_t = (
+                winner.attempt.t_period if winner is not None else None
+            )
+            # Losers die the moment they can no longer change the
+            # outcome: any cell at a settled period, and — once a
+            # winner exists — every cell at or beyond its period.
+            for task, (t_period, name) in list(in_flight.items()):
+                if t_period in settled or (
+                    best_t is not None and t_period >= best_t
+                ):
+                    reap_loser(task, t_period, name)
+            pending = [
+                (t, name) for (t, name) in pending
+                if t not in settled and (best_t is None or t < best_t)
+            ]
+            if not pending and not in_flight:
+                break
+            while pending and len(in_flight) < window:
+                t_period, name = pending.pop(0)
+                task = executor.submit(
+                    attempt_period, ddg, machine, t_period,
+                    configs[name],
+                    incumbent=(
+                        incumbent if t_period == incumbent_t else None
+                    ),
+                    tag=(t_period, name),
+                    deadline=deadline,
+                )
+                in_flight[task] = (t_period, name)
+            for task in executor.poll(timeout=0.25):
+                key = in_flight.pop(task, None)
+                if key is None:
+                    continue
+                t_period, name = key
+                if task.failure is not None:
+                    recs[t_period].append(ScheduleAttempt(
+                        t_period=t_period, status=task.failure.kind,
+                        seconds=task.failure.elapsed,
+                        failure=task.failure, backend=name,
+                    ))
+                    continue
+                outcome = task.result
+                attempt = outcome.attempt
+                if not attempt.backend:
+                    attempt.backend = name
+                recs[t_period].append(attempt)
+                if outcome.schedule is not None:
+                    settled.add(t_period)
+                    if (winner is None
+                            or t_period < winner.attempt.t_period):
+                        winner = outcome
+                elif attempt.status in _PROOFS:
+                    settled.add(t_period)
+    finally:
+        executor.shutdown()
+    # Cells that never got to report — dropped from the queue after a
+    # settle, or never submitted at all — are backfilled as cancelled
+    # so every (period, backend) pair appears exactly once in the log.
+    best_t = winner.attempt.t_period if winner is not None else None
+    for t_period in dispatch:
+        if t_period not in settled and (
+            best_t is None or t_period < best_t
+        ):
+            continue
+        have = {a.backend for a in recs[t_period]}
+        for name in roster:
+            if name not in have:
+                recs[t_period].append(ScheduleAttempt(
+                    t_period=t_period, status=CANCELLED, backend=name,
+                ))
+    return winner, recs, kill_stats

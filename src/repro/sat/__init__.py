@@ -1,0 +1,40 @@
+"""SAT backend: CNF lowering + pure-python CDCL solver.
+
+The paper's unified formulation is nearly propositional — 0-1 slot
+variables, pair-interference conflicts, small integer stage counts —
+so it lowers naturally to CNF (Roorda's SMT pipeliner and Tirelli's
+SAT-MapIt both exploit exactly this).  This subpackage mirrors how
+:mod:`repro.ilp` is layered:
+
+* :mod:`repro.sat.cnf` — a minimal CNF container (DIMACS-style
+  signed-integer literals).
+* :mod:`repro.sat.cardinality` — sequential-counter and totalizer
+  at-most-k encodings plus exactly-one helpers.
+* :mod:`repro.sat.solver` — a self-contained CDCL core (two-watched
+  literals, 1-UIP learning, VSIDS, phase saving, Luby restarts,
+  assumptions), the propositional sibling of ``ilp/simplex.py`` +
+  ``ilp/branch_bound.py``.
+* :mod:`repro.sat.encode` — lowers a built
+  :class:`repro.core.formulation.Formulation` (slot windows, k bounds,
+  pair verdicts) to CNF.
+* :mod:`repro.sat.backend` — the ``backend="sat"`` entry point,
+  returning the same :class:`repro.ilp.Solution` surface as
+  ``ilp/highs.py`` so extraction, verification, warm starts and the
+  store work unchanged.
+
+The backend is feasibility-only (the sweep's hot path): a SATISFIABLE
+answer maps to ``OPTIMAL`` under the constant objective, UNSAT to
+``INFEASIBLE``, and an expired budget to ``TIME_LIMIT``.
+"""
+
+from repro.sat.cnf import Cnf
+from repro.sat.errors import SatEncodeError
+from repro.sat.solver import CdclSolver, SatResult, SatStats
+
+__all__ = [
+    "CdclSolver",
+    "Cnf",
+    "SatEncodeError",
+    "SatResult",
+    "SatStats",
+]

@@ -1,0 +1,217 @@
+"""``backend="sat"``: solve a scheduling formulation via CNF + CDCL.
+
+Entry points mirror :mod:`repro.ilp.highs`: the result is a standard
+:class:`repro.ilp.Solution`, so extraction, verification, warm starts,
+the supervision layer and the store all work unchanged.  Status maps as
+
+* SATISFIABLE -> ``OPTIMAL`` (feasibility objective: any model is
+  optimal, objective and bound both 0),
+* UNSAT -> ``INFEASIBLE``,
+* budget expired -> ``TIME_LIMIT`` (no incumbent — SAT search has no
+  anytime relaxation to report).
+
+Every satisfying model is decoded to a full ILP assignment and checked
+row-by-row against the built model before being returned
+(:func:`repro.core.warmstart.violated_rows`), which makes cross-backend
+agreement structural: a decode that violated any ILP row would raise,
+never silently return a different schedule space.
+
+The CNF is memoized on the formulation object (one encode per
+formulation, however many solves race over it); counters are surfaced
+through :func:`encode_stats` into ``repro cache stats``.
+
+``REPRO_SAT_CARD`` selects the capacity cardinality encoding
+(``auto``/``sequential``/``totalizer``) for differential testing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.ilp.errors import SolverError
+from repro.ilp.model import Model, Variable
+from repro.ilp.solution import Solution, SolveStatus
+from repro.sat.encode import (
+    SatEncoding,
+    decode_model,
+    encode_formulation,
+    phase_hints,
+)
+from repro.sat.solver import SAT, UNSAT, CdclSolver
+
+#: Environment override for the capacity cardinality encoding.
+SAT_CARD_ENV = "REPRO_SAT_CARD"
+
+#: Per-process encode counters (mirrors the formulation cache stats).
+_ENCODE_STATS = {"encodes": 0, "memo_hits": 0}
+
+
+def encode_stats() -> Dict[str, int]:
+    """Per-process SAT encode counters (encodes vs memo hits)."""
+    return dict(_ENCODE_STATS)
+
+
+def reset_encode_stats() -> None:
+    _ENCODE_STATS["encodes"] = 0
+    _ENCODE_STATS["memo_hits"] = 0
+
+
+def solve_sat(
+    model: Model,
+    time_limit: Optional[float] = None,
+    gap: float = 1e-6,
+    mip_start: Optional[Dict[Variable, float]] = None,
+) -> Solution:
+    """Backend-dispatch entry point (called by :func:`repro.ilp.solve.solve`)."""
+    formulation = getattr(model, "_formulation", None)
+    if formulation is None or formulation.model is not model:
+        raise SolverError(
+            "the sat backend lowers the scheduling formulation, not "
+            "bare rows; build the model through "
+            "repro.core.Formulation (bare Models are ILP-only)"
+        )
+    return solve_formulation(
+        formulation, time_limit=time_limit, mip_start=mip_start
+    )
+
+
+def _encoding_for(formulation) -> SatEncoding:
+    card = os.environ.get(SAT_CARD_ENV, "auto")
+    cached = getattr(formulation, "_sat_encoding", None)
+    if cached is not None and cached[0] == card:
+        _ENCODE_STATS["memo_hits"] += 1
+        return cached[1]
+    encoding = encode_formulation(formulation, card=card)
+    _ENCODE_STATS["encodes"] += 1
+    formulation._sat_encoding = (card, encoding)
+    return encoding
+
+
+def solve_formulation(
+    formulation,
+    time_limit: Optional[float] = None,
+    mip_start: Optional[Dict[Variable, float]] = None,
+    assumptions: Optional[Sequence[int]] = None,
+) -> Solution:
+    """Solve a built formulation's feasibility question via CDCL.
+
+    ``mip_start``: a *valid* start short-circuits to ``OPTIMAL``
+    immediately (any feasible point is optimal under the constant
+    objective — same move as ``ilp/highs.py``); an invalid one seeds
+    the CDCL phase store so search begins in its neighborhood.
+
+    ``assumptions``: raw solver literals to pin (see
+    :func:`repro.sat.encode.seed_assumptions`); if they conflict the
+    solve is retried unassumed, so callers can speculate freely.
+    """
+    from repro.core.warmstart import violated_rows
+
+    start = time.monotonic()
+    deadline = None if time_limit is None else start + time_limit
+    formulation.build()
+
+    hints: Optional[Dict[int, bool]] = None
+    if mip_start:
+        if not violated_rows(formulation, mip_start):
+            objective = formulation.model.objective.value(mip_start)
+            return Solution(
+                status=SolveStatus.OPTIMAL,
+                objective=objective,
+                values=dict(mip_start),
+                bound=objective,
+                gap=0.0,
+                solve_seconds=time.monotonic() - start,
+                nodes=0,
+                backend="sat",
+                stats={"sat_warm_shortcircuit": 1.0},
+            )
+
+    encoding = _encoding_for(formulation)
+    stats: Dict[str, float] = {
+        "sat_encode_seconds": round(encoding.encode_seconds, 6),
+        "sat_vars": float(encoding.cnf.num_vars),
+        "sat_clauses": float(encoding.cnf.num_clauses),
+    }
+    if encoding.trivially_unsat:
+        return Solution(
+            status=SolveStatus.INFEASIBLE,
+            solve_seconds=time.monotonic() - start,
+            backend="sat",
+            stats=stats,
+        )
+    if mip_start:
+        # The start was invalid for this model (or this T): keep it as
+        # phase hints only.
+        hints = phase_hints(encoding, mip_start, formulation)
+
+    search_start = time.monotonic()
+    solver = CdclSolver(
+        encoding.cnf.num_vars,
+        encoding.cnf.clauses,
+        phase_hints=hints,
+    )
+    remaining = (
+        None if deadline is None
+        else max(0.001, deadline - time.monotonic())
+    )
+    result = solver.solve(
+        assumptions=assumptions or (), time_limit=remaining
+    )
+    if result.assumption_conflict:
+        # Speculative pinning failed; the answer must come unassumed.
+        remaining = (
+            None if deadline is None
+            else max(0.001, deadline - time.monotonic())
+        )
+        result = solver.solve(time_limit=remaining)
+    stats["sat_search_seconds"] = round(
+        time.monotonic() - search_start, 6
+    )
+    for key, value in result.stats.as_dict().items():
+        stats[f"sat_{key}"] = float(value)
+    stats.pop("sat_solve_seconds", None)
+
+    if result.status == UNSAT:
+        return Solution(
+            status=SolveStatus.INFEASIBLE,
+            solve_seconds=time.monotonic() - start,
+            lower_seconds=encoding.encode_seconds,
+            backend="sat",
+            stats=stats,
+        )
+    if result.status != SAT:
+        return Solution(
+            status=SolveStatus.TIME_LIMIT,
+            solve_seconds=time.monotonic() - start,
+            lower_seconds=encoding.encode_seconds,
+            backend="sat",
+            stats=stats,
+        )
+
+    decode_start = time.monotonic()
+    values = decode_model(formulation, encoding, result.model)
+    bad = violated_rows(formulation, values)
+    stats["sat_decode_seconds"] = round(
+        time.monotonic() - decode_start, 6
+    )
+    if bad:
+        shown: List[str] = bad[:5]
+        raise SolverError(
+            "sat decode produced an assignment violating "
+            f"{len(bad)} model row(s): {shown} — encoding bug, "
+            "refusing to return it"
+        )
+    objective = formulation.model.objective.value(values)
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=objective,
+        values=values,
+        bound=objective,
+        gap=0.0,
+        solve_seconds=time.monotonic() - start,
+        lower_seconds=encoding.encode_seconds,
+        backend="sat",
+        stats=stats,
+    )

@@ -1,0 +1,477 @@
+"""CNF lowering of the presolved scheduling formulation.
+
+Translates a built :class:`repro.core.formulation.Formulation` (the
+unified Eq. 22-25 model, post-presolve) into propositional clauses:
+
+* **slots** — one literal per surviving ``a[t][i]`` variable, an
+  exactly-one row per op (the windowed assignment constraint);
+* **stages** — each ``k_i`` is order-encoded over its presolved bounds
+  (``g_j`` reads "k_i >= lb+j+1", chained so the encoding is monotone);
+* **dependences** — ``t_dst - t_src >= rho`` decomposes per slot pair
+  into a stage-difference bound ``k_dst - k_src >= L`` with
+  ``L = ceil((rho + v_src - v_dst) / T)``: always-true pairs vanish,
+  impossible pairs become binary conflict clauses, the rest share an
+  implication ladder over the order literals (grouped by ``L`` behind
+  one activation literal when several slot pairs agree);
+* **capacities** — per (FU type, stage, slot) occupancy literals
+  bounded by the FU count through a sequential-counter or totalizer
+  cardinality encoding (:mod:`repro.sat.cardinality`), with the same
+  row-elision rules the ILP build applies (stage fits under capacity,
+  duplicate rows);
+* **mapping** — direct-encoded colors with the formulation's own
+  symmetry caps as unit clauses; pair interference follows the
+  presolve verdicts (NEVER pairs vanish, ALWAYS pairs get per-color
+  conflict clauses, MAYBE pairs get a reservation-table collision
+  indicator over exactly the colliding slot pairs).
+
+Only the feasibility objective is supported — the sweep's hot path —
+and only modulo-feasible periods (``u_binary``); anything else raises
+:class:`repro.sat.errors.SatEncodeError` so the dispatcher can fail
+fast with a clear message.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.presolve import ALWAYS, NEVER
+from repro.core.warmstart import _footprint
+from repro.ilp.model import Variable
+from repro.sat.cardinality import ENCODINGS, at_most_k, exactly_one
+from repro.sat.cnf import Cnf
+from repro.sat.errors import SatEncodeError
+
+#: Slot-pair buckets at least this large share one activation literal.
+_LADDER_GROUP_MIN = 2
+
+
+@dataclass
+class SatEncoding:
+    """A lowered formulation plus the maps needed to decode models."""
+
+    cnf: Cnf = field(default_factory=Cnf)
+    #: Refuted during encoding (presolve verdict, empty window, ...).
+    trivially_unsat: bool = False
+    unsat_reason: str = ""
+    #: Per op: surviving slot -> slot literal.
+    slot_lits: List[Dict[int, int]] = field(default_factory=list)
+    #: Per op: k lower bound and order literals (g_j <=> k >= lb+j+1).
+    k_lb: List[int] = field(default_factory=list)
+    k_lits: List[List[int]] = field(default_factory=list)
+    #: Per colored op: one literal per color 1..R.
+    color_lits: Dict[int, List[int]] = field(default_factory=dict)
+    #: Cardinality encoding(s) actually used for capacity rows.
+    card_encodings: Tuple[str, ...] = ()
+    encode_seconds: float = 0.0
+
+    def k_ge(self, op_index: int, bound: int) -> Optional[int]:
+        """Literal for ``k_op >= bound``; None = constant true, 0 = false."""
+        lb = self.k_lb[op_index]
+        if bound <= lb:
+            return None
+        j = bound - lb - 1
+        lits = self.k_lits[op_index]
+        if j >= len(lits):
+            return 0
+        return lits[j]
+
+
+def encode_formulation(formulation, card: str = "auto") -> SatEncoding:
+    """Lower ``formulation`` to CNF; raises SatEncodeError if unsupported."""
+    start = time.monotonic()
+    if card not in ENCODINGS:
+        raise SatEncodeError(
+            f"unknown cardinality encoding {card!r}; "
+            f"expected one of {ENCODINGS}"
+        )
+    if formulation.options.objective != "feasibility":
+        raise SatEncodeError(
+            "the sat backend is feasibility-only; objective "
+            f"{formulation.options.objective!r} needs an ILP backend "
+            "(highs/bnb)"
+        )
+    formulation.build()
+    if not formulation._u_binary:
+        raise SatEncodeError(
+            "the sat backend requires a modulo-feasible period "
+            "(usage expressions must be 0-1); re-run with "
+            "repair_modulo or an ILP backend"
+        )
+
+    encoding = SatEncoding()
+    info = formulation.presolve_info
+    if info is not None and info.infeasible:
+        encoding.trivially_unsat = True
+        encoding.unsat_reason = "presolve_infeasible"
+        encoding.encode_seconds = time.monotonic() - start
+        return encoding
+
+    cnf = encoding.cnf
+    ddg = formulation.ddg
+    machine = formulation.machine
+    t_period = formulation.t_period
+    n = ddg.num_ops
+
+    # -- slots ---------------------------------------------------------------
+    sat_of: Dict[Variable, int] = {}
+    for i in range(n):
+        lits: Dict[int, int] = {}
+        for t in range(t_period):
+            var = formulation.a[t][i]
+            if var is not None:
+                lit = cnf.new_var(var.name)
+                lits[t] = lit
+                sat_of[var] = lit
+        if not lits:
+            encoding.trivially_unsat = True
+            encoding.unsat_reason = f"empty_window[{i}]"
+            encoding.encode_seconds = time.monotonic() - start
+            return encoding
+        encoding.slot_lits.append(lits)
+        exactly_one(cnf, list(lits.values()))
+
+    # -- stage counters (order encoding) -------------------------------------
+    for i, var in enumerate(formulation.k):
+        lb, ub = int(var.lb), int(var.ub)
+        lits = [
+            cnf.new_var(f"{var.name}>={lb + j + 1}")
+            for j in range(ub - lb)
+        ]
+        for j in range(1, len(lits)):
+            cnf.add(-lits[j], lits[j - 1])
+        encoding.k_lb.append(lb)
+        encoding.k_lits.append(lits)
+
+    # -- dependences ---------------------------------------------------------
+    if formulation.analysis is not None:
+        separations = formulation.analysis.dep_latencies
+    else:
+        separations = ddg.dep_latencies(machine)
+    for e, dep in enumerate(ddg.deps):
+        rhs = separations[e] - t_period * dep.distance
+        src, dst = dep.src, dep.dst
+        if src == dst:
+            if rhs > 0:
+                cnf.add_clause([])
+            continue
+        src_lb, src_ub = encoding.k_lb[src], (
+            encoding.k_lb[src] + len(encoding.k_lits[src])
+        )
+        dst_lb, dst_ub = encoding.k_lb[dst], (
+            encoding.k_lb[dst] + len(encoding.k_lits[dst])
+        )
+        buckets: Dict[int, List[Tuple[int, int]]] = {}
+        for v_src, s_src in encoding.slot_lits[src].items():
+            for v_dst, s_dst in encoding.slot_lits[dst].items():
+                bound = rhs + v_src - v_dst
+                level = -((-bound) // t_period)  # ceil(bound / T)
+                if level <= dst_lb - src_ub:
+                    continue  # satisfied for every stage choice
+                if level > dst_ub - src_lb:
+                    cnf.add(-s_src, -s_dst)
+                    continue
+                buckets.setdefault(level, []).append((s_src, s_dst))
+        for level in sorted(buckets):
+            pairs = buckets[level]
+            if len(pairs) >= _LADDER_GROUP_MIN:
+                trigger = cnf.new_var(f"dep[{e}]L{level}")
+                for s_src, s_dst in pairs:
+                    cnf.add(-s_src, -s_dst, trigger)
+                _emit_ladder(encoding, src, dst, level, [-trigger])
+            else:
+                for s_src, s_dst in pairs:
+                    _emit_ladder(
+                        encoding, src, dst, level, [-s_src, -s_dst]
+                    )
+
+    # -- capacities ----------------------------------------------------------
+    usage = formulation.usage_terms()
+    seen_rows: set = set()
+    occupancy_aux: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+    cards_used: set = set()
+    for fu_name, op_indices in formulation.ops_by_type().items():
+        fu = machine.fu_type(fu_name)
+        capacity = fu.count
+        stages = machine.stage_count(fu_name)
+        for stage in range(stages):
+            users = [
+                i for i in op_indices
+                if formulation.stage_cycles(i, stage)
+            ]
+            if len(users) <= capacity:
+                continue
+            for t in range(t_period):
+                occupants: List[Tuple[int, Tuple[int, ...]]] = []
+                for i in users:
+                    part = usage.get((i, stage, t))
+                    if not part:
+                        continue
+                    lits = []
+                    for var, coef in part.items():
+                        if coef != 1.0:
+                            raise SatEncodeError(
+                                "non-unit usage coefficient at "
+                                f"({i}, {stage}, {t}); period is not "
+                                "modulo-feasible"
+                            )
+                        lits.append(sat_of[var])
+                    occupants.append((i, tuple(sorted(lits))))
+                if len(occupants) <= capacity:
+                    # Each op holds the cell for at most one of its
+                    # slots (exactly-one assignment), so the bound
+                    # cannot be exceeded.
+                    continue
+                key = (
+                    capacity,
+                    tuple(lits for _, lits in sorted(occupants)),
+                )
+                if key in seen_rows:
+                    continue
+                seen_rows.add(key)
+                occ_lits = []
+                for i, lits in occupants:
+                    if len(lits) == 1:
+                        occ_lits.append(lits[0])
+                        continue
+                    aux_key = (i, lits)
+                    aux = occupancy_aux.get(aux_key)
+                    if aux is None:
+                        aux = cnf.new_var(
+                            f"occ[{i},{fu_name},s{stage}]"
+                        )
+                        occupancy_aux[aux_key] = aux
+                        for lit in lits:
+                            cnf.add(-lit, aux)
+                    occ_lits.append(aux)
+                cards_used.add(
+                    at_most_k(cnf, occ_lits, capacity, encoding=card)
+                )
+    encoding.card_encodings = tuple(sorted(cards_used))
+
+    # -- mapping (circular-arc coloring) -------------------------------------
+    for fu_name in formulation.colored_types:
+        ordered = formulation.color_order[fu_name]
+        ops = sorted(ordered)
+        count = machine.fu_type(fu_name).count
+        for i in ops:
+            lits = [
+                cnf.new_var(f"c[{i}]={r + 1}") for r in range(count)
+            ]
+            encoding.color_lits[i] = lits
+            exactly_one(cnf, lits)
+        if formulation.options.symmetry_breaking:
+            if info is not None:
+                for rank in range(min(len(ordered), count - 1)):
+                    for r in range(rank + 1, count):
+                        cnf.add(-encoding.color_lits[ordered[rank]][r])
+            else:
+                for r in range(1, count):
+                    cnf.add(-encoding.color_lits[ordered[0]][r])
+        stages = machine.stage_count(fu_name)
+        for pos, i in enumerate(ops):
+            for j in ops[pos + 1:]:
+                _encode_pair_conflict(
+                    formulation, encoding, info, i, j, stages, count
+                )
+
+    encoding.encode_seconds = time.monotonic() - start
+    return encoding
+
+
+def _emit_ladder(
+    encoding: SatEncoding,
+    src: int,
+    dst: int,
+    level: int,
+    premise: List[int],
+) -> None:
+    """Clauses for ``premise -> (k_dst - k_src >= level)``.
+
+    Uses the order-literal ladder: for each admissible ``a``,
+    ``(k_src >= a) -> (k_dst >= a + level)``.  Constant-true
+    conclusions are skipped; the first constant-false conclusion
+    subsumes all later ones (the order encoding is monotone), so the
+    ladder stops there.
+    """
+    src_lb = encoding.k_lb[src]
+    src_ub = src_lb + len(encoding.k_lits[src])
+    dst_lb = encoding.k_lb[dst]
+    start = max(src_lb, dst_lb - level + 1)
+    for a in range(start, src_ub + 1):
+        conclusion = encoding.k_ge(dst, a + level)
+        if conclusion is None:
+            continue
+        clause = list(premise)
+        prem_lit = encoding.k_ge(src, a)
+        if prem_lit is not None and prem_lit != 0:
+            clause.append(-prem_lit)
+        if conclusion == 0:
+            encoding.cnf.add_clause(clause)
+            break
+        clause.append(conclusion)
+        encoding.cnf.add_clause(clause)
+
+
+def _encode_pair_conflict(
+    formulation,
+    encoding: SatEncoding,
+    info,
+    i: int,
+    j: int,
+    stages: int,
+    count: int,
+) -> None:
+    """Different-color clauses for one same-FU-type op pair.
+
+    Follows the presolve verdict when available; otherwise computes the
+    reservation-table collision residues directly (the slot-pair analog
+    of the ILP's ``ov`` rows).
+    """
+    cnf = encoding.cnf
+    shared = [
+        s for s in range(stages)
+        if formulation.stage_cycles(i, s)
+        and formulation.stage_cycles(j, s)
+    ]
+    if not shared:
+        return
+    verdict = info.pairs.get((i, j)) if info is not None else None
+    ci, cj = encoding.color_lits[i], encoding.color_lits[j]
+    if verdict is not None and verdict.kind == NEVER:
+        return
+    if verdict is not None and verdict.kind == ALWAYS:
+        for r in range(count):
+            cnf.add(-ci[r], -cj[r])
+        return
+    t_period = formulation.t_period
+    residues = set()
+    for s in shared:
+        cycles_i = formulation.stage_cycles(i, s)
+        cycles_j = formulation.stage_cycles(j, s)
+        for l_i in cycles_i:
+            for l_j in cycles_j:
+                residues.add((l_i - l_j) % t_period)
+    colliding: List[Tuple[int, int]] = []
+    total = 0
+    for v_i, s_i in encoding.slot_lits[i].items():
+        for v_j, s_j in encoding.slot_lits[j].items():
+            total += 1
+            if (v_j - v_i) % t_period in residues:
+                colliding.append((s_i, s_j))
+    if not colliding:
+        return
+    if len(colliding) == total:
+        for r in range(count):
+            cnf.add(-ci[r], -cj[r])
+        return
+    overlap = cnf.new_var(f"o[{i},{j}]")
+    for s_i, s_j in colliding:
+        cnf.add(-s_i, -s_j, overlap)
+    for r in range(count):
+        cnf.add(-overlap, -ci[r], -cj[r])
+
+
+def decode_model(
+    formulation, encoding: SatEncoding, model: Sequence[bool]
+) -> Dict[Variable, float]:
+    """Expand a CDCL model into a full ILP variable assignment.
+
+    Mirrors :func:`repro.core.warmstart.warmstart_assignment`: slot and
+    stage variables come straight from the literals; the ``w``/``o``
+    coloring side variables are recomputed from reservation-table
+    footprints so the point satisfies the Hu rows the CNF never
+    materialized.  The caller validates the result with
+    :func:`repro.core.warmstart.violated_rows` before trusting it.
+    """
+    values: Dict[Variable, float] = {}
+    n = formulation.ddg.num_ops
+    slots: List[int] = []
+    for i in range(n):
+        chosen = -1
+        for t, lit in encoding.slot_lits[i].items():
+            is_set = model[lit]
+            values[formulation.a[t][i]] = 1.0 if is_set else 0.0
+            if is_set:
+                chosen = t
+        slots.append(chosen)
+    for i, var in enumerate(formulation.k):
+        count = sum(1 for lit in encoding.k_lits[i] if model[lit])
+        values[var] = float(encoding.k_lb[i] + count)
+    for i, var in formulation.color.items():
+        lits = encoding.color_lits[i]
+        color = next(r for r, lit in enumerate(lits) if model[lit])
+        values[var] = float(color + 1)
+
+    footprints = {
+        i: _footprint(formulation, i, slots[i])
+        for i in set(formulation.color)
+        | {i for pair in formulation.sign_var for i in pair}
+    }
+    for (i, j), var in formulation.overlap_var.items():
+        overlaps = bool(footprints[i] & footprints[j])
+        values[var] = 1.0 if overlaps else 0.0
+    for (i, j), var in formulation.sign_var.items():
+        overlap_var = formulation.overlap_var.get((i, j))
+        overlapping = (
+            overlap_var is None or values[overlap_var] == 1.0
+        )
+        if overlapping:
+            higher = (
+                values[formulation.color[i]]
+                > values[formulation.color[j]]
+            )
+            values[var] = 1.0 if higher else 0.0
+        else:
+            values[var] = 0.0
+    return values
+
+
+def phase_hints(
+    encoding: SatEncoding, values: Dict[Variable, float], formulation
+) -> Dict[int, bool]:
+    """Map an (possibly partial) ILP assignment onto literal phases.
+
+    Used to seed the CDCL phase store from a warm-start incumbent: the
+    search then explores the incumbent's neighborhood first without the
+    hard commitment of assumptions.
+    """
+    hints: Dict[int, bool] = {}
+    for i, lits in enumerate(encoding.slot_lits):
+        for t, lit in lits.items():
+            var = formulation.a[t][i]
+            if var in values:
+                hints[lit] = values[var] > 0.5
+    for i, var in enumerate(formulation.k):
+        if var not in values:
+            continue
+        k_val = int(round(values[var]))
+        for j, lit in enumerate(encoding.k_lits[i]):
+            hints[lit] = k_val >= encoding.k_lb[i] + j + 1
+    for i, lits in encoding.color_lits.items():
+        var = formulation.color.get(i)
+        if var is None or var not in values:
+            continue
+        color = int(round(values[var]))
+        for r, lit in enumerate(lits):
+            hints[lit] = color == r + 1
+    return hints
+
+
+def seed_assumptions(
+    encoding: SatEncoding, values: Dict[Variable, float], formulation
+) -> List[int]:
+    """Slot-pinning assumption literals from an incumbent assignment.
+
+    Stronger than phase hints: the solver must extend exactly these
+    slot choices, reporting ``assumption_conflict`` if they cannot be
+    extended (callers then retry unassumed).
+    """
+    assumptions: List[int] = []
+    for i, lits in enumerate(encoding.slot_lits):
+        for t, lit in lits.items():
+            var = formulation.a[t][i]
+            if var in values and values[var] > 0.5:
+                assumptions.append(lit)
+    return assumptions

@@ -1,0 +1,12 @@
+"""Errors raised by the SAT subsystem."""
+
+from repro.ilp.errors import SolverError
+
+
+class SatEncodeError(SolverError):
+    """The formulation cannot be lowered to CNF.
+
+    A subclass of :class:`repro.ilp.errors.SolverError` so every caller
+    that already classifies solver failures (the supervision layer, the
+    race, the batch runner) handles it without new plumbing.
+    """

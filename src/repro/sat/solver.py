@@ -1,0 +1,506 @@
+"""A self-contained CDCL SAT solver.
+
+The propositional sibling of ``ilp/simplex.py`` + ``ilp/branch_bound.py``:
+pure python, no dependencies, deterministic.  Implements the standard
+modern kernel:
+
+* **two-watched literals** — each clause is watched on its first two
+  positions; a literal's falsification visits only the clauses watching
+  it (MiniSat's invariant and relocation discipline);
+* **1-UIP conflict analysis** — resolve backwards along the trail until
+  one literal of the current decision level remains, learn the
+  asserting clause, backjump to its second-highest level;
+* **VSIDS** — exponentially decayed activity with a lazy max-heap
+  (stale entries are skipped on pop, duplicates pushed on bump/unassign);
+* **phase saving** — decisions reuse the last value a variable held,
+  seedable from an external hint (the warm-start incumbent);
+* **Luby restarts** — universal-sequence restart intervals, with the
+  learned-clause database reduced (by LBD) at restart time, when the
+  trail is at the root level and watches can be rebuilt safely;
+* **assumptions** — forced first decisions, so a caller can pin part of
+  an assignment; a conflicting assumption reports
+  ``assumption_conflict`` instead of global UNSAT.
+
+Satisfying assignments are re-checked against every input clause before
+being returned — the solver never hands back a model it cannot verify
+in linear time (the same self-auditing posture as the warm LP engine).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+#: Conflicts per Luby unit (the sequence multiplies this base).
+_RESTART_BASE = 128
+#: Wall-clock is polled every this many conflicts or decisions.
+_BUDGET_CHECK_EVERY = 256
+#: Learned-clause DB reduction trigger: first at this many learned
+#: clauses, growing by the same amount after each reduction.
+_REDUCE_BASE = 2000
+
+
+@dataclass
+class SatStats:
+    """Search counters (reported up through ``Solution.stats``)."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    learned_literals: int = 0
+    deleted_clauses: int = 0
+    solve_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "learned_literals": self.learned_literals,
+            "deleted_clauses": self.deleted_clauses,
+            "solve_seconds": self.solve_seconds,
+        }
+
+
+@dataclass
+class SatResult:
+    """Outcome of one :meth:`CdclSolver.solve` call."""
+
+    status: str
+    #: ``model[v]`` is the truth value of variable ``v`` (1-based);
+    #: present only when ``status == "sat"``.
+    model: Optional[List[bool]] = None
+    #: True when UNSAT was caused by the assumptions, not the formula.
+    assumption_conflict: bool = False
+    stats: SatStats = field(default_factory=SatStats)
+
+    def __bool__(self) -> bool:
+        return self.status == SAT
+
+
+def _luby(i: int) -> int:
+    """The i-th term (1-based) of the Luby restart sequence."""
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) // 2
+        seq -= 1
+        i %= size
+    return 1 << seq
+
+
+class CdclSolver:
+    """Conflict-driven clause learning over a fixed clause set."""
+
+    def __init__(
+        self,
+        num_vars: int,
+        clauses: Iterable[Sequence[int]],
+        phase_hints: Optional[Dict[int, bool]] = None,
+    ) -> None:
+        self.nvars = num_vars
+        self.assign = [0] * (num_vars + 1)   # 0 unknown, 1 true, -1 false
+        self.level = [0] * (num_vars + 1)
+        self.reason: List[Optional[List[int]]] = [None] * (num_vars + 1)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        # watches[idx(lit)] = clauses currently watching ``lit``
+        # (idx: positive lit v -> 2v, negative -> 2v+1).
+        self.watches: List[List[List[int]]] = [
+            [] for _ in range(2 * num_vars + 2)
+        ]
+        self.activity = [0.0] * (num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 1.0 / 0.95
+        self.order: List = [(0.0, -v) for v in range(num_vars, 0, -1)]
+        heapify(self.order)
+        self.phase = [False] * (num_vars + 1)
+        if phase_hints:
+            for var, value in phase_hints.items():
+                if 1 <= var <= num_vars:
+                    self.phase[var] = bool(value)
+        self.clauses: List[List[int]] = []
+        self.learned: List[List[int]] = []
+        self.lbd: Dict[int, int] = {}
+        self.stats = SatStats()
+        self.ok = True
+        # Normalized copy of the input, kept for the final model audit.
+        self._audit: List[List[int]] = []
+        for clause in clauses:
+            self._add_input_clause(clause)
+
+    # -- construction --------------------------------------------------------
+    def _add_input_clause(self, raw: Sequence[int]) -> None:
+        seen = set()
+        clause: List[int] = []
+        for lit in raw:
+            var = abs(lit)
+            if not 1 <= var <= self.nvars:
+                raise ValueError(
+                    f"literal {lit} out of range for {self.nvars} vars"
+                )
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        self._audit.append(list(clause))
+        if not self.ok:
+            return
+        if not clause:
+            self.ok = False
+            return
+        if len(clause) == 1:
+            lit = clause[0]
+            value = self._value(lit)
+            if value == -1:
+                self.ok = False
+            elif value == 0:
+                self._enqueue(lit, None)
+            return
+        self.clauses.append(clause)
+        self._attach(clause)
+
+    def _attach(self, clause: List[int]) -> None:
+        self.watches[self._idx(clause[0])].append(clause)
+        self.watches[self._idx(clause[1])].append(clause)
+
+    @staticmethod
+    def _idx(lit: int) -> int:
+        return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+    def _value(self, lit: int) -> int:
+        return self.assign[lit] if lit > 0 else -self.assign[-lit]
+
+    # -- trail ---------------------------------------------------------------
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> None:
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else -1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+
+    def _cancel_until(self, target: int) -> None:
+        if len(self.trail_lim) <= target:
+            return
+        bound = self.trail_lim[target]
+        for lit in self.trail[bound:]:
+            var = abs(lit)
+            self.phase[var] = lit > 0
+            self.assign[var] = 0
+            self.reason[var] = None
+            heappush(self.order, (-self.activity[var], -var))
+        del self.trail[bound:]
+        del self.trail_lim[target:]
+        self.qhead = len(self.trail)
+
+    # -- propagation ---------------------------------------------------------
+    def _propagate(self) -> Optional[List[int]]:
+        assign = self.assign
+        watches = self.watches
+        trail = self.trail
+        level_now = len(self.trail_lim)
+        while self.qhead < len(trail):
+            p = trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            falsified = -p
+            wl = watches[self._idx(falsified)]
+            i = j = 0
+            n = len(wl)
+            while i < n:
+                clause = wl[i]
+                i += 1
+                if clause[0] == falsified:
+                    clause[0] = clause[1]
+                    clause[1] = falsified
+                first = clause[0]
+                value = assign[first] if first > 0 else -assign[-first]
+                if value == 1:
+                    wl[j] = clause
+                    j += 1
+                    continue
+                relocated = False
+                for k in range(2, len(clause)):
+                    lit = clause[k]
+                    lv = assign[lit] if lit > 0 else -assign[-lit]
+                    if lv != -1:
+                        clause[1] = lit
+                        clause[k] = falsified
+                        watches[self._idx(lit)].append(clause)
+                        relocated = True
+                        break
+                if relocated:
+                    continue
+                wl[j] = clause
+                j += 1
+                if value == -1:
+                    while i < n:
+                        wl[j] = wl[i]
+                        j += 1
+                        i += 1
+                    del wl[j:]
+                    self.qhead = len(trail)
+                    return clause
+                var = first if first > 0 else -first
+                assign[var] = 1 if first > 0 else -1
+                self.level[var] = level_now
+                self.reason[var] = clause
+                trail.append(first)
+            del wl[j:]
+        return None
+
+    # -- conflict analysis ---------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.nvars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+        heappush(self.order, (-self.activity[var], -var))
+
+    def _analyze(self, conflict: List[int]) -> List[int]:
+        """Derive the 1-UIP clause; returns [asserting_lit, rest...]."""
+        learnt: List[int] = []
+        seen = bytearray(self.nvars + 1)
+        counter = 0
+        p = 0
+        index = len(self.trail) - 1
+        current = len(self.trail_lim)
+        clause: Optional[List[int]] = conflict
+        while True:
+            for q in (clause if p == 0 else clause[1:]):
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = 1
+                    self._bump(var)
+                    if self.level[var] >= current:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            p = self.trail[index]
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self.reason[abs(p)]
+        learnt.insert(0, -p)
+        return learnt
+
+    def _backjump_level(self, learnt: List[int]) -> int:
+        if len(learnt) == 1:
+            return 0
+        # Put the second-highest-level literal at position 1 so the
+        # watch invariant holds immediately after backjumping.
+        best = 1
+        for i in range(2, len(learnt)):
+            if self.level[abs(learnt[i])] > self.level[abs(learnt[best])]:
+                best = i
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return self.level[abs(learnt[1])]
+
+    def _record_learnt(self, learnt: List[int]) -> None:
+        self.stats.learned_clauses += 1
+        self.stats.learned_literals += len(learnt)
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        self.learned.append(learnt)
+        self.lbd[id(learnt)] = len(
+            {self.level[abs(lit)] for lit in learnt}
+        )
+        self._attach(learnt)
+        self._enqueue(learnt[0], learnt)
+
+    # -- clause DB maintenance (root level only) -----------------------------
+    def _reduce_db(self) -> None:
+        keep_always = []
+        candidates = []
+        for clause in self.learned:
+            if (len(clause) <= 2
+                    or self.lbd.get(id(clause), 9) <= 2
+                    or self.reason[abs(clause[0])] is clause):
+                keep_always.append(clause)
+            else:
+                candidates.append(clause)
+        candidates.sort(key=lambda c: (self.lbd.get(id(c), 9), len(c)))
+        kept = candidates[: len(candidates) // 2]
+        dropped = len(candidates) - len(kept)
+        self.stats.deleted_clauses += dropped
+        self.learned = keep_always + kept
+        surviving = {id(c) for c in self.learned}
+        self.lbd = {
+            key: val for key, val in self.lbd.items() if key in surviving
+        }
+        self._rebuild_watches()
+
+    def _rebuild_watches(self) -> None:
+        """Re-attach every clause; callable only with the trail at root.
+
+        At the root level after a clean propagation fixpoint every
+        clause is either satisfied or has two non-false literals, so a
+        fresh watch assignment is always available.
+        """
+        for wl in self.watches:
+            wl.clear()
+        for clause in self.clauses:
+            self._rewatch(clause)
+        for clause in self.learned:
+            self._rewatch(clause)
+
+    def _rewatch(self, clause: List[int]) -> None:
+        free = []
+        sat_at = -1
+        for i, lit in enumerate(clause):
+            value = self._value(lit)
+            if value == 1:
+                sat_at = i
+                break
+            if value == 0:
+                free.append(i)
+                if len(free) == 2:
+                    break
+        if sat_at >= 0:
+            clause[0], clause[sat_at] = clause[sat_at], clause[0]
+            for i in range(1, len(clause)):
+                if self._value(clause[i]) != -1:
+                    clause[1], clause[i] = clause[i], clause[1]
+                    break
+        else:
+            clause[0], clause[free[0]] = clause[free[0]], clause[0]
+            # free positions may have moved if free[1] was position 0
+            second = free[1] if free[1] != 0 else free[0]
+            clause[1], clause[second] = clause[second], clause[1]
+        self._attach(clause)
+
+    # -- decisions -----------------------------------------------------------
+    def _pick_branch_var(self) -> int:
+        while self.order:
+            _, negvar = heappop(self.order)
+            var = -negvar
+            if self.assign[var] == 0:
+                return var
+        return 0
+
+    # -- main search ---------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        time_limit: Optional[float] = None,
+        conflict_limit: Optional[int] = None,
+    ) -> SatResult:
+        start = time.monotonic()
+        deadline = None if time_limit is None else start + time_limit
+        stats = self.stats
+
+        def done(status: str, **kw) -> SatResult:
+            stats.solve_seconds += time.monotonic() - start
+            return SatResult(status=status, stats=stats, **kw)
+
+        if not self.ok:
+            return done(UNSAT)
+        if self._propagate() is not None:
+            self.ok = False
+            return done(UNSAT)
+        for lit in assumptions:
+            if not 1 <= abs(lit) <= self.nvars:
+                raise ValueError(f"assumption {lit} out of range")
+
+        assume = list(assumptions)
+        restarts = 0
+        conflicts_this_restart = 0
+        budget = _luby(restarts + 1) * _RESTART_BASE
+        reduce_at = _REDUCE_BASE
+        ticks = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                stats.conflicts += 1
+                conflicts_this_restart += 1
+                if not self.trail_lim:
+                    self.ok = False
+                    return done(UNSAT)
+                learnt = self._analyze(conflict)
+                target = self._backjump_level(learnt)
+                self._cancel_until(target)
+                self._record_learnt(learnt)
+                self.var_inc *= self.var_decay
+                if conflict_limit is not None and (
+                        stats.conflicts >= conflict_limit):
+                    self._cancel_until(0)
+                    return done(UNKNOWN)
+                if stats.conflicts % _BUDGET_CHECK_EVERY == 0:
+                    if deadline is not None and (
+                            time.monotonic() > deadline):
+                        self._cancel_until(0)
+                        return done(UNKNOWN)
+                continue
+
+            if conflicts_this_restart >= budget:
+                stats.restarts += 1
+                restarts += 1
+                conflicts_this_restart = 0
+                budget = _luby(restarts + 1) * _RESTART_BASE
+                self._cancel_until(0)
+                if self.stats.learned_clauses and (
+                        len(self.learned) >= reduce_at):
+                    self._reduce_db()
+                    reduce_at += _REDUCE_BASE
+                continue
+
+            ticks += 1
+            if ticks % _BUDGET_CHECK_EVERY == 0:
+                if deadline is not None and time.monotonic() > deadline:
+                    self._cancel_until(0)
+                    return done(UNKNOWN)
+
+            decision_level = len(self.trail_lim)
+            if decision_level < len(assume):
+                lit = assume[decision_level]
+                value = self._value(lit)
+                if value == -1:
+                    self._cancel_until(0)
+                    return done(UNSAT, assumption_conflict=True)
+                self.trail_lim.append(len(self.trail))
+                if value == 0:
+                    self._enqueue(lit, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var == 0:
+                model = [False] * (self.nvars + 1)
+                for v in range(1, self.nvars + 1):
+                    model[v] = self.assign[v] == 1
+                self._audit_model(model)
+                self._cancel_until(0)
+                return done(SAT, model=model)
+            stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(var if self.phase[var] else -var, None)
+
+    def _audit_model(self, model: List[bool]) -> None:
+        for clause in self._audit:
+            if not any(
+                model[lit] if lit > 0 else not model[-lit]
+                for lit in clause
+            ):
+                raise RuntimeError(
+                    "internal error: CDCL model violates clause "
+                    f"{clause!r}"
+                )

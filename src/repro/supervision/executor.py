@@ -166,12 +166,24 @@ class _Worker:
         task.tries += 1
         task.started_at = time.monotonic()
 
-    def kill(self) -> None:
+    def kill(self, join_timeout: float = 1.0) -> None:
+        """Terminate with bounded escalation: TERM, join, KILL, join.
+
+        SIGTERM first so a cooperative worker exits cleanly; SIGKILL
+        only if it is still alive after the bounded join.  Every join
+        is bounded, so reaping a wedged loser can never block the
+        supervisor for more than ~2x ``join_timeout`` — the portfolio
+        race reaps losers on the winner's critical path.
+        """
         try:
-            self.process.kill()
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=join_timeout)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=join_timeout)
         except (OSError, AttributeError):
             pass
-        self.process.join(timeout=1.0)
         try:
             self.conn.close()
         except OSError:
@@ -216,6 +228,9 @@ class SupervisedExecutor:
         self._done: Deque[SupervisedTask] = deque()
         self._ids = itertools.count()
         self._tasks: Dict[int, SupervisedTask] = {}
+        #: Every process this executor ever spawned, for post-run
+        #: no-zombie assertions (see :meth:`live_children`).
+        self._children: List[multiprocessing.process.BaseProcess] = []
         self._shut_down = False
 
     # ------------------------------------------------------------------
@@ -250,6 +265,42 @@ class SupervisedExecutor:
             pass
         self._tasks.pop(task.id, None)
         return True
+
+    def kill_task(self, task: SupervisedTask) -> bool:
+        """Terminate a task wherever it is — queued or mid-solve.
+
+        A queued task is dropped; a running task's worker is killed
+        (bounded TERM->KILL escalation) and not replaced until the
+        dispatcher next needs one.  Either way the task lands in state
+        ``CANCELLED`` with neither result nor failure — this is how the
+        portfolio race reaps losers the moment a winner is known, so a
+        cancellation is an expected outcome, not an error.  Returns
+        False when the task already finished (its result/failure
+        stands) or was already cancelled.
+        """
+        if task.state == PENDING:
+            return self.cancel(task)
+        if task.state != RUNNING:
+            return False
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.task is task:
+                worker.task = None
+                worker.kill()
+                self._workers.remove(worker)
+                break
+        task.elapsed += now - (task.started_at or now)
+        task.state = CANCELLED
+        self._tasks.pop(task.id, None)
+        return True
+
+    def live_children(self) -> List:
+        """Worker processes (ever spawned) that are still alive.
+
+        Empty after a clean ``shutdown``/``abort`` — fault-matrix tests
+        assert exactly that to prove no loser survives a race.
+        """
+        return [p for p in self._children if p.is_alive()]
 
     def outstanding(self) -> int:
         """Tasks not yet finished (pending + running)."""
@@ -325,6 +376,16 @@ class SupervisedExecutor:
                 worker.stop()
         self._workers.clear()
         self._pending.clear()
+        # Final bounded sweep: any child whose first escalation didn't
+        # land inside its join timeout gets one more KILL here, so a
+        # shut-down executor leaves no zombies behind.
+        for process in self._children:
+            if process.is_alive():
+                try:
+                    process.kill()
+                except (OSError, AttributeError):
+                    pass
+                process.join(timeout=1.0)
 
     def __enter__(self) -> "SupervisedExecutor":
         return self
@@ -341,6 +402,7 @@ class SupervisedExecutor:
             self.policy.memory_mb,
         )
         self._workers.append(worker)
+        self._children.append(worker.process)
         return worker
 
     def _dispatch(self) -> None:

@@ -99,8 +99,8 @@ class TestJsonReport:
             assert key in entry, key
         attempt = entry["attempts"][0]
         assert set(attempt) == {
-            "t", "status", "seconds", "nodes", "repaired", "model",
-            "bound", "gap", "warm_started",
+            "t", "status", "backend", "seconds", "nodes", "repaired",
+            "model", "bound", "gap", "warm_started",
         }
         warmstart = entry["warmstart"]
         for key in (

@@ -1,0 +1,178 @@
+"""Unit tests for the pure-python CDCL core.
+
+The solver is differential-tested against brute-force enumeration on
+random 3-SAT near the phase transition, and against the canonical
+pigeonhole family for UNSAT (no polynomial resolution proof exists, so
+any shortcut bug shows up as a wrong SAT answer, not a slow one).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.solver import SAT, UNKNOWN, UNSAT, CdclSolver
+
+
+def _brute_force(num_vars, clauses):
+    """Exhaustive satisfiability check for tiny formulas."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        model = (None,) + bits  # 1-based
+        if all(
+            any(model[abs(l)] == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def _check_model(clauses, model):
+    assert all(
+        any(model[abs(l)] == (l > 0) for l in clause)
+        for clause in clauses
+    )
+
+
+def _pigeonhole(holes):
+    """PHP(holes+1, holes): pigeons+1 into holes — classically UNSAT."""
+    pigeons = holes + 1
+    var = lambda p, h: p * holes + h + 1  # noqa: E731
+    clauses = []
+    for p in range(pigeons):
+        clauses.append([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        result = CdclSolver(0, []).solve()
+        assert result.status == SAT
+        assert bool(result)
+
+    def test_empty_clause_is_unsat(self):
+        result = CdclSolver(1, [[]]).solve()
+        assert result.status == UNSAT
+        assert not bool(result)
+
+    def test_unit_propagation_only(self):
+        result = CdclSolver(3, [[1], [-1, 2], [-2, 3]]).solve()
+        assert result.status == SAT
+        assert result.model[1] and result.model[2] and result.model[3]
+        assert result.stats.decisions == 0
+
+    def test_contradictory_units(self):
+        result = CdclSolver(1, [[1], [-1]]).solve()
+        assert result.status == UNSAT
+
+    def test_duplicate_and_tautological_clauses(self):
+        # [1, 1] collapses to a unit; [1, -1] is dropped as a tautology.
+        result = CdclSolver(2, [[1, 1], [1, -1], [-1, 2]]).solve()
+        assert result.status == SAT
+        assert result.model[1] and result.model[2]
+
+    def test_solver_is_resolvable_twice(self):
+        solver = CdclSolver(2, [[1, 2]])
+        assert solver.solve().status == SAT
+        assert solver.solve().status == SAT
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_php_is_unsat(self, holes):
+        num_vars, clauses = _pigeonhole(holes)
+        result = CdclSolver(num_vars, clauses).solve()
+        assert result.status == UNSAT
+        if holes >= 3:
+            # A genuine resolution refutation was needed.
+            assert result.stats.conflicts > 0
+            assert result.stats.learned_clauses > 0
+
+    def test_php_sat_when_one_pigeon_removed(self):
+        num_vars, clauses = _pigeonhole(4)
+        # Drop pigeon 0's "somewhere" clause: remaining 4 fit in 4.
+        result = CdclSolver(num_vars, clauses[1:]).solve()
+        assert result.status == SAT
+
+
+class TestRandomDifferential:
+    def test_random_3sat_matches_brute_force(self):
+        rng = random.Random(20260807)
+        for trial in range(60):
+            n = rng.randint(4, 9)
+            m = int(n * rng.uniform(2.5, 5.5))
+            clauses = [
+                [
+                    v * rng.choice([-1, 1])
+                    for v in rng.sample(range(1, n + 1), 3)
+                ]
+                for _ in range(m)
+            ]
+            expected = _brute_force(n, clauses)
+            result = CdclSolver(n, clauses).solve()
+            assert (result.status == SAT) == expected, (
+                f"trial {trial}: n={n} m={m}"
+            )
+            if result.status == SAT:
+                _check_model(clauses, result.model)
+
+
+class TestAssumptions:
+    @pytest.fixture
+    def solver(self):
+        # x1 -> x2, x2 -> x3; all free otherwise.
+        return CdclSolver(3, [[-1, 2], [-2, 3]])
+
+    def test_assumptions_pin_literals(self, solver):
+        result = solver.solve(assumptions=[1])
+        assert result.status == SAT
+        assert result.model[1] and result.model[2] and result.model[3]
+
+    def test_negative_assumptions(self, solver):
+        result = solver.solve(assumptions=[-3])
+        assert result.status == SAT
+        assert not result.model[1] and not result.model[2]
+
+    def test_conflicting_assumptions_flagged(self, solver):
+        result = solver.solve(assumptions=[1, -3])
+        assert result.status == UNSAT
+        assert result.assumption_conflict
+        # The formula itself is still satisfiable afterwards.
+        assert solver.solve().status == SAT
+
+    def test_out_of_range_assumption_rejected(self, solver):
+        with pytest.raises(ValueError, match="out of range"):
+            solver.solve(assumptions=[4])
+
+
+class TestBudgets:
+    def test_conflict_limit_yields_unknown(self):
+        num_vars, clauses = _pigeonhole(6)
+        result = CdclSolver(num_vars, clauses).solve(conflict_limit=5)
+        assert result.status == UNKNOWN
+        assert result.model is None
+
+    def test_zero_time_limit_yields_unknown_or_answer(self):
+        # An already-expired budget must return promptly, never hang.
+        num_vars, clauses = _pigeonhole(5)
+        result = CdclSolver(num_vars, clauses).solve(time_limit=1e-9)
+        assert result.status in (UNKNOWN, UNSAT)
+
+
+class TestPhaseHints:
+    def test_hints_steer_first_model(self):
+        # Fully unconstrained: the first decision follows the saved
+        # phase, so hints pick which model comes out.
+        hinted = CdclSolver(
+            2, [[1, 2]], phase_hints={1: True, 2: False}
+        ).solve()
+        assert hinted.status == SAT
+        assert hinted.model[1] and not hinted.model[2]
+        opposite = CdclSolver(
+            2, [[1, 2]], phase_hints={1: False, 2: True}
+        ).solve()
+        assert opposite.status == SAT
+        assert not opposite.model[1] and opposite.model[2]

@@ -236,3 +236,64 @@ class TestAbortAndCancel:
             assert pending.state == CANCELLED
             assert not executor.cancel(running)
             assert executor.outstanding() == 1
+
+
+class TestKillTask:
+    """Portfolio-loser reaping: bounded TERM->KILL, no zombies."""
+
+    def test_kill_running_task(self):
+        with SupervisedExecutor(max_workers=1) as executor:
+            running = executor.submit(_sleep, 60.0)
+            executor.poll(timeout=0.2)  # let it start
+            start = time.time()
+            assert executor.kill_task(running)
+            assert time.time() - start < 5.0  # bounded escalation
+            assert running.state == CANCELLED
+            assert running.failure is None
+            # The kill is not a failure: poll never re-delivers it.
+            assert executor.poll(timeout=0.0) == []
+
+    def test_kill_pending_task_cancels(self):
+        with SupervisedExecutor(max_workers=1) as executor:
+            executor.submit(_sleep, 2.0)
+            pending = executor.submit(_double, 1)
+            executor.poll(timeout=0.2)
+            assert executor.kill_task(pending)
+            assert pending.state == CANCELLED
+
+    def test_kill_finished_task_refused(self):
+        with SupervisedExecutor(max_workers=1) as executor:
+            done = executor.submit(_double, 4)
+            _drain(executor)
+            assert not executor.kill_task(done)
+            assert done.state == DONE and done.result == 8
+
+    def test_pool_survives_a_kill(self):
+        with SupervisedExecutor(max_workers=1) as executor:
+            victim = executor.submit(_sleep, 60.0)
+            executor.poll(timeout=0.2)
+            executor.kill_task(victim)
+            follow_up = executor.submit(_double, 21)
+            _drain(executor)
+            assert follow_up.result == 42
+
+    def test_no_live_children_after_kill_and_shutdown(self):
+        executor = SupervisedExecutor(max_workers=2)
+        try:
+            victims = [executor.submit(_sleep, 60.0) for _ in range(2)]
+            executor.poll(timeout=0.3)
+            for victim in victims:
+                executor.kill_task(victim)
+        finally:
+            executor.shutdown()
+        assert executor.live_children() == []
+
+    def test_no_live_children_after_plain_shutdown(self):
+        executor = SupervisedExecutor(max_workers=2)
+        try:
+            executor.submit(_sleep, 60.0)
+            executor.submit(_sleep, 60.0)
+            executor.poll(timeout=0.3)
+        finally:
+            executor.shutdown()
+        assert executor.live_children() == []

@@ -308,3 +308,103 @@ class TestBatchSupervised:
         assert report.failed == len(paths)
         for entry in report.entries:
             assert entry.failure.kind == INTERRUPTED
+
+
+class TestPortfolioSupervised:
+    """(period x backend) portfolio races survive per-cell faults.
+
+    ``REPRO_FAULTS`` specs can target a single backend's cells
+    (``crash@attempt:backend=bnb``): the faulted backend loses only its
+    own (period, backend) cells while the sibling backends keep racing,
+    so the loop still schedules — and still proves rate-optimality when
+    a healthy sibling delivers every INFEASIBLE verdict.
+    """
+
+    ROSTER = ("highs", "bnb", "sat")
+
+    def _cells(self, result, backend):
+        return [a for a in result.attempts if a.backend == backend]
+
+    def test_crashed_loser_does_not_affect_winner(
+        self, monkeypatch, ddg, machine
+    ):
+        monkeypatch.setenv(ENV_VAR, "crash@attempt:backend=bnb")
+        result = race_periods(
+            ddg, machine, jobs=4, time_limit_per_t=10.0,
+            policy=NO_RETRY, warmstart=False, backends=self.ROSTER,
+        )
+        assert result.schedule is not None
+        assert result.achieved_t == 4
+        # Every crash is confined to a bnb cell, recorded per-(T,backend).
+        crashed = _failed(result, CRASH)
+        assert crashed
+        assert all(a.backend == "bnb" for a in crashed)
+        cells = {(a.t_period, a.backend) for a in crashed}
+        assert len(cells) == len(crashed)
+        # Healthy siblings proved T=3 infeasible regardless.
+        assert result.is_rate_optimal_proven
+        assert result.portfolio["winner_backend"] in ("highs", "sat")
+
+    def test_hung_loser_killed_and_winner_unaffected(
+        self, monkeypatch, ddg, machine
+    ):
+        monkeypatch.setenv(
+            ENV_VAR, "hang@attempt:backend=bnb:seconds=60"
+        )
+        policy = SupervisionPolicy(
+            deadline=2.0, grace=0.5, max_retries=0
+        )
+        start = time.monotonic()
+        result = race_periods(
+            ddg, machine, jobs=4, time_limit_per_t=10.0,
+            policy=policy, warmstart=False, backends=self.ROSTER,
+        )
+        assert time.monotonic() - start < 60.0
+        assert result.schedule is not None
+        assert result.achieved_t == 4
+        # Hung bnb cells were either deadline-killed (HANG failure) or
+        # reaped as losers once the period settled (cancelled).
+        bnb = self._cells(result, "bnb")
+        assert bnb
+        assert all(
+            a.status in (HANG, "cancelled") for a in bnb
+        )
+        hung = _failed(result, HANG)
+        assert all(a.backend == "bnb" for a in hung)
+
+    def test_whole_roster_crash_degrades_not_raises(
+        self, monkeypatch, ddg, machine
+    ):
+        monkeypatch.setenv(ENV_VAR, "crash@attempt")
+        result = race_periods(
+            ddg, machine, jobs=4, time_limit_per_t=10.0,
+            policy=NO_RETRY, objective="min_sum_t",
+            backends=("highs", "bnb"),
+        )
+        assert result.degraded
+        assert result.schedule is not None
+        # The attempt log is (T, backend)-sorted, so the degraded
+        # settle is not necessarily last as in single-backend races.
+        assert any(a.status == DEGRADED for a in result.attempts)
+
+    def test_no_live_children_after_faulted_race(
+        self, monkeypatch, ddg, machine
+    ):
+        import multiprocessing
+
+        monkeypatch.setenv(ENV_VAR, "crash@attempt:backend=sat")
+        before = set(multiprocessing.active_children())
+        result = race_periods(
+            ddg, machine, jobs=4, time_limit_per_t=10.0,
+            policy=NO_RETRY, warmstart=False, backends=self.ROSTER,
+        )
+        assert result.schedule is not None
+        leftover = [
+            p for p in multiprocessing.active_children()
+            if p not in before
+        ]
+        deadline = time.monotonic() + 5.0
+        while leftover and time.monotonic() < deadline:
+            time.sleep(0.05)
+            leftover = [p for p in leftover if p.is_alive()]
+        assert leftover == []
