@@ -9,6 +9,8 @@ Commands
     motivating   print the paper's §2 artifacts (Figures 1-4, Tables 1-2)
     suite        run a synthetic corpus and print Table 4-style buckets
     list         show available kernels and machine presets
+    serve        run the HTTP solve daemon (submit/poll over JSON)
+    loadgen      drive a serve daemon with corpus load, write BENCH doc
 """
 
 from __future__ import annotations
@@ -113,13 +115,39 @@ def _atomic_write(path, text) -> None:
 
 
 def _backends_of(args):
-    """Parse ``--backends 'highs,bnb,sat'`` into a roster tuple (or None)."""
+    """Parse and validate ``--backends 'highs,bnb,sat'`` (or None).
+
+    Unknown names and duplicates are rejected here, at the CLI
+    boundary, with the same message shape the solver layer uses — a
+    malformed roster must never reach the race and fail mid-dispatch.
+    """
+    from repro.parallel.race import PORTFOLIO_BACKENDS
+
     raw = getattr(args, "backends", None)
     if raw is None:
         return None
-    return tuple(
+    roster = tuple(
         name.strip() for name in raw.split(",") if name.strip()
     )
+    if not roster:
+        raise SystemExit(
+            "--backends must name at least one backend "
+            f"(choose from: {', '.join(PORTFOLIO_BACKENDS)})"
+        )
+    seen = set()
+    for name in roster:
+        if name not in PORTFOLIO_BACKENDS:
+            raise SystemExit(
+                f"unknown backend {name!r} in --backends; "
+                f"choose from: {', '.join(PORTFOLIO_BACKENDS)}"
+            )
+        if name in seen:
+            raise SystemExit(
+                f"--backends lists {name!r} twice; a roster is a set "
+                "of distinct solvers to race"
+            )
+        seen.add(name)
+    return roster
 
 
 def _print_store_line(result) -> None:
@@ -733,6 +761,96 @@ def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.config import ServeConfig
+    from repro.serve.daemon import serve_main
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        rate=args.rate,
+        burst=args.burst,
+        deadline=args.deadline,
+        max_retries=args.retries,
+        time_limit=args.time_limit,
+        max_extra=args.max_extra,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        store=args.store,
+        journal=args.journal,
+        drain_grace=args.drain_grace,
+        port_file=args.port_file,
+    )
+    return serve_main(config)
+
+
+def _cmd_loadgen(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.serve.loadgen import (
+        closed_loop,
+        corpus_mix,
+        open_loop,
+        run_benchmark,
+    )
+
+    corpus = sorted(Path(args.corpus).glob("*.ddg"))
+    if not corpus:
+        raise SystemExit(f"no .ddg files under {args.corpus}")
+    if args.port is None:
+        doc = run_benchmark(
+            corpus, args.machine, Path(args.out),
+            requests=args.requests,
+            concurrency=args.concurrency,
+            workers=args.workers,
+            open_rate=args.rate,
+            time_limit=args.time_limit,
+            backend=args.backend,
+            warmstart=not args.no_warmstart,
+            kill_restart=not args.no_kill_restart,
+            faults=args.faults,
+            seed=args.seed,
+        )
+        lost = (doc.get("restart") or {}).get("lost_jobs", [])
+        print(
+            f"loadgen: {args.requests} request(s), "
+            f"coalesce_hits={doc['coalesce_hits']}, "
+            f"error_rate={doc['error_rate']:.3f}, "
+            f"lost_jobs={len(lost)} -> {args.out}"
+        )
+        return 1 if lost else 0
+    from repro.serve.client import ServeClient
+    from repro.supervision.atomicio import atomic_write_json
+
+    client = ServeClient(args.host, args.port)
+    texts = corpus_mix(corpus, args.requests, seed=args.seed)
+    split = max(1, len(texts) // 2)
+    closed = closed_loop(
+        client, texts[:split], args.machine,
+        concurrency=args.concurrency, backend=args.backend,
+        warmstart=not args.no_warmstart,
+    )
+    opened = open_loop(
+        client, texts[split:], args.machine, rate=args.rate,
+        backend=args.backend, warmstart=not args.no_warmstart,
+    )
+    doc = {
+        "bench": "serve_loadgen",
+        "machine": args.machine,
+        "requests": args.requests,
+        "phases": [closed.to_json_dict(), opened.to_json_dict()],
+        "daemon_stats": client.stats(),
+    }
+    atomic_write_json(args.out, doc)
+    print(_json.dumps(
+        {"phases": doc["phases"]}, indent=2, sort_keys=True
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1020,6 +1138,100 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--seed", type=int, default=604)
     p_corpus.add_argument("--machine", default="powerpc604")
     p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP solve daemon",
+        description="Serve submit/poll solve requests over HTTP, "
+        "dispatching onto a supervised worker pool with the "
+        "content-addressed store as shared cache (see "
+        "docs/service.md).",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="0 picks an ephemeral port "
+                              "(see --port-file)")
+    p_serve.add_argument("--port-file", metavar="PATH",
+                         help="write the bound port here once "
+                              "listening (for scripted startup)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="supervised solver processes")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="admission queue bound; beyond it "
+                              "submissions are shed with 429")
+    p_serve.add_argument("--rate", type=float, default=20.0,
+                         help="per-client token-bucket refill "
+                              "(requests/second)")
+    p_serve.add_argument("--burst", type=int, default=20,
+                         help="per-client token-bucket capacity")
+    p_serve.add_argument("--deadline", type=float, default=120.0,
+                         help="per-job wall-clock deadline (seconds)")
+    p_serve.add_argument("--retries", type=int, default=1,
+                         help="supervised retries per solve attempt")
+    p_serve.add_argument("--time-limit", type=float, default=10.0,
+                         help="solver time limit per request (seconds)")
+    p_serve.add_argument("--max-extra", type=int, default=10,
+                         help="periods above MII to sweep")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3,
+                         help="consecutive failures before a backend "
+                              "is circuit-broken")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=10.0,
+                         help="seconds before a tripped backend is "
+                              "probed again")
+    p_serve.add_argument("--store", metavar="DIR",
+                         help="content-addressed result store "
+                              "(shared cache tier)")
+    p_serve.add_argument("--journal", metavar="PATH",
+                         help="accepted/done journal; enables "
+                              "zero-lost-jobs restart")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         help="seconds to let in-flight jobs finish "
+                              "on SIGTERM before halting")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a serve daemon with corpus load",
+        description="Closed+open-loop load generator for the serve "
+        "daemon.  With --manage (default) it boots its own daemon, "
+        "runs the kill-and-restart differential and writes a BENCH "
+        "document; with --port it targets a daemon you started.",
+    )
+    p_loadgen.add_argument("--corpus", default="corpus", metavar="DIR",
+                           help=".ddg corpus directory to draw from")
+    p_loadgen.add_argument("--machine", default="powerpc604")
+    p_loadgen.add_argument("--requests", type=int, default=30)
+    p_loadgen.add_argument("--out", default="BENCH_serve.json",
+                           metavar="PATH")
+    p_loadgen.add_argument("--workers", type=int, default=2,
+                           help="daemon worker processes (managed "
+                                "mode)")
+    p_loadgen.add_argument("--concurrency", type=int, default=4,
+                           help="closed-loop client threads")
+    p_loadgen.add_argument("--rate", type=float, default=8.0,
+                           help="open-loop arrival rate "
+                                "(requests/second)")
+    p_loadgen.add_argument("--time-limit", type=float, default=5.0)
+    p_loadgen.add_argument("--backend", default="auto",
+                           choices=("auto", "highs", "bnb", "sat",
+                                    "portfolio"))
+    p_loadgen.add_argument("--no-warmstart", action="store_true",
+                           help="submit with warmstart off so solves "
+                                "reach the ILP attempt sites (where "
+                                "attempt-site faults fire)")
+    p_loadgen.add_argument("--faults", metavar="SPEC",
+                           help="REPRO_FAULTS spec injected into the "
+                                "managed daemon (e.g. "
+                                "crash@attempt:t=4)")
+    p_loadgen.add_argument("--no-kill-restart", action="store_true",
+                           help="skip the SIGKILL-mid-run restart "
+                                "differential (managed mode)")
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument("--port", type=int, default=None,
+                           help="target an already-running daemon "
+                                "instead of booting one")
+    p_loadgen.add_argument("--host", default="127.0.0.1")
+    p_loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 

@@ -203,6 +203,35 @@ class SchedulingResult:
             return None
         return self.schedule.t_period - self.bounds.t_lb
 
+    def lost_cells(self) -> List[Dict[str, object]]:
+        """Provenance of every period cell that died without a verdict.
+
+        A degraded settle means some ``(T, backend)`` cells never
+        produced feasible/infeasible: they crashed, hung, OOMed, raised,
+        were interrupted, or were cancelled as portfolio losers.  Each
+        such attempt yields ``{"t", "backend", "kind", "detail"}`` —
+        ``kind`` is the supervision failure taxonomy kind, or
+        ``"cancelled"`` for reaped losers (detail empty).  Order follows
+        the attempt list, so reports stay deterministic.
+        """
+        lost: List[Dict[str, object]] = []
+        for attempt in self.attempts:
+            if attempt.failure is not None:
+                lost.append({
+                    "t": attempt.t_period,
+                    "backend": attempt.backend,
+                    "kind": attempt.failure.kind,
+                    "detail": attempt.failure.detail,
+                })
+            elif attempt.status == "cancelled":
+                lost.append({
+                    "t": attempt.t_period,
+                    "backend": attempt.backend,
+                    "kind": "cancelled",
+                    "detail": "",
+                })
+        return lost
+
     def summary(self) -> str:
         t_found = self.achieved_t if self.schedule else "none"
         return (

@@ -98,7 +98,12 @@ from repro.supervision.signals import interrupted
 #: loop was raced across backends, and a report-level ``portfolio``
 #: aggregate (per-backend win counts plus total losers killed/
 #: cancelled).
-REPORT_VERSION = 7
+#: v8: degraded-settling provenance — entries with ``degraded: true``
+#: carry ``lost_cells``: one ``{t, backend, kind, detail}`` record per
+#: period cell that died without a verdict (supervision failures *and*
+#: cancelled portfolio losers), so a degraded winner's missing proofs
+#: are auditable from the report alone.
+REPORT_VERSION = 8
 
 from repro.corpusgen.manifest import (
     MANIFEST_NAME,
@@ -183,6 +188,8 @@ class BatchEntry:
                 ],
             }
         )
+        if result.degraded:
+            entry["lost_cells"] = result.lost_cells()
         if result.warmstart is not None:
             entry["warmstart"] = result.warmstart.to_json_dict()
         if result.store is not None:
@@ -511,7 +518,7 @@ def _snapshot_weight(caches: dict) -> int:
 
 
 def load_report(path) -> BatchReport:
-    """Load a saved batch report (any v3..v7 schema)."""
+    """Load a saved batch report (any v3..v8 schema)."""
     with open(path, encoding="utf-8") as handle:
         return BatchReport.from_json_dict(json.load(handle))
 

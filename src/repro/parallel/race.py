@@ -184,6 +184,7 @@ def race_periods(
     policy: Optional[SupervisionPolicy] = None,
     store=None,
     backends: Optional[Sequence[str]] = None,
+    breaker=None,
 ) -> SchedulingResult:
     """Drop-in parallel replacement for :func:`repro.core.schedule_loop`.
 
@@ -224,6 +225,16 @@ def race_periods(
     what change.  With ``jobs=1`` the portfolio degenerates to an
     ordered fallback chain per period: backends run in roster order
     until one settles the period, the rest are recorded cancelled.
+
+    ``breaker`` (optional, duck-typed — see
+    :class:`repro.serve.breaker.CircuitBreaker`) makes the portfolio
+    health-aware: backends whose ``breaker.allows(name)`` is False are
+    dropped from the roster up front, cells landing on a backend that
+    trips *mid-race* are skipped at dispatch time, and every cell's
+    outcome is reported back via ``record_success(name)`` /
+    ``record_failure(name, kind)`` so the breaker's failure counters
+    track real solves.  The race itself never imports the serve layer;
+    any object with those three methods works.
     """
     if max_extra < 0:
         raise SchedulingError(f"max_extra must be >= 0, got {max_extra}")
@@ -237,6 +248,14 @@ def race_periods(
         backend = "portfolio"
     elif backend == "portfolio":
         roster = default_portfolio(objective)
+    if roster is not None and breaker is not None:
+        allowed = tuple(n for n in roster if breaker.allows(n))
+        if not allowed:
+            raise SchedulingError(
+                f"every backend in roster {tuple(roster)} is "
+                f"circuit-broken; retry after the breaker cooldown"
+            )
+        roster = allowed
     if roster is not None and len(roster) == 1:
         # A one-solver "portfolio" is just that solver.
         backend = roster[0]
@@ -310,7 +329,7 @@ def race_periods(
             winner, recs, kill_stats = _race_portfolio_inline(
                 ddg, machine, dispatch, config, roster,
                 initial=initial, incumbent=incumbent,
-                incumbent_t=incumbent_t,
+                incumbent_t=incumbent_t, breaker=breaker,
             )
         else:
             window = window if window is not None else 2 * jobs
@@ -322,7 +341,7 @@ def race_periods(
                 ddg, machine, dispatch, config, roster, jobs, window,
                 time_limit_per_t, policy,
                 initial=initial, incumbent=incumbent,
-                incumbent_t=incumbent_t,
+                incumbent_t=incumbent_t, breaker=breaker,
             )
         for t_period, cell_attempts in recs.items():
             rep = _period_rep(cell_attempts)
@@ -602,6 +621,7 @@ def _race_portfolio_inline(
     initial: Optional[AttemptOutcome] = None,
     incumbent: Optional[Schedule] = None,
     incumbent_t: Optional[int] = None,
+    breaker=None,
 ):
     """The ``jobs=1`` portfolio: an ordered fallback chain per period.
 
@@ -629,6 +649,15 @@ def _race_portfolio_inline(
                 ))
                 kill_stats["cancelled_queued"] += 1
                 continue
+            if breaker is not None and not breaker.allows(name):
+                # Tripped mid-race: skip the cell, siblings carry on.
+                recs[t_period].append(ScheduleAttempt(
+                    t_period=t_period, status=CANCELLED, backend=name,
+                ))
+                kill_stats["breaker_skipped"] = (
+                    kill_stats.get("breaker_skipped", 0) + 1
+                )
+                continue
             start = time.monotonic()
             try:
                 outcome = attempt_period(
@@ -648,11 +677,15 @@ def _race_portfolio_inline(
                     t_period=t_period, status=SOLVER_ERROR,
                     seconds=elapsed, failure=failure, backend=name,
                 ))
+                if breaker is not None:
+                    breaker.record_failure(name, SOLVER_ERROR)
                 continue
             attempt = outcome.attempt
             if not attempt.backend:
                 attempt.backend = name
             recs[t_period].append(attempt)
+            if breaker is not None:
+                breaker.record_success(name)
             if outcome.schedule is not None:
                 if winner is None or t_period < winner.attempt.t_period:
                     winner = outcome
@@ -677,6 +710,7 @@ def _race_portfolio_pool(
     initial: Optional[AttemptOutcome] = None,
     incumbent: Optional[Schedule] = None,
     incumbent_t: Optional[int] = None,
+    breaker=None,
 ):
     """Windowed supervised race over ``(period x backend)`` cells.
 
@@ -763,6 +797,17 @@ def _race_portfolio_pool(
                 break
             while pending and len(in_flight) < window:
                 t_period, name = pending.pop(0)
+                if breaker is not None and not breaker.allows(name):
+                    # The backend tripped mid-race: its remaining cells
+                    # are skipped, sibling backends carry the periods.
+                    recs[t_period].append(ScheduleAttempt(
+                        t_period=t_period, status=CANCELLED,
+                        backend=name,
+                    ))
+                    kill_stats["breaker_skipped"] = (
+                        kill_stats.get("breaker_skipped", 0) + 1
+                    )
+                    continue
                 task = executor.submit(
                     attempt_period, ddg, machine, t_period,
                     configs[name],
@@ -784,12 +829,16 @@ def _race_portfolio_pool(
                         seconds=task.failure.elapsed,
                         failure=task.failure, backend=name,
                     ))
+                    if breaker is not None:
+                        breaker.record_failure(name, task.failure.kind)
                     continue
                 outcome = task.result
                 attempt = outcome.attempt
                 if not attempt.backend:
                     attempt.backend = name
                 recs[t_period].append(attempt)
+                if breaker is not None:
+                    breaker.record_success(name)
                 if outcome.schedule is not None:
                     settled.add(t_period)
                     if (winner is None

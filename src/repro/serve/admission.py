@@ -1,0 +1,117 @@
+"""Admission control: per-client token buckets and weighted fair queueing.
+
+The daemon's first line of defense is refusing work it cannot serve
+well.  Two mechanisms, both thread-safe and clock-injectable:
+
+* :class:`TokenBucket` — classic leaky-bucket rate limiting per client:
+  ``burst`` tokens capacity, refilled at ``rate`` tokens/second.  An
+  empty bucket yields the seconds until the next token, which the HTTP
+  layer turns into ``429`` + ``Retry-After``.
+* :class:`FairQueue` — weighted fair queueing over per-client backlogs
+  using virtual finish times: each enqueued job is stamped
+  ``max(queue_virtual_time, client_last_tag) + 1/weight`` and the
+  smallest tag is served first.  A client flooding the queue only
+  delays *itself*; a weight-3 client drains three jobs for every one of
+  a weight-1 client under contention, and an idle queue serves anyone
+  immediately.  The queue also enforces the global depth bound — the
+  load-shedding threshold — so "queue full" is decided exactly where
+  the queue lives.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+#: Weights accepted from clients, clamped to keep one client from
+#: declaring itself infinitely important.
+MIN_WEIGHT = 1
+MAX_WEIGHT = 10
+
+
+class TokenBucket:
+    """``rate`` tokens/second, ``burst`` capacity, lazily refilled."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    def take(self) -> Optional[float]:
+        """Consume one token; None on success, else seconds to wait."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return None
+            return (1.0 - self._tokens) / self.rate
+
+
+class FairQueue:
+    """Weighted-fair FIFO over per-client submissions (thread-safe).
+
+    Items are opaque; fairness only reads ``client`` and ``weight``.
+    ``push`` refuses beyond ``depth`` (the shed signal), ``pop`` returns
+    the item with the smallest virtual finish time or None when empty.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._lock = threading.Lock()
+        self._heap = []  # (tag, seq, item)
+        self._seq = itertools.count()  # FIFO tie-break for equal tags
+        self._virtual_time = 0.0
+        self._client_tags: Dict[str, float] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def push(self, item, client: str, weight: int = 1) -> bool:
+        """Enqueue; False when the queue is at depth (caller sheds)."""
+        weight = max(MIN_WEIGHT, min(MAX_WEIGHT, int(weight)))
+        with self._lock:
+            if len(self._heap) >= self.depth:
+                return False
+            start = max(
+                self._virtual_time, self._client_tags.get(client, 0.0)
+            )
+            tag = start + 1.0 / weight
+            self._client_tags[client] = tag
+            heapq.heappush(self._heap, (tag, next(self._seq), item))
+            return True
+
+    def pop(self):
+        with self._lock:
+            if not self._heap:
+                return None
+            tag, _, item = heapq.heappop(self._heap)
+            self._virtual_time = tag
+            if not self._heap:
+                # Idle queue: forget per-client history so a returning
+                # client is not penalized for long-finished bursts.
+                self._client_tags.clear()
+            return item

@@ -1,0 +1,679 @@
+"""The ``repro serve`` daemon: asyncio HTTP front, supervised solve back.
+
+Architecture — two threads, one direction of ownership:
+
+* the **asyncio event loop** (main thread) owns the HTTP server and all
+  admission decisions: rate limits, load shedding, coalescing, breaker
+  rejection, journaling of accepted jobs.  Handlers never block on a
+  solve — a submit returns a job id immediately and ``GET /jobs/<id>``
+  long-polls the job's completion event.
+* the **dispatcher thread** exclusively owns the
+  :class:`~repro.supervision.SupervisedExecutor` (which is
+  single-threaded by design): it pulls jobs off the weighted fair
+  queue, expands portfolio jobs into one supervised task per
+  breaker-allowed backend, settles each job on its first verdict
+  (killing sibling tasks), and reports per-backend outcomes to the
+  circuit breaker.
+
+Shared state (job registry, fair queue, stats, breaker, journal) is
+individually thread-safe; jobs signal completion through a
+``threading.Event`` the HTTP side polls, so no asyncio primitive is
+ever touched from the dispatcher thread.
+
+The HTTP protocol is deliberately minimal — HTTP/1.1, JSON bodies,
+``Connection: close`` — parsed directly off the asyncio streams so the
+daemon needs nothing beyond the standard library.  Routes::
+
+    POST /submit        {ddg, machine, backend?, objective?, client?,
+                         weight?}                 -> 200 {job: id, ...}
+    GET  /jobs/<id>[?wait=SECONDS]                -> 200 job document
+    GET  /healthz                                 -> 200 {ok, draining}
+    GET  /stats                                   -> 200 full snapshot
+    POST /drain                                   -> 200 (begin drain)
+
+Graceful drain (SIGTERM or ``POST /drain``): admission flips to 503,
+in-flight and queued jobs get ``drain_grace`` seconds to finish, and
+whatever remains is already in the journal as accepted-but-unfinished
+— the next incarnation re-admits those jobs under their original ids,
+which is also exactly what happens after a SIGKILL with no drain at
+all.  An accepted job is never lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import uuid
+from typing import Dict, List, Optional, Tuple
+
+from repro.ddg.builders import parse_ddg
+from repro.machine import presets
+from repro.parallel.race import (
+    PORTFOLIO_BACKENDS,
+    default_portfolio,
+)
+from repro.serve.admission import FairQueue, TokenBucket
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.config import ServeConfig
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    request_config,
+    solve_args,
+    solve_request,
+)
+from repro.serve.journal import (
+    ServeJournal,
+    read_serve_journal,
+    unfinished_jobs,
+)
+from repro.serve.stats import ServeStats
+from repro.store.tiering import request_key
+from repro.supervision.executor import SupervisedExecutor
+from repro.supervision.journal import config_digest
+from repro.supervision.records import SupervisionPolicy
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: Backends a request may name (``portfolio`` expands to a roster).
+_REQUEST_BACKENDS = ("auto", "portfolio") + PORTFOLIO_BACKENDS
+
+#: Daemon modes.  running -> draining -> halted is the only path.
+_RUNNING = "running"
+_DRAINING = "draining"
+_HALTED = "halted"
+
+
+def _close_inherited_fds(fds) -> None:
+    """Worker initializer: drop the daemon's listening sockets."""
+    for fd in fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+
+
+class ServeDaemon:
+    """One daemon incarnation; see the module docstring for the design."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.stats = ServeStats()
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        self.queue = FairQueue(self.config.queue_depth)
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._buckets_lock = threading.Lock()
+        #: job id -> Job; also holds finished jobs for polling.
+        self._registry: Dict[str, Job] = {}
+        #: coalescing map: store key -> in-flight primary job id.
+        self._inflight: Dict[str, str] = {}
+        self._registry_lock = threading.Lock()
+        self._journal: Optional[ServeJournal] = None
+        self._journal_lock = threading.Lock()
+        self._mode = _RUNNING
+        self._dispatcher: Optional[threading.Thread] = None
+        #: Live connection-handler tasks; drain waits for them so an
+        #: in-flight long-poll gets its response before the loop dies.
+        self._connections: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def _digest(self) -> str:
+        return config_digest("serve", **self.config.digest_settings())
+
+    async def start(self) -> None:
+        """Resume from the journal, start the server and the dispatcher."""
+        self._stopped = asyncio.Event()
+        if self.config.journal is not None:
+            self._resume_from_journal()
+            self._journal = ServeJournal(
+                self.config.journal, self._digest()
+            )
+        # Bind before spawning the dispatcher: workers must know the
+        # listening fds so forked children can close their inherited
+        # copies (an orphaned worker holding the socket would keep the
+        # port half-alive after the daemon is SIGKILLed, turning what
+        # should be instant connection refusals into client hangs).
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+        )
+        self._listen_fds = tuple(
+            sock.fileno() for sock in self._server.sockets
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.port_file:
+            with open(self.config.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{self.port}\n")
+
+    async def run(self) -> None:
+        """Start and serve until a drain completes (SIGTERM/POST /drain)."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(self.drain())
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / unsupported platform
+        await self._stopped.wait()
+
+    async def drain(self) -> None:
+        """Stop admitting; finish or journal in-flight; shut down."""
+        if self._mode != _RUNNING:
+            return
+        self._mode = _DRAINING
+        deadline = time.monotonic() + self.config.drain_grace
+        while time.monotonic() < deadline and self._unfinished() > 0:
+            await asyncio.sleep(0.1)
+        self._mode = _HALTED
+        if self._dispatcher is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._dispatcher.join
+            )
+        with self._journal_lock:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+        pending = {
+            task for task in self._connections
+            if task is not asyncio.current_task()
+        }
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def _unfinished(self) -> int:
+        with self._registry_lock:
+            return sum(
+                1 for job in self._registry.values() if not job.finished
+            )
+
+    def _resume_from_journal(self) -> None:
+        """Rebuild registry state from a previous incarnation's journal."""
+        header, accepted, done = read_serve_journal(self.config.journal)
+        if header is None:
+            return
+        for job_id, line in done.items():
+            source = accepted.get(job_id, {})
+            job = Job(
+                job_id, source.get("client", "anon"),
+                source.get("key", ""), source.get("request", {}),
+            )
+            job.state = line.get("state", DONE)
+            job.entry = line.get("entry")
+            job.error = line.get("error")
+            job.failure = line.get("failure")
+            job.finished_at = job.submitted_at
+            job.event.set()
+            self._registry[job_id] = job
+        for job_id, line in accepted.items():
+            if job_id in done:
+                continue
+            # Interrupted mid-flight: re-admit under the original id so
+            # pollers that outlived the restart still get their answer.
+            job = Job(
+                job_id, line.get("client", "anon"), line.get("key", ""),
+                line.get("request", {}), weight=line.get("weight", 1),
+            )
+            self._registry[job_id] = job
+            primary = self._inflight.get(job.key)
+            if primary is not None:
+                self._coalesce_locked(job, self._registry[primary])
+            else:
+                if job.key:
+                    self._inflight[job.key] = job.id
+                self.queue.push(job, job.client, job.weight)
+            self.stats.bump("resumed")
+
+    # ------------------------------------------------------------------
+    # admission (asyncio thread)
+
+    def _bucket(self, client: str) -> TokenBucket:
+        with self._buckets_lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.config.rate, self.config.burst)
+                self._buckets[client] = bucket
+            return bucket
+
+    def _journal_accepted(self, job: Job) -> None:
+        with self._journal_lock:
+            if self._journal is not None:
+                self._journal.accepted(
+                    job.id, job.client, job.key, job.request, job.weight
+                )
+
+    def _journal_done(self, job: Job) -> None:
+        with self._journal_lock:
+            if self._journal is not None:
+                self._journal.done(
+                    job.id, job.state, entry=job.entry,
+                    error=job.error, failure=job.failure,
+                )
+
+    def _coalesce_locked(self, job: Job, primary: Job) -> None:
+        """Attach ``job`` to ``primary``'s solve (registry lock held)."""
+        job.coalesced_with = primary.id
+        primary.followers.append(job)
+        self.stats.bump("coalesced")
+
+    def submit(self, payload: dict) -> Tuple[int, dict, List[Tuple[str, str]]]:
+        """Admit one submission; returns (status, body, extra headers)."""
+        self.stats.bump("submitted")
+        if self._mode != _RUNNING:
+            return 503, {"error": "daemon is draining"}, []
+        client = str(payload.get("client") or "anon")
+        weight = int(payload.get("weight", 1))
+        wait = self._bucket(client).take()
+        if wait is not None:
+            self.stats.bump("rate_limited")
+            retry = max(1, math.ceil(wait))
+            return (
+                429,
+                {"error": f"client {client!r} exceeded its rate limit",
+                 "retry_after": retry},
+                [("Retry-After", str(retry))],
+            )
+        text = payload.get("ddg")
+        machine_name = payload.get("machine")
+        if not isinstance(text, str) or not text.strip():
+            return 400, {"error": "missing 'ddg' text"}, []
+        if not isinstance(machine_name, str):
+            return 400, {"error": "missing 'machine' preset name"}, []
+        backend = str(payload.get("backend", "portfolio"))
+        if backend not in _REQUEST_BACKENDS:
+            return 400, {
+                "error": f"unknown backend {backend!r}; expected one of "
+                         f"{_REQUEST_BACKENDS}",
+            }, []
+        objective = str(payload.get("objective", "feasibility"))
+        try:
+            machine = presets.by_name(machine_name)
+            ddg = parse_ddg(text)
+            ddg.validate_against(machine)
+        except Exception as exc:  # noqa: BLE001 - user input boundary
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}, []
+        # Backend health: refuse now rather than queue work that the
+        # dispatcher would only bounce off an open breaker.
+        if backend in PORTFOLIO_BACKENDS and not self.breaker.allows(backend):
+            retry = math.ceil(self.breaker.retry_after(backend) or 1)
+            self.stats.bump("breaker_rejected")
+            return (
+                503,
+                {"error": f"backend {backend!r} is circuit-broken",
+                 "retry_after": retry},
+                [("Retry-After", str(retry))],
+            )
+        if backend == "portfolio" and not self.breaker.filter_roster(
+            default_portfolio(objective)
+        ):
+            self.stats.bump("breaker_rejected")
+            return 503, {"error": "every portfolio backend is "
+                                  "circuit-broken"}, []
+        request = {
+            "ddg": text,
+            "machine": machine_name,
+            "backend": backend,
+            "objective": objective,
+            "time_limit": float(
+                payload.get("time_limit", self.config.time_limit)
+            ),
+            "warmstart": bool(payload.get("warmstart", True)),
+        }
+        key = request_key(
+            ddg, machine, request_config(request), self.config.max_extra
+        )
+        job = Job(uuid.uuid4().hex[:12], client, key, request, weight)
+        with self._registry_lock:
+            primary_id = self._inflight.get(key)
+            primary = (
+                self._registry.get(primary_id)
+                if primary_id is not None else None
+            )
+            if primary is not None and not primary.finished:
+                self._registry[job.id] = job
+                self._coalesce_locked(job, primary)
+                self._journal_accepted(job)
+                self.stats.bump("accepted")
+                return 200, {
+                    "job": job.id, "coalesced_with": primary.id,
+                }, []
+            if not self.queue.push(job, client, weight):
+                self.stats.bump("shed")
+                retry = max(1, math.ceil(
+                    self.config.queue_depth / self.config.rate
+                ))
+                return (
+                    429,
+                    {"error": "admission queue is full",
+                     "retry_after": retry},
+                    [("Retry-After", str(retry))],
+                )
+            self._registry[job.id] = job
+            self._inflight[key] = job.id
+        self._journal_accepted(job)
+        self.stats.bump("accepted")
+        return 200, {"job": job.id}, []
+
+    # ------------------------------------------------------------------
+    # dispatcher (its own thread; sole owner of the executor)
+
+    def _policy(self) -> SupervisionPolicy:
+        return SupervisionPolicy(
+            deadline=self.config.deadline,
+            grace=self.config.grace,
+            max_retries=self.config.max_retries,
+            backoff=self.config.backoff,
+        )
+
+    def _job_backends(self, job: Job) -> Tuple[str, ...]:
+        backend = job.request.get("backend", "auto")
+        objective = job.request.get("objective", "feasibility")
+        if backend == "portfolio":
+            return self.breaker.filter_roster(default_portfolio(objective))
+        if backend in PORTFOLIO_BACKENDS:
+            return (backend,) if self.breaker.allows(backend) else ()
+        return (str(backend),)  # "auto": untracked by the breaker
+
+    def _dispatch_loop(self) -> None:
+        initializer, initargs = None, ()
+        if multiprocessing.get_start_method() == "fork":
+            # Forked workers inherit the listening socket; close it so
+            # the port dies with the daemon process, not with the last
+            # solver worker.  (spawn/forkserver children inherit no
+            # fds, and closing by number there would hit a stranger's.)
+            initializer = _close_inherited_fds
+            initargs = (getattr(self, "_listen_fds", ()),)
+        executor = SupervisedExecutor(
+            max_workers=self.config.workers, policy=self._policy(),
+            initializer=initializer, initargs=initargs,
+        )
+        #: task -> (job, backend); one job may fan out to many tasks.
+        task_map: Dict[object, Tuple[Job, str]] = {}
+        #: job id -> outstanding tasks (for sibling kills).
+        job_tasks: Dict[str, List[object]] = {}
+        try:
+            while True:
+                if self._mode == _HALTED:
+                    break
+                if (self._mode == _DRAINING
+                        and not task_map and len(self.queue) == 0):
+                    break
+                while executor.outstanding() < self.config.workers:
+                    job = self.queue.pop()
+                    if job is None:
+                        break
+                    self._start_job(executor, job, task_map, job_tasks)
+                if not task_map:
+                    time.sleep(0.05)
+                    continue
+                for task in executor.poll(timeout=0.2):
+                    self._task_finished(
+                        executor, task, task_map, job_tasks
+                    )
+        finally:
+            # Whatever is still outstanding stays accepted-but-
+            # unfinished in the journal; the next incarnation re-admits.
+            executor.shutdown()
+
+    def _start_job(self, executor, job: Job, task_map, job_tasks) -> None:
+        roster = self._job_backends(job)
+        if not roster:
+            self._finish_job(
+                job, FAILED,
+                error="every eligible backend is circuit-broken",
+                failure={"kind": "breaker_open", "detail":
+                         "roster empty after breaker filtering"},
+            )
+            return
+        job.state = RUNNING
+        tasks = []
+        for name in roster:
+            task = executor.submit(
+                solve_request,
+                *solve_args(job.request, name, self.config.max_extra,
+                            self.config.store),
+                tag=job.id,
+                deadline=self.config.deadline,
+            )
+            task_map[task] = (job, name)
+            tasks.append(task)
+        job_tasks[job.id] = tasks
+
+    def _task_finished(self, executor, task, task_map, job_tasks) -> None:
+        entry = task_map.pop(task, None)
+        if entry is None:
+            return
+        job, backend = entry
+        remaining = job_tasks.get(job.id, [])
+        if task in remaining:
+            remaining.remove(task)
+        tracked = backend in PORTFOLIO_BACKENDS
+        if task.failure is not None:
+            if tracked:
+                self.breaker.record_failure(backend, task.failure.kind)
+            self.stats.record_failure_kind(task.failure.kind)
+            if job.finished:
+                return  # a sibling already settled the job
+            if remaining:
+                return  # siblings still racing carry the job
+            job_tasks.pop(job.id, None)
+            self._finish_job(
+                job, FAILED,
+                error=f"solve failed ({task.failure.kind}): "
+                      f"{task.failure.detail}",
+                failure=task.failure.to_json_dict(),
+            )
+            return
+        if task.state == CANCELLED:
+            return  # a killed sibling of an already-settled job
+        if tracked:
+            self.breaker.record_success(backend)
+        if job.finished:
+            return
+        # First verdict wins the job; reap the sibling backends.
+        for sibling in list(remaining):
+            if executor.kill_task(sibling):
+                task_map.pop(sibling, None)
+                remaining.remove(sibling)
+        job_tasks.pop(job.id, None)
+        result = dict(task.result)
+        result.setdefault("winner_backend", backend)
+        self._finish_job(job, DONE, entry=result)
+
+    def _finish_job(self, job: Job, state: str,
+                    entry: Optional[dict] = None,
+                    error: Optional[str] = None,
+                    failure: Optional[dict] = None) -> None:
+        """Settle a job and all its coalesced followers (any thread)."""
+        with self._registry_lock:
+            job.state = state
+            job.entry = entry
+            job.error = error
+            job.failure = failure
+            job.finished_at = time.monotonic()
+            if self._inflight.get(job.key) == job.id:
+                del self._inflight[job.key]
+            followers = list(job.followers)
+        self._journal_done(job)
+        self._account_finished(job)
+        job.event.set()
+        for follower in followers:
+            with self._registry_lock:
+                follower.state = state
+                follower.entry = entry
+                follower.error = error
+                follower.failure = failure
+                follower.finished_at = job.finished_at
+            self._journal_done(follower)
+            self._account_finished(follower, coalesced=True)
+            follower.event.set()
+
+    def _account_finished(self, job: Job, coalesced: bool = False) -> None:
+        if job.state == DONE:
+            self.stats.bump("completed")
+            self.stats.record_latency(job.latency())
+            store = (job.entry or {}).get("store")
+            if store and store.get("hit"):
+                self.stats.bump(
+                    "coalesce_store_hits" if coalesced else "store_hits"
+                )
+        else:
+            self.stats.bump("failed")
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing (asyncio thread)
+
+    def snapshot(self) -> dict:
+        doc = self.stats.snapshot()
+        doc["queue"] = {
+            "depth": len(self.queue),
+            "capacity": self.config.queue_depth,
+            "unfinished_jobs": self._unfinished(),
+        }
+        doc["breakers"] = self.breaker.snapshot()
+        doc["mode"] = self._mode
+        doc["workers"] = self.config.workers
+        return doc
+
+    async def _route(
+        self, method: str, path: str, payload: dict
+    ) -> Tuple[int, dict, List[Tuple[str, str]]]:
+        path, _, query = path.partition("?")
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "ok": self._mode != _HALTED,
+                "draining": self._mode != _RUNNING,
+            }, []
+        if path == "/stats" and method == "GET":
+            return 200, self.snapshot(), []
+        if path == "/submit" and method == "POST":
+            return self.submit(payload)
+        if path == "/drain" and method == "POST":
+            asyncio.get_running_loop().create_task(self.drain())
+            return 200, {"draining": True}, []
+        if path.startswith("/jobs/") and method == "GET":
+            job_id = path[len("/jobs/"):]
+            wait = 0.0
+            for part in query.split("&"):
+                if part.startswith("wait="):
+                    try:
+                        wait = min(60.0, float(part[5:]))
+                    except ValueError:
+                        return 400, {"error": "bad wait= value"}, []
+            with self._registry_lock:
+                job = self._registry.get(job_id)
+            if job is None:
+                return 404, {"error": f"unknown job {job_id!r}"}, []
+            deadline = time.monotonic() + wait
+            while (not job.event.is_set()
+                   and time.monotonic() < deadline
+                   and self._mode != _HALTED):
+                await asyncio.sleep(0.05)
+            return 200, job.to_json_dict(), []
+        return 405, {"error": f"no route for {method} {path}"}, []
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, raw_path = parts[0], parts[1]
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            payload = {}
+            length = int(headers.get("content-length", "0") or 0)
+            if length:
+                body = await reader.readexactly(length)
+                try:
+                    payload = json.loads(body)
+                    if not isinstance(payload, dict):
+                        raise ValueError("body must be a JSON object")
+                except ValueError as exc:
+                    await self._respond(
+                        writer, 400, {"error": f"bad JSON body: {exc}"}, []
+                    )
+                    return
+            try:
+                status, doc, extra = await self._route(
+                    method, raw_path, payload
+                )
+            except Exception as exc:  # noqa: BLE001 - keep serving
+                status, doc, extra = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }, []
+            await self._respond(writer, status, doc, extra)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, writer, status, doc, extra) -> None:
+        data = json.dumps(doc).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(data)}",
+            "Connection: close",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra)
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + data
+        )
+        await writer.drain()
+
+
+def serve_main(config: ServeConfig) -> int:
+    """Blocking entry point for ``repro serve`` (returns exit code)."""
+    daemon = ServeDaemon(config)
+    try:
+        asyncio.run(daemon.run())
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,139 @@
+"""Accepted/done journal: the daemon's zero-lost-jobs guarantee.
+
+Same physical format as the batch checkpoint journal (PR 4): a JSON
+header line pinning the run configuration, then one JSON line per
+event, appended with a single ``O_APPEND`` write so a torn tail can
+only ever be the final line.  Two event kinds:
+
+* ``accepted`` — written *before* the submit response leaves the
+  daemon, carrying the full replayable request.  Once a client holds a
+  job id, the journal holds everything needed to finish that job.
+* ``done`` — written when the job reaches a terminal state, with the
+  result entry (or failure taxonomy).
+
+On restart, ``accepted`` without a matching ``done`` is exactly the
+set of jobs a crash or SIGKILL interrupted: the daemon re-admits them
+under their original ids, so a poller that survived the restart still
+gets its answer.  ``done`` lines pre-populate the registry, so polls
+for finished jobs keep working across restarts too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.supervision.atomicio import AppendOnlyLines
+from repro.supervision.journal import JournalError
+
+SERVE_JOURNAL_VERSION = 1
+
+
+class ServeJournal:
+    """Append-side handle; one per daemon incarnation."""
+
+    def __init__(self, path, digest: str) -> None:
+        self.path = Path(path)
+        header = None
+        if self.path.exists():
+            header, _, _ = read_serve_journal(self.path)
+        self._writer = AppendOnlyLines(self.path)
+        if header is None:
+            self._writer.append(json.dumps({
+                "journal_version": SERVE_JOURNAL_VERSION,
+                "kind": "serve",
+                "config_digest": digest,
+            }, sort_keys=True))
+        elif header.get("config_digest") != digest:
+            self._writer.close()
+            raise JournalError(
+                f"serve journal {self.path} was written under different "
+                "solve settings; refusing to mix — use a fresh journal"
+            )
+
+    def accepted(self, job_id: str, client: str, key: str,
+                 request: dict, weight: int = 1) -> None:
+        self._writer.append(json.dumps({
+            "event": "accepted",
+            "job": job_id,
+            "client": client,
+            "key": key,
+            "weight": weight,
+            "request": request,
+        }, sort_keys=True))
+
+    def done(self, job_id: str, state: str,
+             entry: Optional[dict] = None,
+             error: Optional[str] = None,
+             failure: Optional[dict] = None) -> None:
+        line = {"event": "done", "job": job_id, "state": state}
+        if entry is not None:
+            line["entry"] = entry
+        if error is not None:
+            line["error"] = error
+        if failure is not None:
+            line["failure"] = failure
+        self._writer.append(json.dumps(line, sort_keys=True))
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "ServeJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_serve_journal(
+    path,
+) -> Tuple[Optional[dict], Dict[str, dict], Dict[str, dict]]:
+    """Parse into ``(header, accepted_by_id, done_by_id)``.
+
+    Corrupt or truncated lines are skipped (indistinguishable from
+    unwritten); later lines for the same job win, matching the
+    append-only re-record discipline of the batch journal.
+    """
+    header: Optional[dict] = None
+    accepted: Dict[str, dict] = {}
+    done: Dict[str, dict] = {}
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return None, accepted, done
+    for index, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict):
+                raise ValueError("journal line is not an object")
+        except ValueError:
+            continue  # torn tail / corruption: treat as unwritten
+        if index == 0 and "journal_version" in doc:
+            if doc.get("journal_version") != SERVE_JOURNAL_VERSION:
+                raise JournalError(
+                    f"unsupported serve journal version "
+                    f"{doc.get('journal_version')!r} in {path}"
+                )
+            header = doc
+            continue
+        job_id = doc.get("job")
+        if not isinstance(job_id, str):
+            continue
+        if doc.get("event") == "accepted":
+            accepted[job_id] = doc
+        elif doc.get("event") == "done":
+            done[job_id] = doc
+    return header, accepted, done
+
+
+def unfinished_jobs(path) -> Dict[str, dict]:
+    """Accepted lines with no matching done line: the resume set."""
+    _, accepted, done = read_serve_journal(path)
+    return {
+        job_id: line for job_id, line in accepted.items()
+        if job_id not in done
+    }

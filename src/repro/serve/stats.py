@@ -1,0 +1,72 @@
+"""Live service counters behind ``/stats``.
+
+One thread-safe accumulator shared by the HTTP handlers (admission
+outcomes) and the dispatcher thread (solve outcomes).  Latency
+percentiles come from a bounded reservoir of recent completions — a
+daemon serving millions of requests must not hold per-request state
+forever, and p50/p99 over the last window is what an operator actually
+watches.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Deque, Dict, Optional
+
+#: Completions kept for the latency percentiles.
+_LATENCY_WINDOW = 2048
+
+
+def percentile(samples, fraction: float) -> Optional[float]:
+    """Nearest-rank percentile; None on an empty sample set."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+class ServeStats:
+    """Counters + latency reservoir; every method is thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Counter = Counter()
+        self._failure_kinds: Counter = Counter()
+        self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def record_failure_kind(self, kind: str) -> None:
+        with self._lock:
+            self._failure_kinds[kind] += 1
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            latencies = list(self._latencies)
+            counters = dict(self._counters)
+            failures = dict(self._failure_kinds)
+        completed = counters.get("completed", 0)
+        failed = counters.get("failed", 0)
+        finished = completed + failed
+        return {
+            "counters": counters,
+            "failure_kinds": failures,
+            "error_rate": (failed / finished) if finished else 0.0,
+            "latency": {
+                "samples": len(latencies),
+                "p50_seconds": percentile(latencies, 0.50),
+                "p99_seconds": percentile(latencies, 0.99),
+            },
+        }

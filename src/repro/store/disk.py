@@ -3,10 +3,11 @@
 Layout: ``root/<key[:2]>/<key>.json`` — one file per content address,
 sharded by the first digest byte so directory listings stay cheap at
 tens of thousands of entries.  Writes go through
-:func:`~repro.supervision.atomicio.atomic_write_text` with a per-process
-tmp suffix: concurrent workers publishing the same key never see each
-other's scratch files, ``os.replace`` makes the winner's document appear
-whole, and a torn or corrupt file can only predate this code.
+:func:`~repro.supervision.atomicio.atomic_write_text` with a per-write
+unique tmp suffix (pid + per-process counter): concurrent publishers of
+the same key never see each other's scratch files, ``os.replace`` makes
+the winner's document appear whole, and a torn or corrupt file can only
+predate this code.
 
 Reads are maximally suspicious: unparseable JSON is deleted on sight and
 reported as a miss; a ``store_version`` mismatch is a miss without
@@ -18,13 +19,12 @@ equality, schedule re-verification) lives in :mod:`repro.store.tiering`.
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 from typing import Iterator, Optional, Tuple
 
 from repro.store.keys import STORE_VERSION
-from repro.supervision.atomicio import atomic_write_text
+from repro.supervision.atomicio import atomic_write_text, unique_tmp_suffix
 
 
 class ScheduleStore:
@@ -65,10 +65,14 @@ class ScheduleStore:
     def write(self, key: str, entry: dict) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # A per-write unique suffix (pid + per-process counter): two
+        # publishers of the same key — whether different processes, two
+        # threads of one daemon, or a recycled pid — can never truncate
+        # each other's scratch file; os.replace keeps readers whole.
         atomic_write_text(
             path,
             json.dumps(entry, sort_keys=True) + "\n",
-            tmp_suffix=f".{os.getpid()}.tmp",
+            tmp_suffix=unique_tmp_suffix(),
         )
 
     def delete(self, key: str) -> bool:

@@ -63,6 +63,26 @@ def cached_canonical_form(ddg: Ddg) -> CanonicalForm:
     return form
 
 
+def request_key(
+    ddg: Ddg, machine: Machine, config: AttemptConfig, max_extra: int
+) -> str:
+    """The content address a ``(ddg, machine, config)`` query resolves to.
+
+    Exposed for request coalescing in :mod:`repro.serve`: two
+    submissions with the same key would perform byte-identical sweeps
+    and publish the same store entry, so the daemon runs one solve and
+    fans the result out.  Uses the same canonicalization cache as
+    :func:`lookup`, so computing the key does not duplicate work the
+    eventual solve needs anyway.
+    """
+    form = cached_canonical_form(ddg)
+    return store_key(
+        form.digest,
+        canonical_machine_digest(machine),
+        config_fingerprint(config, max_extra),
+    )
+
+
 def _validated_result(
     entry: dict,
     form: CanonicalForm,

@@ -5,16 +5,65 @@ Reports, BENCH files and saved schedules are written via a sibling
 either the old content or the new — never a truncated JSON document.
 Journal lines are appended with a single ``os.write`` on an O_APPEND
 descriptor, the POSIX idiom for all-or-nothing appends.
+
+Durability (``fsync``) is policy, not dogma: production runs want every
+journal line on the platter before the supervisor reports it written,
+but test suites that create thousands of short-lived journals pay a
+large latency tax for durability they throw away seconds later.  The
+``REPRO_FSYNC`` environment variable controls it process-wide:
+
+* unset / ``on`` / ``1``  — fsync after every write (the default);
+* ``off`` / ``0`` / ``no`` — skip fsync entirely.  Atomicity is
+  unaffected (``os.replace`` and O_APPEND still guarantee readers see
+  whole documents/lines); only power-loss durability is traded away.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Union
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: Environment variable controlling the fsync policy (see module doc).
+FSYNC_ENV = "REPRO_FSYNC"
+
+_FSYNC_OFF = ("off", "0", "no", "false")
+
+#: Per-process counter folded into scratch-file names.  The pid alone is
+#: not collision-proof: two *threads* of one process (or one process
+#: publishing the same key twice back-to-back, or a recycled pid on a
+#: shared filesystem) would otherwise truncate each other's scratch
+#: file mid-write.  ``itertools.count`` is atomic under the GIL.
+_SCRATCH_IDS = itertools.count()
+_SCRATCH_LOCK = threading.Lock()
+
+
+def fsync_enabled() -> bool:
+    """Whether the current policy calls for fsync after writes."""
+    value = os.environ.get(FSYNC_ENV, "").strip().lower()
+    return value not in _FSYNC_OFF
+
+
+def _maybe_fsync(fd: int) -> None:
+    if fsync_enabled():
+        os.fsync(fd)
+
+
+def unique_tmp_suffix() -> str:
+    """A scratch-file suffix unique across processes *and* within one.
+
+    ``.{pid}.{n}.tmp`` where ``n`` is a per-process counter: concurrent
+    writers to the same target — whether distinct processes or distinct
+    threads/calls of one process — never name the same scratch file.
+    """
+    with _SCRATCH_LOCK:
+        count = next(_SCRATCH_IDS)
+    return f".{os.getpid()}.{count}.tmp"
 
 
 def atomic_write_text(path: PathLike, text: str,
@@ -23,7 +72,7 @@ def atomic_write_text(path: PathLike, text: str,
 
     ``tmp_suffix`` names the sibling scratch file.  Callers racing to
     publish the *same* target from several processes (the schedule
-    store) pass a per-process suffix so writers never truncate each
+    store) pass :func:`unique_tmp_suffix` so writers never truncate each
     other's scratch file; ``os.replace`` then gives last-writer-wins
     with readers always seeing a complete document.
     """
@@ -32,7 +81,7 @@ def atomic_write_text(path: PathLike, text: str,
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(text)
         handle.flush()
-        os.fsync(handle.fileno())
+        _maybe_fsync(handle.fileno())
     os.replace(tmp, target)
 
 
@@ -59,7 +108,7 @@ class AppendOnlyLines:
             raise ValueError("journal lines must not contain newlines")
         data = (line + "\n").encode("utf-8")
         os.write(self._fd, data)
-        os.fsync(self._fd)
+        _maybe_fsync(self._fd)
 
     def close(self) -> None:
         if self._fd is not None:

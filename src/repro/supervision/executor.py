@@ -277,6 +277,17 @@ class SupervisedExecutor:
         cancellation is an expected outcome, not an error.  Returns
         False when the task already finished (its result/failure
         stands) or was already cancelled.
+
+        Kill-after-exit race: between the caller's decision to kill and
+        the escalation here, the worker may already have *finished* the
+        task — its reply sitting unread in the pipe, its process
+        possibly exited (and, in the worst interleaving, its pid
+        reaped and reused by the OS).  Signaling at that point would
+        discard a real verdict and aim TERM/KILL at a process that is
+        no longer ours.  So the worker's pipe is drained first: a reply
+        for this task settles it as DONE/FAILED (delivered by the next
+        :meth:`poll`), the worker is kept alive for reuse, and the
+        caller gets False — "too late, the result stands".
         """
         if task.state == PENDING:
             return self.cancel(task)
@@ -284,15 +295,51 @@ class SupervisedExecutor:
             return False
         now = time.monotonic()
         for worker in list(self._workers):
-            if worker.task is task:
-                worker.task = None
-                worker.kill()
-                self._workers.remove(worker)
-                break
+            if worker.task is not task:
+                continue
+            if self._settle_finished(worker, now):
+                # The task beat the kill: its verdict was already in
+                # the pipe.  Nothing was signaled; the result stands.
+                return False
+            worker.task = None
+            worker.kill()
+            self._workers.remove(worker)
+            break
         task.elapsed += now - (task.started_at or now)
         task.state = CANCELLED
         self._tasks.pop(task.id, None)
         return True
+
+    def _settle_finished(self, worker: _Worker, now: float) -> bool:
+        """Drain a reply for ``worker``'s task, settling it if present.
+
+        Returns True when the in-flight task turned out to be finished
+        (reply drained, task moved to DONE/FAILED and queued for
+        :meth:`poll`); False when no reply is available and the task is
+        genuinely still running (or the worker died without answering —
+        the regular reap path owns that classification).
+        """
+        task = worker.task
+        if task is None:
+            return False
+        try:
+            while worker.conn.poll():
+                status, task_id, *payload = worker.conn.recv()
+                if task_id != task.id:
+                    continue  # stale reply from a pre-kill task
+                worker.task = None
+                task.elapsed += now - (task.started_at or now)
+                if status == "ok":
+                    task.result = payload[0]
+                    task.state = DONE
+                    self._done.append(task)
+                else:
+                    kind, detail = payload
+                    self._fail(task, kind, detail, retryable=False)
+                return True
+        except (EOFError, OSError):
+            pass  # death without a reply: the reap path classifies it
+        return False
 
     def live_children(self) -> List:
         """Worker processes (ever spawned) that are still alive.

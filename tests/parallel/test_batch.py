@@ -142,6 +142,55 @@ class TestJsonReport:
             assert entry.name in text
 
 
+class TestLostCellProvenance:
+    """v8: degraded entries carry taxonomy for every lost period cell."""
+
+    def _result(self, degraded):
+        from repro.core.bounds import LowerBounds
+        from repro.core.scheduler import ScheduleAttempt, SchedulingResult
+        from repro.supervision.records import CRASH, FailureRecord
+
+        attempts = [
+            ScheduleAttempt(t_period=4, status="crash", backend="highs",
+                            failure=FailureRecord(
+                                kind=CRASH, attempt=2, retries=1,
+                                elapsed=0.5, detail="exit code 70")),
+            ScheduleAttempt(t_period=4, status="cancelled", backend="sat"),
+            ScheduleAttempt(t_period=5, status="optimal", backend="bnb"),
+        ]
+        return SchedulingResult(
+            loop_name="ex", bounds=LowerBounds(t_dep=4, t_res=3),
+            attempts=attempts, degraded=degraded,
+        )
+
+    def test_lost_cells_cover_failures_and_cancellations(self):
+        lost = self._result(degraded=True).lost_cells()
+        assert lost == [
+            {"t": 4, "backend": "highs", "kind": "crash",
+             "detail": "exit code 70"},
+            {"t": 4, "backend": "sat", "kind": "cancelled", "detail": ""},
+        ]
+
+    def test_degraded_entry_emits_lost_cells(self):
+        from repro.parallel.batch import BatchEntry
+
+        entry = BatchEntry(name="ex", source="<memory>", num_ops=3,
+                           result=self._result(degraded=True))
+        doc = entry.to_json_dict()
+        assert doc["degraded"] is True
+        assert [c["kind"] for c in doc["lost_cells"]] == [
+            "crash", "cancelled",
+        ]
+        assert json.loads(json.dumps(doc))["lost_cells"] == doc["lost_cells"]
+
+    def test_clean_entry_omits_lost_cells(self):
+        from repro.parallel.batch import BatchEntry
+
+        entry = BatchEntry(name="ex", source="<memory>", num_ops=3,
+                           result=self._result(degraded=False))
+        assert "lost_cells" not in entry.to_json_dict()
+
+
 class TestBatchCli:
     def test_batch_subcommand(self, tmp_path, capsys):
         out = tmp_path / "report.json"

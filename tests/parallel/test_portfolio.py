@@ -193,13 +193,13 @@ class TestBatchPortfolio:
             ), a.name
         assert not _no_stray_children()
 
-    def test_report_v7_surface(self, corpus, tmp_path):
+    def test_report_portfolio_surface(self, corpus, tmp_path):
         machine, paths = corpus
         report = run_batch(
             paths, machine, jobs=4, backends=("highs", "bnb", "sat"),
         )
         doc = report.to_json_dict()
-        assert doc["report_version"] == REPORT_VERSION == 7
+        assert doc["report_version"] == REPORT_VERSION == 8
 
         agg = doc["portfolio"]
         assert agg["raced"] == len(paths)

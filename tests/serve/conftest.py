@@ -1,0 +1,67 @@
+"""Shared helpers: run a ServeDaemon on a background event loop."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.daemon import ServeDaemon
+
+
+class DaemonThread:
+    """Host one daemon incarnation on its own asyncio loop + thread.
+
+    Tests drive it through :class:`ServeClient` over real HTTP, and may
+    also reach into ``self.daemon`` (breaker, stats) for white-box
+    assertions — everything on the daemon side is thread-safe.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.daemon = ServeDaemon(config)
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="daemon-under-test", daemon=True
+        )
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        await self.daemon.start()
+        self._ready.set()
+        await self.daemon._stopped.wait()
+
+    def start(self) -> ServeClient:
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("daemon failed to start in 30s")
+        return ServeClient("127.0.0.1", self.daemon.port)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        client = ServeClient("127.0.0.1", self.daemon.port, timeout=5.0)
+        try:
+            client.drain()
+        except Exception:
+            pass  # already halted
+        self._thread.join(timeout=timeout)
+
+
+@pytest.fixture
+def daemon_factory(monkeypatch):
+    """Yield a factory; every daemon it makes is drained at teardown."""
+    monkeypatch.setenv("REPRO_FSYNC", "off")  # tmpfs-speed journals
+    running = []
+
+    def make(**overrides) -> DaemonThread:
+        overrides.setdefault("port", 0)
+        overrides.setdefault("workers", 2)
+        overrides.setdefault("time_limit", 5.0)
+        host = DaemonThread(ServeConfig(**overrides))
+        running.append(host)
+        return host
+
+    yield make
+    for host in running:
+        host.stop()

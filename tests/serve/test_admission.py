@@ -1,0 +1,95 @@
+"""Unit tests for admission control: token buckets and fair queueing."""
+
+from repro.serve.admission import FairQueue, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert bucket.take() is None
+        assert bucket.take() is None
+        assert bucket.take() is None
+        wait = bucket.take()
+        assert wait is not None and wait > 0
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        assert bucket.take() is None
+        assert bucket.take() is None
+        assert bucket.take() is not None
+        clock.advance(0.5)  # 2/s * 0.5s = one token back
+        assert bucket.take() is None
+        assert bucket.take() is not None
+
+    def test_retry_after_is_time_to_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        assert bucket.take() is None
+        wait = bucket.take()
+        assert wait is not None
+        assert abs(wait - 0.25) < 1e-9
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)  # long idle must not bank extra tokens
+        assert bucket.take() is None
+        assert bucket.take() is None
+        assert bucket.take() is not None
+
+
+class TestFairQueue:
+    def test_fifo_for_one_client(self):
+        queue = FairQueue(depth=8)
+        for i in range(4):
+            assert queue.push(i, client="a")
+        assert [queue.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_depth_bound_sheds(self):
+        queue = FairQueue(depth=2)
+        assert queue.push("x", client="a")
+        assert queue.push("y", client="a")
+        assert not queue.push("z", client="a")  # full: load-shed signal
+        assert len(queue) == 2
+
+    def test_interleaves_equal_weight_clients(self):
+        queue = FairQueue(depth=16)
+        for i in range(3):
+            queue.push(("a", i), client="a")
+        for i in range(3):
+            queue.push(("b", i), client="b")
+        order = [queue.pop() for _ in range(6)]
+        # A burst from one client must not starve the other: each
+        # client's items alternate rather than draining a first.
+        first_three = order[:3]
+        assert {item[0] for item in first_three} == {"a", "b"}
+
+    def test_weight_biases_service(self):
+        queue = FairQueue(depth=32)
+        for i in range(6):
+            queue.push(("heavy", i), client="heavy", weight=3)
+            queue.push(("light", i), client="light", weight=1)
+        order = [queue.pop() for _ in range(8)]
+        heavy = sum(1 for item in order if item[0] == "heavy")
+        light = sum(1 for item in order if item[0] == "light")
+        assert heavy > light
+
+    def test_pop_empty_returns_none(self):
+        queue = FairQueue(depth=4)
+        assert queue.pop() is None
+        queue.push("x", client="a")
+        assert queue.pop() == "x"
+        assert queue.pop() is None

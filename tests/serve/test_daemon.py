@@ -1,0 +1,235 @@
+"""End-to-end daemon tests: real HTTP, real supervised workers.
+
+Each test boots a private daemon on an ephemeral port via the
+``daemon_factory`` fixture and drives it with :class:`ServeClient`.
+White-box assertions (breaker state, stats counters) go straight to
+the in-process daemon object, which is thread-safe by design.
+"""
+
+import time
+
+import pytest
+
+from repro.ddg.builders import serialize_ddg
+from repro.ddg.kernels import daxpy, dot_product, livermore_kernel1
+from repro.serve.client import ServeError
+from repro.serve.config import ServeConfig
+from repro.serve.journal import ServeJournal, read_serve_journal
+from repro.supervision.journal import config_digest
+
+MACHINE = "powerpc604"
+
+DOT = serialize_ddg(dot_product())
+DAXPY = serialize_ddg(daxpy())
+LK1 = serialize_ddg(livermore_kernel1())
+
+
+class TestSubmitPoll:
+    def test_submit_then_wait_reaches_done(self, daemon_factory):
+        client = daemon_factory().start()
+        response = client.submit(DOT, MACHINE, backend="auto")
+        doc = client.wait_for(response["job"], timeout=60)
+        assert doc["state"] == "done"
+        entry = doc["entry"]
+        assert entry["schedule"] is not None
+        assert entry["achieved_t"] >= entry["t_lb"]
+        assert entry["winner_backend"] == "auto"
+
+    def test_healthz_and_stats_shape(self, daemon_factory):
+        client = daemon_factory().start()
+        assert client.healthz() == {"ok": True, "draining": False}
+        snap = client.stats()
+        assert snap["queue"]["capacity"] == 64
+        assert snap["mode"] == "running"
+        assert "counters" in snap and "breakers" in snap
+
+    def test_unknown_job_is_404(self, daemon_factory):
+        client = daemon_factory().start()
+        with pytest.raises(ServeError) as err:
+            client.job("no-such-job")
+        assert err.value.status == 404
+
+    def test_bad_requests_are_400(self, daemon_factory):
+        client = daemon_factory().start()
+        for status, _ in (
+            client.submit_raw("", MACHINE),
+            client.submit_raw("not a ddg at all", MACHINE),
+            client.submit_raw(DOT, "no-such-machine"),
+            client.submit_raw(DOT, MACHINE, backend="no-such-backend"),
+        ):
+            assert status == 400
+
+    def test_portfolio_submit_names_a_winner(self, daemon_factory):
+        client = daemon_factory().start()
+        response = client.submit(DOT, MACHINE, backend="portfolio")
+        doc = client.wait_for(response["job"], timeout=60)
+        assert doc["state"] == "done"
+        assert doc["entry"]["winner_backend"] in ("highs", "bnb", "sat")
+
+
+class TestCoalescing:
+    def test_identical_submissions_share_one_solve(self, daemon_factory):
+        host = daemon_factory()
+        client = host.start()
+        first = client.submit(DOT, MACHINE, backend="auto")
+        second = client.submit(DOT, MACHINE, backend="auto")
+        assert second["coalesced_with"] == first["job"]
+        done_first = client.wait_for(first["job"], timeout=60)
+        done_second = client.wait_for(second["job"], timeout=10)
+        assert done_first["state"] == done_second["state"] == "done"
+        assert done_first["entry"]["achieved_t"] == \
+            done_second["entry"]["achieved_t"]
+        assert host.daemon.stats.count("coalesced") == 1
+
+    def test_different_requests_do_not_coalesce(self, daemon_factory):
+        client = daemon_factory().start()
+        first = client.submit(DOT, MACHINE, backend="auto")
+        second = client.submit(DAXPY, MACHINE, backend="auto")
+        assert "coalesced_with" not in second
+        assert first["job"] != second["job"]
+
+
+class TestAdmissionControl:
+    def test_rate_limit_returns_429_with_retry_after(self, daemon_factory):
+        client = daemon_factory(rate=0.001, burst=2).start()
+        client.submit(DOT, MACHINE, client="bursty")
+        client.submit(DOT, MACHINE, client="bursty")
+        status, body = client.submit_raw(DOT, MACHINE, client="bursty")
+        assert status == 429
+        assert body["retry_after"] >= 1
+        # Buckets are per client: a different caller is unaffected.
+        status, _ = client.submit_raw(DOT, MACHINE, client="other")
+        assert status == 200
+
+    def test_full_queue_sheds_with_429(self, daemon_factory, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "hang@solve:seconds=30")
+        host = daemon_factory(
+            workers=1, queue_depth=1, deadline=20.0, drain_grace=0.2,
+        )
+        client = host.start()
+        client.submit(DOT, MACHINE, backend="auto")
+        deadline = time.monotonic() + 5
+        while len(host.daemon.queue) and time.monotonic() < deadline:
+            time.sleep(0.05)  # let the dispatcher claim the first job
+        client.submit(DAXPY, MACHINE, backend="auto")  # fills the queue
+        status, body = client.submit_raw(LK1, MACHINE, backend="auto")
+        assert status == 429
+        assert "queue" in body["error"]
+        assert host.daemon.stats.count("shed") == 1
+
+
+class TestDrain:
+    def test_drain_refuses_new_work_and_stops(self, daemon_factory):
+        host = daemon_factory(drain_grace=10.0)
+        client = host.start()
+        accepted = client.submit(DOT, MACHINE, backend="auto")
+        client.drain()
+        assert client.healthz()["draining"] is True
+        status, body = client.submit_raw(DAXPY, MACHINE)
+        assert status == 503
+        assert "draining" in body["error"]
+        # The accepted job still finishes inside the grace window.
+        doc = client.wait_for(accepted["job"], timeout=60)
+        assert doc["state"] == "done"
+        host._thread.join(timeout=30)
+        assert not host._thread.is_alive()
+        assert host.daemon._mode == "halted"
+
+
+class TestJournalResume:
+    def _seed_interrupted_journal(self, path, config):
+        """Write what a SIGKILLed daemon leaves: accepted, no done."""
+        digest = config_digest("serve", **config.digest_settings())
+        with ServeJournal(path, digest) as journal:
+            journal.accepted(
+                "orphan0001ab", client="survivor", key="k-orphan",
+                request={
+                    "ddg": DOT, "machine": MACHINE, "backend": "auto",
+                    "objective": "feasibility", "time_limit": 5.0,
+                    "warmstart": True,
+                },
+            )
+
+    def test_interrupted_job_finishes_after_restart(
+        self, daemon_factory, tmp_path
+    ):
+        journal = tmp_path / "serve.jsonl"
+        config = ServeConfig(time_limit=5.0)
+        self._seed_interrupted_journal(journal, config)
+        host = daemon_factory(journal=str(journal), time_limit=5.0)
+        client = host.start()
+        # The poller that outlived the "crash" still gets its answer,
+        # under the original job id.
+        doc = client.wait_for("orphan0001ab", timeout=60)
+        assert doc["state"] == "done"
+        assert doc["entry"]["achieved_t"] >= 1
+        assert host.daemon.stats.count("resumed") == 1
+        _, accepted, done = read_serve_journal(journal)
+        assert "orphan0001ab" in done
+
+    def test_finished_jobs_survive_restart_for_polling(
+        self, daemon_factory, tmp_path
+    ):
+        journal = tmp_path / "serve.jsonl"
+        first = daemon_factory(journal=str(journal), time_limit=5.0)
+        client = first.start()
+        job_id = client.submit(DOT, MACHINE, backend="auto")["job"]
+        done = client.wait_for(job_id, timeout=60)
+        first.stop()
+        second = daemon_factory(journal=str(journal), time_limit=5.0)
+        client = second.start()
+        replay = client.job(job_id)
+        assert replay["state"] == "done"
+        assert replay["entry"]["achieved_t"] == \
+            done["entry"]["achieved_t"]
+
+
+class TestBreakerConfinement:
+    """A crashing backend is tripped out; the rest keep serving."""
+
+    def test_tripped_backend_is_confined_then_probed(
+        self, daemon_factory, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "crash@attempt:backend=bnb")
+        host = daemon_factory(
+            breaker_threshold=1, breaker_cooldown=2.0, max_retries=0,
+        )
+        client = host.start()
+
+        # 1. The faulted backend crashes its job and trips the breaker.
+        # (warmstart off: the heuristic pre-pass would otherwise settle
+        # the loop before any ILP attempt fires the fault site.)
+        failed = client.submit(DOT, MACHINE, backend="bnb",
+                               warmstart=False)
+        doc = client.wait_for(failed["job"], timeout=60)
+        assert doc["state"] == "failed"
+        assert doc["failure"]["kind"] == "crash"
+        assert host.daemon.breaker.state("bnb") == "open"
+
+        # 2. Direct submissions to it are refused up front (503).
+        status, body = client.submit_raw(DOT, MACHINE, backend="bnb")
+        assert status == 503
+        assert body["retry_after"] >= 1
+        assert host.daemon.stats.count("breaker_rejected") == 1
+
+        # 3. Portfolio jobs drop it from the roster and still serve.
+        survived = client.submit(DAXPY, MACHINE, backend="portfolio")
+        doc = client.wait_for(survived["job"], timeout=60)
+        assert doc["state"] == "done"
+        assert doc["entry"]["winner_backend"] != "bnb"
+        assert client.stats()["breakers"]["bnb"]["state"] == "open"
+
+        # 4. After the cooldown it re-enters half-open for one probe...
+        time.sleep(2.1)
+        assert host.daemon.breaker.allows("bnb")
+        assert host.daemon.breaker.state("bnb") == "half_open"
+        assert "bnb" in host.daemon.breaker.filter_roster(
+            ("highs", "bnb", "sat")
+        )
+
+        # 5. ...and the still-crashing probe re-opens it immediately.
+        probe = client.submit(LK1, MACHINE, backend="bnb",
+                              warmstart=False)
+        doc = client.wait_for(probe["job"], timeout=60)
+        assert doc["state"] == "failed"
+        assert host.daemon.breaker.state("bnb") == "open"

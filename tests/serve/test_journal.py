@@ -1,0 +1,94 @@
+"""Unit tests for the serve accepted/done journal."""
+
+import json
+
+import pytest
+
+from repro.serve.journal import (
+    SERVE_JOURNAL_VERSION,
+    ServeJournal,
+    read_serve_journal,
+    unfinished_jobs,
+)
+from repro.supervision.journal import JournalError
+
+REQUEST = {"ddg": "loop x { }", "machine": "powerpc604",
+           "backend": "auto", "objective": "min_sum_t",
+           "time_limit": 5.0, "warmstart": True}
+
+
+class TestRoundTrip:
+    def test_header_then_events(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        with ServeJournal(path, digest="abc") as journal:
+            journal.accepted("j1", client="c", key="k1", request=REQUEST)
+            journal.done("j1", "done", entry={"achieved_t": 4})
+        header, accepted, done = read_serve_journal(path)
+        assert header["journal_version"] == SERVE_JOURNAL_VERSION
+        assert header["config_digest"] == "abc"
+        assert accepted["j1"]["request"] == REQUEST
+        assert done["j1"]["entry"] == {"achieved_t": 4}
+
+    def test_reopen_appends_without_second_header(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        with ServeJournal(path, digest="abc") as journal:
+            journal.accepted("j1", client="c", key="k", request=REQUEST)
+        with ServeJournal(path, digest="abc") as journal:
+            journal.done("j1", "done", entry={})
+        lines = path.read_text().splitlines()
+        headers = [l for l in lines if "journal_version" in l]
+        assert len(headers) == 1
+        assert unfinished_jobs(path) == {}
+
+    def test_digest_mismatch_refuses(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        ServeJournal(path, digest="abc").close()
+        with pytest.raises(JournalError):
+            ServeJournal(path, digest="different")
+
+
+class TestResumeSet:
+    def test_accepted_without_done_is_unfinished(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        with ServeJournal(path, digest="d") as journal:
+            journal.accepted("j1", client="c", key="k1", request=REQUEST)
+            journal.accepted("j2", client="c", key="k2", request=REQUEST)
+            journal.done("j1", "done", entry={})
+        pending = unfinished_jobs(path)
+        assert set(pending) == {"j2"}
+        assert pending["j2"]["request"] == REQUEST
+
+    def test_failed_done_lines_count_as_finished(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        with ServeJournal(path, digest="d") as journal:
+            journal.accepted("j1", client="c", key="k", request=REQUEST)
+            journal.done("j1", "failed", error="boom",
+                         failure={"kind": "crash"})
+        assert unfinished_jobs(path) == {}
+        _, _, done = read_serve_journal(path)
+        assert done["j1"]["failure"]["kind"] == "crash"
+
+
+class TestCorruption:
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        with ServeJournal(path, digest="d") as journal:
+            journal.accepted("j1", client="c", key="k", request=REQUEST)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "done", "job": "j1", "sta')  # torn
+        header, accepted, done = read_serve_journal(path)
+        assert header is not None
+        assert "j1" in accepted and "j1" not in done
+        assert set(unfinished_jobs(path)) == {"j1"}
+
+    def test_unknown_version_raises(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        path.write_text(json.dumps(
+            {"journal_version": 99, "kind": "serve"}) + "\n")
+        with pytest.raises(JournalError):
+            read_serve_journal(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        header, accepted, done = read_serve_journal(
+            tmp_path / "absent.jsonl")
+        assert header is None and not accepted and not done

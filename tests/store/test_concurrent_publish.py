@@ -1,0 +1,109 @@
+"""Two-writer stress: concurrent same-key publication must never tear.
+
+PR 9 replaced the per-pid scratch suffix with a (pid, counter) suffix
+precisely because two writers publishing the same key — two threads of
+one daemon, or one process publishing twice back-to-back — could
+otherwise truncate each other's scratch file mid-write.  These tests
+hammer one key from many processes and many threads and assert every
+read along the way sees a complete document.
+"""
+
+import json
+import multiprocessing
+import threading
+
+from repro.store.disk import ScheduleStore
+from repro.store.keys import STORE_VERSION
+
+KEY = "cc" + "2" * 62
+ROUNDS = 40
+
+
+def _entry(writer, round_index):
+    # A payload large enough that a torn write would be conspicuous.
+    return {
+        "store_version": STORE_VERSION,
+        "writer": writer,
+        "round": round_index,
+        "bulk": "x" * 4096,
+    }
+
+
+def _hammer(root, writer, rounds, errors):
+    try:
+        store = ScheduleStore(root)
+        for index in range(rounds):
+            store.write(KEY, _entry(writer, index))
+            seen = store.read(KEY)
+            # Reads may interleave with the other writer, but must be
+            # a whole document from *some* writer, never a hybrid.
+            if seen is not None and len(seen.get("bulk", "")) != 4096:
+                errors.append(f"{writer}: torn read at round {index}")
+    except Exception as exc:  # pragma: no cover - failure reporting
+        errors.append(f"{writer}: {type(exc).__name__}: {exc}")
+
+
+class TestTwoWriterStress:
+    def test_two_processes_same_key(self, tmp_path):
+        root = tmp_path / "store"
+        manager = multiprocessing.Manager()
+        errors = manager.list()
+        workers = [
+            multiprocessing.Process(
+                target=_hammer, args=(root, f"proc{i}", ROUNDS, errors)
+            )
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=100)
+        assert all(worker.exitcode == 0 for worker in workers)
+        assert list(errors) == []
+        final = ScheduleStore(root).read(KEY)
+        assert final is not None and len(final["bulk"]) == 4096
+
+    def test_many_threads_same_key(self, tmp_path):
+        root = tmp_path / "store"
+        errors = []
+        threads = [
+            threading.Thread(
+                target=_hammer, args=(root, f"thread{i}", ROUNDS, errors)
+            )
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_no_scratch_files_survive(self, tmp_path):
+        root = tmp_path / "store"
+        errors = []
+        _hammer(root, "solo", ROUNDS, errors)
+        assert errors == []
+        leftovers = list(root.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_shard_file_is_valid_json_after_the_dust_settles(
+        self, tmp_path
+    ):
+        root = tmp_path / "store"
+        errors = []
+        threads = [
+            threading.Thread(
+                target=_hammer, args=(root, f"t{i}", ROUNDS, errors)
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        files = [p for p in root.rglob("*") if p.is_file()]
+        assert files
+        for path in files:
+            doc = json.loads(path.read_text())
+            assert doc["store_version"] == STORE_VERSION

@@ -5,6 +5,7 @@ import os
 
 import pytest
 
+from repro.supervision import atomicio
 from repro.supervision.atomicio import (
     AppendOnlyLines,
     atomic_write_json,
@@ -62,3 +63,68 @@ class TestAppendOnlyLines:
         log = AppendOnlyLines(tmp_path / "log.jsonl")
         log.close()
         log.close()
+
+
+class TestFsyncPolicy:
+    def test_default_is_durable(self, monkeypatch):
+        monkeypatch.delenv(atomicio.FSYNC_ENV, raising=False)
+        assert atomicio.fsync_enabled()
+
+    @pytest.mark.parametrize("value", ["off", "0", "no", "false", " OFF "])
+    def test_disabling_spellings(self, monkeypatch, value):
+        monkeypatch.setenv(atomicio.FSYNC_ENV, value)
+        assert not atomicio.fsync_enabled()
+
+    @pytest.mark.parametrize("value", ["on", "1", "yes", ""])
+    def test_everything_else_stays_durable(self, monkeypatch, value):
+        monkeypatch.setenv(atomicio.FSYNC_ENV, value)
+        assert atomicio.fsync_enabled()
+
+    def test_fsync_off_skips_the_syscall(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(atomicio.os, "fsync",
+                            lambda fd: calls.append(fd))
+        monkeypatch.setenv(atomicio.FSYNC_ENV, "off")
+        atomicio.atomic_write_text(tmp_path / "a.txt", "x")
+        with atomicio.AppendOnlyLines(tmp_path / "j.jsonl") as journal:
+            journal.append("line")
+        assert calls == []
+        monkeypatch.setenv(atomicio.FSYNC_ENV, "on")
+        atomicio.atomic_write_text(tmp_path / "b.txt", "y")
+        assert len(calls) == 1
+
+    def test_fsync_off_keeps_atomicity(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(atomicio.FSYNC_ENV, "off")
+        path = tmp_path / "doc.json"
+        atomicio.atomic_write_json(path, {"v": 1})
+        atomicio.atomic_write_json(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestUniqueTmpSuffix:
+    def test_embeds_pid_and_never_repeats(self):
+        import os as _os
+
+        suffixes = {atomicio.unique_tmp_suffix() for _ in range(100)}
+        assert len(suffixes) == 100
+        assert all(s.startswith(f".{_os.getpid()}.") for s in suffixes)
+        assert all(s.endswith(".tmp") for s in suffixes)
+
+    def test_threads_never_collide(self):
+        import threading as _threading
+
+        seen, lock = [], _threading.Lock()
+
+        def grab():
+            for _ in range(200):
+                suffix = atomicio.unique_tmp_suffix()
+                with lock:
+                    seen.append(suffix)
+
+        threads = [_threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == len(set(seen))

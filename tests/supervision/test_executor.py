@@ -268,6 +268,42 @@ class TestKillTask:
             assert not executor.kill_task(done)
             assert done.state == DONE and done.result == 8
 
+    def test_kill_after_exit_race_keeps_result(self):
+        """A task that finishes between verdict and escalation survives.
+
+        The caller decides to kill while the worker's reply is already
+        sitting unread in the pipe (the worker may even have exited —
+        its pid could be reaped and reused).  ``kill_task`` must drain
+        the reply, refuse the kill, keep the worker, and let ``poll``
+        deliver the real result — never signal the stale pid.
+        """
+        with SupervisedExecutor(max_workers=1) as executor:
+            task = executor.submit(_double, 21)
+            # Start the task without letting the supervisor reap the
+            # reply: drive dispatch via the internals, then wait for
+            # the worker's answer to land in the pipe unread.
+            executor._dispatch()
+            (worker,) = executor._workers
+            deadline = time.monotonic() + 5.0
+            while not worker.conn.poll():
+                assert time.monotonic() < deadline, "worker never replied"
+                time.sleep(0.01)
+            # The race window: task RUNNING, reply unread, kill issued.
+            assert task.state == "running"
+            assert not executor.kill_task(task)
+            assert task.state == DONE
+            assert task.result == 42
+            assert task.failure is None
+            # The worker was not killed: same process, still reusable.
+            assert executor._workers == [worker]
+            assert worker.process.is_alive()
+            # poll() delivers the settled result exactly once.
+            assert executor.poll(timeout=0.0) == [task]
+            assert executor.poll(timeout=0.0) == []
+            follow_up = executor.submit(_double, 4)
+            _drain(executor)
+            assert follow_up.result == 8
+
     def test_pool_survives_a_kill(self):
         with SupervisedExecutor(max_workers=1) as executor:
             victim = executor.submit(_sleep, 60.0)

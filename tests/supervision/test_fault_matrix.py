@@ -387,6 +387,47 @@ class TestPortfolioSupervised:
         # settle is not necessarily last as in single-backend races.
         assert any(a.status == DEGRADED for a in result.attempts)
 
+    def test_degraded_winner_carries_lost_cell_taxonomy(
+        self, monkeypatch, ddg, machine
+    ):
+        """v8 provenance: every lost period cell is accounted for.
+
+        Crashing the whole roster forces a degraded settle; the report
+        must then name each lost (T, backend) cell with its failure
+        kind — including portfolio losers that were merely cancelled.
+        """
+        from repro.parallel.batch import BatchEntry
+
+        monkeypatch.setenv(ENV_VAR, "crash@attempt")
+        result = race_periods(
+            ddg, machine, jobs=4, time_limit_per_t=10.0,
+            policy=NO_RETRY, objective="min_sum_t",
+            backends=("highs", "bnb"),
+        )
+        assert result.degraded
+        lost = result.lost_cells()
+        # Exactly the attempts without a verdict, one record each.
+        expected = [
+            a for a in result.attempts
+            if a.failure is not None or a.status == "cancelled"
+        ]
+        assert len(lost) == len(expected) > 0
+        assert {c["kind"] for c in lost} <= {
+            CRASH, HANG, OOM, SOLVER_ERROR, INTERRUPTED, "cancelled",
+        }
+        assert CRASH in {c["kind"] for c in lost}
+        for cell in lost:
+            assert cell["t"] >= result.bounds.t_lb
+            # "" marks a cell cancelled before it reached a backend.
+            assert cell["backend"] in ("highs", "bnb", "")
+        # The v8 report entry surfaces the same records verbatim.
+        entry = BatchEntry(
+            name=ddg.name, source="<memory>", num_ops=len(ddg.ops),
+            result=result,
+        ).to_json_dict()
+        assert entry["degraded"] is True
+        assert entry["lost_cells"] == lost
+
     def test_no_live_children_after_faulted_race(
         self, monkeypatch, ddg, machine
     ):
